@@ -1,0 +1,58 @@
+// Ablation (design choice, §5): Nagle-style block proposal pacing — the
+// 100 ms delay / 150 KB size thresholds.
+//
+// Expectation: no pacing (delay ~ 0) floods tiny blocks whose fixed VID/BA
+// cost eats bandwidth (low throughput); very coarse pacing (1 s) batches
+// well but inflates latency. The paper's 100 ms / 150 KB sits at the knee.
+#include "bench_util.hpp"
+#include "runner/experiment.hpp"
+
+using namespace dl;
+using namespace dl::runner;
+
+int main() {
+  bench::header("Ablation: proposal pacing (Nagle)", "delay/size thresholds vs throughput+latency");
+  const double duration = bench::full_scale() ? 90.0 : 45.0;
+  const int n = 16, f = 5;
+
+  struct P {
+    double delay;
+    std::size_t size;
+  };
+  bench::row({"delay", "size-thresh", "agg MB/s", "p50 latency", "mean block KB"}, 15);
+  for (const P& p : {P{0.005, 5'000}, P{1.000, 150'000}, P{3.000, 300'000}, P{6.000, 600'000}}) {
+    ExperimentConfig cfg;
+    cfg.protocol = Protocol::DL;
+    cfg.n = n;
+    cfg.f = f;
+    cfg.net = sim::NetworkConfig::uniform(n, 0.1, 2e6);
+    cfg.duration = duration;
+    cfg.warmup = duration / 3;
+    cfg.load_bytes_per_sec = 15e3;  // light Poisson load: pacing governs
+    cfg.propose_delay = p.delay;
+    cfg.propose_size = p.size;
+    cfg.max_block_bytes = 1'000'000;
+    cfg.seed = 78;
+    const auto res = run_experiment(cfg);
+    double lat = 0;
+    int cnt = 0;
+    std::uint64_t blocks = 0, payload = 0;
+    for (const auto& node : res.nodes) {
+      if (!node.latency_local.empty()) {
+        lat += node.latency_local.quantile(0.5);
+        ++cnt;
+      }
+      blocks += node.stats.proposed_blocks;
+      payload += node.stats.delivered_payload_bytes;
+    }
+    bench::row({bench::fmt(p.delay, 3) + "s", std::to_string(p.size / 1000) + "KB",
+                bench::fmt_mb(res.aggregate_throughput_bps),
+                bench::fmt(cnt ? lat / cnt : 0, 2) + "s",
+                bench::fmt(blocks ? static_cast<double>(payload) / 16 / blocks / 1000 : 0, 1)},
+               15);
+  }
+  std::printf("\n(expected: below the epoch floor (~1.3 s = BA latency at 100 ms OWD)\n"
+              " the thresholds are inert — the dispersal pipeline is the real pacer;\n"
+              " above it, batches grow linearly and so does confirmation latency)\n");
+  return 0;
+}

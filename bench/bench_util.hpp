@@ -1,0 +1,49 @@
+// Shared helpers for the figure benches: table printing and scale knobs.
+//
+// Every bench prints the rows/series of one paper figure. Absolute numbers
+// are not expected to match the paper (our substrate is a simulator and the
+// deployments are scaled down to keep runtimes in seconds); the SHAPE —
+// who wins, by what factor, where crossovers are — is the reproduction
+// target. EXPERIMENTS.md records paper-vs-measured for each figure.
+//
+// DL_BENCH_SCALE=full   runs closer-to-paper durations/sizes (slower).
+// Default ("quick") keeps every bench within tens of seconds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dl::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("DL_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+inline void header(const std::string& fig, const std::string& what) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", fig.c_str(), what.c_str());
+  std::printf("mode: %s (set DL_BENCH_SCALE=full for longer runs)\n",
+              full_scale() ? "full" : "quick");
+  std::printf("==================================================================\n");
+}
+
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_mb(double bytes_per_sec) {
+  return fmt(bytes_per_sec / 1e6, 2);
+}
+
+}  // namespace dl::bench

@@ -1,0 +1,56 @@
+// Figure 13: fraction of a node's traffic that is dispersal (vs retrieval),
+// at different cluster sizes and block sizes.
+//
+// Paper shape: the fraction falls as block size grows (fixed VID/BA cost
+// amortized) and as N grows (each node stores a 1/(N-2f) slice); most
+// points land in the 1/20-1/10 band. This is the metric that says how cheap
+// it is for a slow node to keep participating in dispersal.
+#include "bench_util.hpp"
+#include "runner/experiment.hpp"
+
+using namespace dl;
+using namespace dl::runner;
+
+int main() {
+  bench::header("Figure 13", "dispersal traffic / total traffic");
+  const bool full = bench::full_scale();
+  // The re-encode verification on every retrieval (AVID-M's design) makes
+  // large-N sweeps CPU-heavy; quick mode covers {16,32}, full adds {64,128}.
+  const std::vector<int> ns = full ? std::vector<int>{16, 32, 64, 128}
+                                   : std::vector<int>{16, 32};
+  const std::vector<std::size_t> blocks =
+      full ? std::vector<std::size_t>{50'000, 100'000, 200'000, 400'000}
+           : std::vector<std::size_t>{50'000, 100'000, 200'000};
+
+  std::vector<std::string> head = {"N \\ block"};
+  for (auto b : blocks) head.push_back(std::to_string(b / 1000) + "KB");
+  bench::row(head, 12);
+  for (int n : ns) {
+    std::vector<std::string> cells = {std::to_string(n)};
+    for (std::size_t block : blocks) {
+      ExperimentConfig cfg;
+      cfg.protocol = Protocol::DL;
+      cfg.n = n;
+      cfg.f = (n - 1) / 3;
+      cfg.net = sim::NetworkConfig::uniform(n, 0.1, 3e6);
+      // Steady state: throttle production with the fall-behind policy
+      // (P=4, the 4.5 mechanism), so traffic fractions are measured in a
+      // sustainable regime rather than during unbounded fall-behind.
+      cfg.fall_behind_stop = 4;
+      const double epoch_est = static_cast<double>(n) * static_cast<double>(block) / 3e6;
+      cfg.duration = std::max(full ? 60.0 : 30.0, 5.0 * epoch_est);
+      cfg.warmup = cfg.duration / 3;
+      cfg.max_block_bytes = block;
+      cfg.propose_size = block / 2;
+      cfg.seed = 13;
+      const auto res = run_experiment(cfg);
+      cells.push_back(bench::fmt(res.mean_dispersal_fraction, 3));
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\r");
+    bench::row(cells, 12);
+  }
+  std::printf("\n(paper shape: decreasing in both N and block size; 1/(N-2f) floor)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 16 (Appendix A.3): an example synthetic bandwidth trace from the
+// Gauss-Markov process used in the temporal-variation experiment, rendered
+// as an ASCII sparkline plus the sampled values.
+#include "bench_util.hpp"
+#include "workload/gauss_markov.hpp"
+
+using namespace dl;
+
+int main() {
+  bench::header("Figure 16", "example Gauss-Markov bandwidth trace (b=10, sigma=5, alpha=0.98)");
+  workload::GaussMarkovParams p;  // paper-scale parameters (MB/s)
+  const double duration = 300.0;
+  const auto trace = workload::gauss_markov_trace(p, duration, 16);
+
+  // ASCII plot: 10 rows (0..20 MB/s), 100 columns (3 s per column).
+  const int rows = 10, cols = 100;
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  for (int c = 0; c < cols; ++c) {
+    const double t = duration * c / cols;
+    const double mbps = trace.rate_at(t) / 1e6;
+    int r = static_cast<int>(mbps / 20.0 * rows);
+    if (r >= rows) r = rows - 1;
+    if (r < 0) r = 0;
+    grid[static_cast<std::size_t>(rows - 1 - r)][static_cast<std::size_t>(c)] = '*';
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::printf("%5.1f |%s\n", 20.0 * (rows - r) / rows, grid[static_cast<std::size_t>(r)].c_str());
+  }
+  std::printf("MB/s  +%s\n       0s%*s%.0fs\n", std::string(cols, '-').c_str(), cols - 6, "",
+              duration);
+
+  std::printf("\nSampled values (every 10 s, MB/s): ");
+  for (int t = 0; t <= 300; t += 10) std::printf("%.1f ", trace.rate_at(t + 0.5) / 1e6);
+  std::printf("\nmean over trace = %.2f MB/s (target 10)\n", trace.mean_rate() / 1e6);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// A tiny in-process FIFO message router for examples that drive the pure
+// protocol automata directly (no network simulator, no timing): messages are
+// delivered in order; muted servers stay silent.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "common/envelope.hpp"
+
+namespace dl::example {
+
+class Router {
+ public:
+  explicit Router(int n) : n_(n) {}
+
+  std::function<void(int from, int to, const Envelope&)> on_deliver;
+
+  void mute(int node) { muted_.insert(node); }
+
+  void push(int from, const Outbox& out) {
+    if (muted_.contains(from)) return;
+    for (const OutMsg& m : out) {
+      if (m.to == OutMsg::kAll) {
+        for (int to = 0; to < n_; ++to) queue_.push_back({from, to, m.env});
+      } else {
+        queue_.push_back({from, m.to, m.env});
+      }
+    }
+  }
+
+  void run() {
+    while (!queue_.empty()) {
+      auto [from, to, env] = std::move(queue_.front());
+      queue_.pop_front();
+      if (muted_.contains(from)) continue;
+      on_deliver(from, to, env);
+    }
+  }
+
+ private:
+  struct Item {
+    int from, to;
+    Envelope env;
+  };
+  int n_;
+  std::deque<Item> queue_;
+  std::set<int> muted_;
+};
+
+}  // namespace dl::example

@@ -1,0 +1,53 @@
+// Replicated key-value store on DispersedLedger: the classic SMR demo.
+//
+// Five replicas run a KV state machine over the ledger. Two clients race
+// compare-and-swap operations on the same account through different
+// replicas; the total order decides a single winner, identically at every
+// replica (verified via state digests).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "app/kv_state_machine.hpp"
+
+using namespace dl;
+using namespace dl::app;
+
+int main() {
+  const int n = 4, f = 1;
+  sim::Simulator sim(sim::NetworkConfig::uniform(n, 0.04, 2e6));
+  std::vector<std::unique_ptr<core::DlNode>> nodes;
+  std::vector<std::unique_ptr<ReplicatedKv>> kvs;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<core::DlNode>(
+        core::NodeConfig::dispersed_ledger(n, f, i), sim.queue(), sim.network()));
+    sim.attach(i, nodes.back().get());
+    kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
+  }
+
+  // Fund an account, then race two withdrawals via CAS through different
+  // replicas at the same instant.
+  sim.queue().at(0.1, [&] {
+    std::printf("[0.1s] client->node0: PUT acct/alice = 100\n");
+    kvs[0]->submit({CommandKind::Put, "acct/alice", "100", ""});
+  });
+  sim.queue().at(1.5, [&] {
+    std::printf("[1.5s] client A->node1: CAS acct/alice 100 -> 60 (withdraw 40)\n");
+    kvs[1]->submit({CommandKind::Cas, "acct/alice", "60", "100"});
+    std::printf("[1.5s] client B->node2: CAS acct/alice 100 -> 30 (withdraw 70)\n");
+    kvs[2]->submit({CommandKind::Cas, "acct/alice", "30", "100"});
+  });
+  sim.run_until(10.0);
+
+  std::printf("\nfinal state at every replica:\n");
+  for (int i = 0; i < n; ++i) {
+    const auto& sm = kvs[static_cast<std::size_t>(i)]->state();
+    std::printf("  node %d: acct/alice = %s   applied=%llu rejected=%llu digest=%s\n", i,
+                sm.get("acct/alice").value_or("<none>").c_str(),
+                static_cast<unsigned long long>(sm.applied()),
+                static_cast<unsigned long long>(sm.rejected()),
+                sm.digest().hex().substr(0, 12).c_str());
+  }
+  std::printf("\nexactly one CAS won — double-spend prevented by total order.\n");
+  return 0;
+}

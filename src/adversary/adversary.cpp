@@ -1,0 +1,17 @@
+#include "adversary/adversary.hpp"
+
+namespace dl::adversary {
+
+core::NodeConfig bad_disperser_config(int n, int f, int self) {
+  core::NodeConfig c = core::NodeConfig::dispersed_ledger(n, f, self);
+  c.byz_inconsistent_blocks = true;
+  return c;
+}
+
+core::NodeConfig v_liar_config(int n, int f, int self) {
+  core::NodeConfig c = core::NodeConfig::dispersed_ledger(n, f, self);
+  c.byz_lie_v_array = true;
+  return c;
+}
+
+}  // namespace dl::adversary

@@ -1,0 +1,29 @@
+// Adversarial nodes for failure injection in integration tests and benches.
+//
+// The strongest practical adversaries here keep the protocol live (a node
+// that follows the protocol except for a targeted deviation) because a
+// silent node is already covered by CrashNode. See also the Byzantine flags
+// on core::NodeConfig (byz_inconsistent_blocks, byz_lie_v_array).
+#pragma once
+
+#include "dl/node.hpp"
+
+namespace dl::adversary {
+
+// A crashed (silent) node: consumes messages, never responds. With at most
+// f of these, every protocol property must still hold.
+class CrashNode : public sim::Host {
+ public:
+  void on_message(sim::Message&&) override {}
+};
+
+// A disperser of provably-inconsistent blocks (exercises the BAD_UPLOADER
+// path end-to-end): participates honestly as a VID server and BA voter so
+// the system keeps committing its garbage blocks.
+core::NodeConfig bad_disperser_config(int n, int f, int self);
+
+// Reports inflated V arrays to try to make peers retrieve blocks that do
+// not exist (the inter-node-linking attack of §4.3).
+core::NodeConfig v_liar_config(int n, int f, int self);
+
+}  // namespace dl::adversary

@@ -1,0 +1,76 @@
+// A replicated key-value state machine on top of DispersedLedger.
+//
+// BFT *state machine replication* needs a state machine: this module turns
+// the totally-ordered block log into application state. Commands are
+// serialized into transaction payloads; every replica applies delivered
+// commands in log order, so all correct replicas hold identical state —
+// checkable via a deterministic state digest.
+//
+// Supported commands: PUT key value, DEL key, CAS key expected new
+// (compare-and-swap, demonstrating order-sensitive semantics: replicas must
+// agree not just on the set of commands but on their order for CAS results
+// to match).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "dl/node.hpp"
+
+namespace dl::app {
+
+enum class CommandKind : std::uint8_t { Put = 1, Del = 2, Cas = 3 };
+
+struct Command {
+  CommandKind kind = CommandKind::Put;
+  std::string key;
+  std::string value;     // Put: new value; Cas: new value
+  std::string expected;  // Cas only
+
+  Bytes encode() const;
+  static std::optional<Command> decode(ByteView in);
+};
+
+class KvStateMachine {
+ public:
+  // Applies one command; returns false if it was a no-op (failed CAS,
+  // DEL of a missing key) — the outcome itself is replicated state.
+  bool apply(const Command& cmd);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::size_t size() const { return kv_.size(); }
+  std::uint64_t applied() const { return applied_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  // Deterministic digest over (sorted) state plus the applied-command
+  // counter: equal digests == equal replicas.
+  Hash digest() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+// Binds a KvStateMachine to a DlNode: encodes submitted commands as
+// transactions and applies every delivered transaction that parses as a
+// command (non-command payloads are skipped — the ledger is shared).
+class ReplicatedKv {
+ public:
+  explicit ReplicatedKv(core::DlNode& node);
+
+  // Submits a command through the local node (consortium model).
+  void submit(const Command& cmd);
+
+  const KvStateMachine& state() const { return sm_; }
+
+ private:
+  core::DlNode& node_;
+  KvStateMachine sm_;
+};
+
+}  // namespace dl::app

@@ -1,0 +1,209 @@
+#include "ba/binary_agreement.hpp"
+
+#include <stdexcept>
+
+#include "common/serial.hpp"
+
+namespace dl::ba {
+
+namespace {
+
+OutMsg broadcast(MsgKind kind, Bytes body) {
+  OutMsg m;
+  m.to = OutMsg::kAll;
+  m.env.kind = kind;
+  m.env.body = std::move(body);
+  return m;
+}
+
+// A cap on how far ahead of our current round we keep per-round state for
+// incoming messages; Byzantine senders could otherwise exhaust memory by
+// quoting absurd round numbers.
+constexpr std::uint32_t kMaxRoundSkew = 64;
+
+}  // namespace
+
+Bytes BaRoundMsg::encode() const {
+  Writer w;
+  w.u32(round);
+  w.u8(value ? 1 : 0);
+  return std::move(w).take();
+}
+
+bool BaRoundMsg::decode(ByteView in, BaRoundMsg& out) {
+  Reader r(in);
+  out.round = r.u32();
+  const std::uint8_t v = r.u8();
+  if (!r.done() || v > 1) return false;
+  out.value = v == 1;
+  return true;
+}
+
+Bytes BaDoneMsg::encode() const {
+  Writer w;
+  w.u8(value ? 1 : 0);
+  return std::move(w).take();
+}
+
+bool BaDoneMsg::decode(ByteView in, BaDoneMsg& out) {
+  Reader r(in);
+  const std::uint8_t v = r.u8();
+  if (!r.done() || v > 1) return false;
+  out.value = v == 1;
+  return true;
+}
+
+BinaryAgreement::BinaryAgreement(int n, int f, int self, CoinFn coin)
+    : n_(n), f_(f), self_(self), coin_(std::move(coin)),
+      done_seen_(static_cast<std::size_t>(n), false) {
+  if (n_ < 3 * f_ + 1 || self_ < 0 || self_ >= n_) {
+    throw std::invalid_argument("BinaryAgreement: need N >= 3f+1 and valid id");
+  }
+}
+
+BinaryAgreement::Round& BinaryAgreement::round_state(std::uint32_t r) {
+  Round& st = rounds_[r];
+  if (st.aux_value.empty()) {
+    st.bval_recv[0].assign(static_cast<std::size_t>(n_), false);
+    st.bval_recv[1].assign(static_cast<std::size_t>(n_), false);
+    st.aux_value.assign(static_cast<std::size_t>(n_), -1);
+  }
+  return st;
+}
+
+void BinaryAgreement::input(bool v, Outbox& out) {
+  if (has_input_ || halted_) return;
+  has_input_ = true;
+  est_ = v;
+  enter_round(0, out);
+  try_progress(out);
+}
+
+void BinaryAgreement::send_bval(std::uint32_t r, bool v, Outbox& out) {
+  Round& st = round_state(r);
+  if (st.bval_echoed[v ? 1 : 0]) return;
+  st.bval_echoed[v ? 1 : 0] = true;
+  BaRoundMsg m{r, v};
+  out.push_back(broadcast(MsgKind::BaBval, m.encode()));
+}
+
+void BinaryAgreement::send_aux(std::uint32_t r, bool v, Outbox& out) {
+  Round& st = round_state(r);
+  if (st.aux_sent) return;
+  st.aux_sent = true;
+  BaRoundMsg m{r, v};
+  out.push_back(broadcast(MsgKind::BaAux, m.encode()));
+}
+
+void BinaryAgreement::enter_round(std::uint32_t r, Outbox& out) {
+  round_ = r;
+  Round& st = round_state(r);
+  st.entered = true;
+  send_bval(r, est_, out);
+}
+
+void BinaryAgreement::handle_bval(int from, std::uint32_t r, bool v, Outbox& out) {
+  if (r > round_ + kMaxRoundSkew) return;
+  Round& st = round_state(r);
+  const int vi = v ? 1 : 0;
+  if (st.bval_recv[vi][static_cast<std::size_t>(from)]) return;
+  st.bval_recv[vi][static_cast<std::size_t>(from)] = true;
+  st.bval_count[vi]++;
+  // f+1 echo rule: relay a value with correct support even pre-input.
+  if (st.bval_count[vi] >= f_ + 1) send_bval(r, v, out);
+  // 2f+1 acceptance into bin_values.
+  if (st.bval_count[vi] >= 2 * f_ + 1 && !st.bin_values[vi]) {
+    st.bin_values[vi] = true;
+    st.support += st.aux_count_value[vi];
+  }
+  try_progress(out);
+}
+
+void BinaryAgreement::handle_aux(int from, std::uint32_t r, bool v, Outbox& out) {
+  if (r > round_ + kMaxRoundSkew) return;
+  Round& st = round_state(r);
+  if (st.aux_value[static_cast<std::size_t>(from)] != -1) return;
+  st.aux_value[static_cast<std::size_t>(from)] = v ? 1 : 0;
+  st.aux_count_value[v ? 1 : 0]++;
+  if (st.bin_values[v ? 1 : 0]) st.support++;
+  try_progress(out);
+}
+
+void BinaryAgreement::handle_done(int from, bool v, Outbox& out) {
+  if (done_seen_[static_cast<std::size_t>(from)]) return;
+  done_seen_[static_cast<std::size_t>(from)] = true;
+  done_count_[v ? 1 : 0]++;
+  // f+1 DONE(v): at least one correct node decided v; adopting is safe.
+  if (done_count_[v ? 1 : 0] >= f_ + 1 && !decided_) decide(v, out);
+  if (decided_ && done_count_[output_ ? 1 : 0] >= 2 * f_ + 1) halted_ = true;
+}
+
+void BinaryAgreement::decide(bool v, Outbox& out) {
+  decided_ = true;
+  output_ = v;
+  est_ = v;
+  if (!done_sent_) {
+    done_sent_ = true;
+    out.push_back(broadcast(MsgKind::BaDone, BaDoneMsg{v}.encode()));
+  }
+  if (done_count_[v ? 1 : 0] >= 2 * f_ + 1) halted_ = true;
+}
+
+void BinaryAgreement::try_progress(Outbox& out) {
+  if (!has_input_ || halted_) return;
+  // Rounds may cascade when buffered future-round messages already satisfy
+  // the progression conditions.
+  while (true) {
+    Round& st = round_state(round_);
+    if (!st.entered) enter_round(round_, out);
+
+    if (!st.aux_sent && (st.bin_values[0] || st.bin_values[1])) {
+      // Announce one accepted value (prefer 1: "commit this block").
+      send_aux(round_, st.bin_values[1], out);
+    }
+    if (!st.aux_sent) return;
+
+    // AUX senders whose value has entered bin_values (incremental count).
+    if (st.support < n_ - f_) return;
+    const bool seen_val[2] = {st.bin_values[0] && st.aux_count_value[0] > 0,
+                              st.bin_values[1] && st.aux_count_value[1] > 0};
+
+    const bool c = coin_(round_);
+    if (seen_val[0] != seen_val[1]) {
+      const bool v = seen_val[1];
+      est_ = v;
+      if (v == c && !decided_) decide(v, out);
+    } else {
+      est_ = c;
+    }
+    enter_round(round_ + 1, out);
+  }
+}
+
+bool BinaryAgreement::handle(int from, MsgKind kind, ByteView body, Outbox& out) {
+  if (from < 0 || from >= n_ || halted_) return false;
+  switch (kind) {
+    case MsgKind::BaBval: {
+      BaRoundMsg m;
+      if (!BaRoundMsg::decode(body, m)) return false;
+      handle_bval(from, m.round, m.value, out);
+      return true;
+    }
+    case MsgKind::BaAux: {
+      BaRoundMsg m;
+      if (!BaRoundMsg::decode(body, m)) return false;
+      handle_aux(from, m.round, m.value, out);
+      return true;
+    }
+    case MsgKind::BaDone: {
+      BaDoneMsg m;
+      if (!BaDoneMsg::decode(body, m)) return false;
+      handle_done(from, m.value, out);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace dl::ba

@@ -1,0 +1,107 @@
+// Signature-free asynchronous binary Byzantine agreement.
+//
+// Implements Mostefaoui, Hamouma, Raynal (PODC'14): rounds of BV-broadcast
+// (BVAL messages with an f+1 echo rule and a 2f+1 acceptance rule into
+// bin_values), AUX announcements, and a common coin. Decide when the AUX
+// view is a singleton {v} and v equals the round's coin. Expected O(1)
+// rounds; per-node message cost O(N) per round.
+//
+// Termination gadget: a node that decides broadcasts DONE(v) and keeps
+// participating; on f+1 DONE(v) a node adopts the decision (some correct
+// node decided v, which is safe by agreement); on 2f+1 DONE(v) it halts —
+// by then every correct node is guaranteed to reach a decision without it.
+//
+// Properties (paper §4.1): Termination, Agreement, Validity. Exercised by
+// tests/ba_test.cpp under random schedules and Byzantine senders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/envelope.hpp"
+
+namespace dl::ba {
+
+// coin(round) -> shared random bit.
+using CoinFn = std::function<bool(std::uint32_t round)>;
+
+class BinaryAgreement {
+ public:
+  BinaryAgreement(int n, int f, int self, CoinFn coin);
+
+  // Provides this node's input; no-op if already provided.
+  void input(bool v, Outbox& out);
+
+  bool has_input() const { return has_input_; }
+  bool decided() const { return decided_; }
+  bool output() const { return output_; }
+  // A halted instance needs no further messages.
+  bool halted() const { return halted_; }
+  std::uint32_t round() const { return round_; }
+
+  // Routes BaBval / BaAux / BaDone bodies. Returns true if consumed.
+  bool handle(int from, MsgKind kind, ByteView body, Outbox& out);
+
+ private:
+  struct Round {
+    // BVAL bookkeeping, indexed by value (0/1).
+    std::vector<bool> bval_recv[2];  // per-sender flags
+    int bval_count[2] = {0, 0};
+    bool bval_echoed[2] = {false, false};
+    bool bin_values[2] = {false, false};
+    // AUX bookkeeping. `support` counts AUX senders whose value is already
+    // in bin_values; maintained incrementally so progress checks are O(1).
+    std::vector<std::int8_t> aux_value;  // -1 = none, else 0/1, per sender
+    int aux_count_value[2] = {0, 0};
+    int support = 0;
+    bool aux_sent = false;
+    bool entered = false;  // we have started this round (sent our BVAL)
+  };
+
+  Round& round_state(std::uint32_t r);
+  void enter_round(std::uint32_t r, Outbox& out);
+  void handle_bval(int from, std::uint32_t r, bool v, Outbox& out);
+  void handle_aux(int from, std::uint32_t r, bool v, Outbox& out);
+  void handle_done(int from, bool v, Outbox& out);
+  void try_progress(Outbox& out);
+  void decide(bool v, Outbox& out);
+  void send_bval(std::uint32_t r, bool v, Outbox& out);
+  void send_aux(std::uint32_t r, bool v, Outbox& out);
+
+  int n_;
+  int f_;
+  int self_;
+  CoinFn coin_;
+
+  bool has_input_ = false;
+  bool est_ = false;
+  std::uint32_t round_ = 0;
+  std::map<std::uint32_t, Round> rounds_;
+
+  bool decided_ = false;
+  bool output_ = false;
+  bool halted_ = false;
+  bool done_sent_ = false;
+  std::vector<bool> done_seen_;
+  int done_count_[2] = {0, 0};
+};
+
+// Body codec for BVAL/AUX: round (u32) + value (u8). DONE: value only.
+struct BaRoundMsg {
+  std::uint32_t round = 0;
+  bool value = false;
+
+  Bytes encode() const;
+  static bool decode(ByteView in, BaRoundMsg& out);
+};
+
+struct BaDoneMsg {
+  bool value = false;
+
+  Bytes encode() const;
+  static bool decode(ByteView in, BaDoneMsg& out);
+};
+
+}  // namespace dl::ba

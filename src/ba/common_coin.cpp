@@ -1,0 +1,19 @@
+#include "ba/common_coin.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dl::ba {
+
+bool CommonCoin::flip(std::uint64_t epoch, std::uint32_t instance,
+                      std::uint32_t round) const {
+  Writer w;
+  w.u64(seed_);
+  w.u64(epoch);
+  w.u32(instance);
+  w.u32(round);
+  const Hash h = sha256(w.data());
+  return (h.v[0] & 1) != 0;
+}
+
+}  // namespace dl::ba

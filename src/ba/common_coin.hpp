@@ -1,0 +1,27 @@
+// Common coin for the binary agreement protocol.
+//
+// Mostefaoui-Hamouma-Raynal BA assumes a "rabbit-in-the-hat" common coin
+// oracle: in round r every correct node observes the same unpredictable bit.
+// Production systems realize it with threshold signatures; the paper treats
+// it as given by [32]. We model the oracle as
+//   coin(epoch, instance, round) = lsb(SHA-256(seed || epoch || inst || r))
+// which preserves the two properties the protocol's analysis needs: all
+// nodes see the same bit, and the bit is uniform and independent of the
+// round's inputs. (See DESIGN.md substitution table.)
+#pragma once
+
+#include <cstdint>
+
+namespace dl::ba {
+
+class CommonCoin {
+ public:
+  explicit CommonCoin(std::uint64_t seed) : seed_(seed) {}
+
+  bool flip(std::uint64_t epoch, std::uint32_t instance, std::uint32_t round) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dl::ba

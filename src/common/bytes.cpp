@@ -1,0 +1,45 @@
+#include "common/bytes.hpp"
+
+#include "common/rng.hpp"
+
+namespace dl {
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t w = rng.next();
+    for (int k = 0; k < 8; ++k) out[i++] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+  if (i < n) {
+    std::uint64_t w = rng.next();
+    while (i < n) {
+      out[i++] = static_cast<std::uint8_t>(w);
+      w >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace dl

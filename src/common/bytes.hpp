@@ -1,0 +1,37 @@
+// Byte-buffer utilities shared by every module.
+//
+// The whole library works on `Bytes` (an alias of std::vector<uint8_t>) and
+// `ByteView` (a non-owning std::span). Helpers here cover concatenation,
+// comparison and construction from strings, so protocol code never touches
+// raw pointers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dl {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+// Builds a buffer from the raw characters of `s` (no encoding applied).
+Bytes bytes_of(std::string_view s);
+
+// Interprets a buffer as text; useful for error-string payloads such as the
+// AVID-M "BAD_UPLOADER" sentinel.
+std::string to_string(ByteView b);
+
+// Appends `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+// Constant-size-agnostic equality between a view and a buffer.
+bool equal(ByteView a, ByteView b);
+
+// Deterministic pseudo-random payload of `n` bytes derived from `seed`.
+// Used by tests and workload generators; NOT cryptographic.
+Bytes random_bytes(std::size_t n, std::uint64_t seed);
+
+}  // namespace dl

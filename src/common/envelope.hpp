@@ -1,0 +1,77 @@
+// Protocol message envelope.
+//
+// Every protocol message travels as: kind (u8), epoch (u64), instance (u32),
+// body (length-prefixed bytes). `instance` identifies the per-node VID/BA
+// instance inside an epoch (the proposer index); standalone VID deployments
+// (e.g. the dispersed-storage example) use epoch 0 and an arbitrary
+// instance id. Decoding is total: malformed input yields std::nullopt, never
+// UB — Byzantine peers control these bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+
+namespace dl {
+
+enum class MsgKind : std::uint8_t {
+  // AVID-M (Fig. 3 / Fig. 4 of the paper)
+  VidChunk = 1,
+  VidGotChunk = 2,
+  VidReady = 3,
+  VidRequestChunk = 4,
+  VidReturnChunk = 5,
+  VidCancel = 6,  // "stop sending chunks, I decoded" optimization (§6.3)
+  // Binary agreement (Mostefaoui et al. 2014)
+  BaBval = 16,
+  BaAux = 17,
+  BaDone = 18,
+  // AVID-FP baseline
+  FpChunk = 32,
+  FpEcho = 33,
+  FpReady = 34,
+  FpRequestChunk = 35,
+  FpReturnChunk = 36,
+};
+
+struct Envelope {
+  MsgKind kind{};
+  std::uint64_t epoch = 0;
+  std::uint32_t instance = 0;
+  Bytes body;
+
+  Bytes encode() const {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u64(epoch);
+    w.u32(instance);
+    w.bytes(body);
+    return std::move(w).take();
+  }
+
+  static std::optional<Envelope> decode(ByteView in) {
+    Reader r(in);
+    Envelope e;
+    e.kind = static_cast<MsgKind>(r.u8());
+    e.epoch = r.u64();
+    e.instance = r.u32();
+    e.body = r.bytes();
+    if (!r.done()) return std::nullopt;
+    return e;
+  }
+};
+
+// A protocol-layer outgoing message, before network wrapping. `to == kAll`
+// requests a broadcast (including the sender itself).
+struct OutMsg {
+  static constexpr int kAll = -1;
+  int to = kAll;
+  Envelope env;
+};
+
+using Outbox = std::vector<OutMsg>;
+
+}  // namespace dl

@@ -1,0 +1,18 @@
+// Hex encoding/decoding, used by tests (NIST vectors) and debug output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace dl {
+
+// Lower-case hex encoding of `b`.
+std::string to_hex(ByteView b);
+
+// Parses lower- or upper-case hex; returns std::nullopt on malformed input
+// (odd length or non-hex character).
+std::optional<Bytes> from_hex(std::string_view s);
+
+}  // namespace dl

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the library that needs randomness (workloads, bandwidth
+// traces, test schedules) takes an explicit seed so that runs are exactly
+// reproducible. The generator is xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace dl {
+
+// splitmix64 step; also usable standalone as a cheap hash of an integer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Next 64 uniformly random bits.
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform integer in [0, bound) using rejection-free multiply-shift.
+  // bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Standard normal via Box-Muller (uses two uniform draws).
+  double next_gaussian();
+
+  // Exponential with the given rate (>0); used for Poisson arrivals.
+  double next_exponential(double rate);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace dl

@@ -1,0 +1,58 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for Merkle trees (AVID-M commitments), the simulated common coin, and
+// content digests. `Hash` is a fixed 32-byte value with cheap comparison so
+// it can be used as a map key throughout the protocol layers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace dl {
+
+struct Hash {
+  std::array<std::uint8_t, 32> v{};
+
+  auto operator<=>(const Hash&) const = default;
+  bool is_zero() const;
+  std::string hex() const;
+
+  ByteView view() const { return ByteView(v.data(), v.size()); }
+};
+
+// One-shot SHA-256 of `data`.
+Hash sha256(ByteView data);
+
+// Convenience: hash the concatenation of two buffers (Merkle inner nodes).
+Hash sha256_pair(const Hash& a, const Hash& b);
+
+// Incremental hashing for streaming inputs.
+class Sha256 {
+ public:
+  Sha256();
+  void update(ByteView data);
+  Hash finalize();
+
+ private:
+  void process_block(const std::uint8_t* p);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+struct HashHasher {
+  std::size_t operator()(const Hash& h) const {
+    std::size_t out;
+    static_assert(sizeof(out) <= 32);
+    __builtin_memcpy(&out, h.v.data(), sizeof(out));
+    return out;
+  }
+};
+
+}  // namespace dl

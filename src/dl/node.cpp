@@ -1,0 +1,562 @@
+#include "dl/node.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+
+namespace dl::core {
+
+namespace {
+
+// Byzantine peers could name absurd epochs to exhaust memory; cap how far
+// past our own pipeline we are willing to instantiate state.
+constexpr std::uint64_t kMaxEpochSkew = 4096;
+
+bool is_vid_kind(MsgKind k) {
+  return k == MsgKind::VidChunk || k == MsgKind::VidGotChunk ||
+         k == MsgKind::VidReady || k == MsgKind::VidRequestChunk;
+}
+
+bool is_ba_kind(MsgKind k) {
+  return k == MsgKind::BaBval || k == MsgKind::BaAux || k == MsgKind::BaDone;
+}
+
+}  // namespace
+
+NodeConfig NodeConfig::dispersed_ledger(int n, int f, int self) {
+  NodeConfig c;
+  c.n = n;
+  c.f = f;
+  c.self = self;
+  return c;
+}
+
+NodeConfig NodeConfig::dl_coupled(int n, int f, int self) {
+  NodeConfig c = dispersed_ledger(n, f, self);
+  c.coupled_proposals = true;
+  return c;
+}
+
+NodeConfig NodeConfig::honey_badger(int n, int f, int self) {
+  NodeConfig c = dispersed_ledger(n, f, self);
+  c.vote_on_dispersal = false;
+  c.inter_node_linking = false;
+  c.repropose_dropped = true;
+  return c;
+}
+
+NodeConfig NodeConfig::hb_link(int n, int f, int self) {
+  NodeConfig c = dispersed_ledger(n, f, self);
+  c.vote_on_dispersal = false;
+  return c;
+}
+
+DlNode::DlNode(NodeConfig cfg, sim::EventQueue& eq, sim::Network& net)
+    : cfg_(cfg),
+      eq_(eq),
+      net_(net),
+      coin_(cfg.coin_seed),
+      vid_params_{cfg.n, cfg.f},
+      retrievals_(vid_params_, cfg.self),
+      completed_prefix_(static_cast<std::size_t>(cfg.n), 0),
+      completed_gaps_(static_cast<std::size_t>(cfg.n)),
+      linked_scanned_(static_cast<std::size_t>(cfg.n), 0) {}
+
+DLEpoch& DlNode::epoch_state(std::uint64_t e) {
+  auto it = epochs_.find(e);
+  if (it == epochs_.end()) {
+    it = epochs_.try_emplace(e, e, cfg_.n, cfg_.f, cfg_.self, coin_).first;
+  }
+  return it->second;
+}
+
+// --- client interface -------------------------------------------------------
+
+void DlNode::submit(Bytes payload) {
+  Transaction tx;
+  tx.submit_time = eq_.now();
+  tx.origin = static_cast<std::uint32_t>(cfg_.self);
+  tx.payload = std::move(payload);
+  input_queue_bytes_ += tx.wire_size();
+  input_queue_.push_back(std::move(tx));
+  maybe_propose();
+}
+
+void DlNode::start() { maybe_propose(); }
+
+// --- message plumbing --------------------------------------------------------
+
+std::uint64_t DlNode::retrieval_tag(std::uint64_t epoch, std::uint32_t instance,
+                                    int client) const {
+  return ((epoch + 1) << 16) | (static_cast<std::uint64_t>(instance) << 8) |
+         static_cast<std::uint64_t>(client);
+}
+
+void DlNode::send_one(int to, Envelope env) {
+  sim::Message m;
+  m.from = cfg_.self;
+  m.to = to;
+  switch (env.kind) {
+    case MsgKind::VidRequestChunk:
+      m.cls = sim::Priority::Low;
+      m.order = env.epoch;
+      break;
+    case MsgKind::VidReturnChunk:
+      m.cls = sim::Priority::Low;
+      m.order = env.epoch;
+      m.tag = retrieval_tag(env.epoch, env.instance, to);
+      break;
+    default:
+      m.cls = sim::Priority::High;  // dispersal + agreement traffic
+      break;
+  }
+  m.payload = std::make_shared<const Bytes>(env.encode());
+  net_.send(std::move(m));
+}
+
+void DlNode::flush(Outbox&& out, std::uint64_t epoch, std::uint32_t instance) {
+  for (OutMsg& om : out) {
+    om.env.epoch = epoch;
+    om.env.instance = instance;
+    if (om.to == OutMsg::kAll) {
+      // Broadcast: one shared buffer to every node (including self).
+      const sim::Priority cls = om.env.kind == MsgKind::VidRequestChunk
+                                    ? sim::Priority::Low
+                                    : sim::Priority::High;
+      const std::uint64_t order =
+          cls == sim::Priority::Low ? om.env.epoch : 0;
+      net_.broadcast(cfg_.self, cls, order,
+                     std::make_shared<const Bytes>(om.env.encode()));
+    } else {
+      send_one(om.to, std::move(om.env));
+    }
+  }
+}
+
+// --- dispersal pipeline ------------------------------------------------------
+
+bool DlNode::can_start_next_epoch() const {
+  if (cfg_.fall_behind_stop > 0 &&
+      deliver_next_ + static_cast<std::uint64_t>(cfg_.fall_behind_stop) <
+          propose_epoch_) {
+    return false;  // §4.5: too far behind on retrieval, stop proposing
+  }
+  if (propose_epoch_ == 0) return true;
+  const std::uint64_t prev = propose_epoch_ - 1;
+  if (cfg_.vote_on_dispersal) {
+    // DispersedLedger: next dispersal may start once the previous epoch's
+    // agreement phase is over (all BA instances Output) — retrieval is lazy.
+    auto it = epochs_.find(prev);
+    return it != epochs_.end() && it->second.all_ba_output();
+  }
+  // HoneyBadger: lockstep — next epoch only after the previous one is fully
+  // downloaded and delivered.
+  return deliver_next_ > prev;
+}
+
+void DlNode::maybe_propose() {
+  if (!can_start_next_epoch()) return;
+  const double now = eq_.now();
+  const bool size_ready =
+      cfg_.backlog_tx_bytes > 0 || input_queue_bytes_ >= cfg_.propose_size;
+  const bool time_ready = now - last_propose_time_ >= cfg_.propose_delay;
+  if (size_ready || time_ready) {
+    propose_now();
+    return;
+  }
+  // Nagle: wait out the remainder of the delay unless size triggers first.
+  if (!propose_timer_armed_) {
+    propose_timer_armed_ = true;
+    const double wait = cfg_.propose_delay - (now - last_propose_time_);
+    eq_.after(wait, [this] {
+      propose_timer_armed_ = false;
+      maybe_propose();
+    });
+  }
+}
+
+Block DlNode::build_block() {
+  Block b;
+  if (cfg_.inter_node_linking) {
+    b.v_array = completed_prefix_;  // the observation V_i^e (§4.3)
+  }
+  // Proposing epoch e = propose_epoch_ - 1 (already advanced by the caller).
+  // Retrieval inherently trails dispersal by one epoch (epoch e-1's blocks
+  // only become retrievable when its BAs finish, which is when e starts), so
+  // "up to date" means delivery lags by at most that one epoch. More lag =>
+  // the node cannot have validated recent transactions.
+  const bool behind = deliver_next_ + 2 < propose_epoch_;
+  if (cfg_.coupled_proposals && behind) {
+    // DL-Coupled spam defense: participate with an empty block while our
+    // retrieval (hence tx validation ability) is behind.
+    ++stats_.proposed_empty_blocks;
+    return b;
+  }
+  if (cfg_.backlog_tx_bytes > 0) {
+    // Infinite-backlog mode: synthesize a full block.
+    std::size_t used = 0;
+    while (used + cfg_.backlog_tx_bytes + 16 <= cfg_.max_block_bytes) {
+      Transaction tx;
+      tx.submit_time = eq_.now();
+      tx.origin = static_cast<std::uint32_t>(cfg_.self);
+      tx.payload.assign(cfg_.backlog_tx_bytes, 0xA5);
+      used += tx.wire_size();
+      b.txs.push_back(std::move(tx));
+    }
+    return b;
+  }
+  std::size_t used = 0;
+  while (!input_queue_.empty() &&
+         used + input_queue_.front().wire_size() <= cfg_.max_block_bytes) {
+    used += input_queue_.front().wire_size();
+    input_queue_bytes_ -= input_queue_.front().wire_size();
+    b.txs.push_back(std::move(input_queue_.front()));
+    input_queue_.pop_front();
+  }
+  return b;
+}
+
+void DlNode::propose_now() {
+  const std::uint64_t e = propose_epoch_++;
+  last_propose_time_ = eq_.now();
+  Block b = build_block();
+  if (cfg_.byz_lie_v_array) {
+    // Claim every peer has dispersed 1000 epochs further than observed. The
+    // (f+1)-th-largest rule must clip this to a correct node's observation.
+    for (auto& v : b.v_array) v += 1000;
+  }
+  ++stats_.proposed_blocks;
+  stats_.current_dispersal_epoch = propose_epoch_;
+
+  if (cfg_.byz_inconsistent_blocks) {
+    // Disperse chunks that are NOT a Reed-Solomon codeword (valid Merkle
+    // proofs over garbage): every correct retriever must get BAD_UPLOADER.
+    std::vector<Bytes> garbage;
+    for (int i = 0; i < cfg_.n; ++i) {
+      garbage.push_back(random_bytes(
+          256, (e << 8) ^ static_cast<std::uint64_t>(i) ^ cfg_.coin_seed));
+    }
+    const MerkleTree tree(garbage);
+    Outbox out;
+    for (int i = 0; i < cfg_.n; ++i) {
+      OutMsg m;
+      m.to = i;
+      m.env.kind = MsgKind::VidChunk;
+      m.env.body = vid::ChunkMsg{tree.root(), garbage[static_cast<std::size_t>(i)],
+                                 tree.prove(static_cast<std::uint32_t>(i))}
+                       .encode();
+      out.push_back(std::move(m));
+    }
+    flush(std::move(out), e, static_cast<std::uint32_t>(cfg_.self));
+    return;
+  }
+
+  Bytes encoded = b.encode();
+  own_blocks_.emplace(e, std::move(b));
+  retrievals_.put_local(BlockKey{e, cfg_.self}, encoded);
+
+  // Disperse(B) as the client of our own VID instance.
+  auto chunks = avid_m_disperse(vid_params_, encoded);
+  Outbox out;
+  for (int i = 0; i < cfg_.n; ++i) {
+    OutMsg m;
+    m.to = i;
+    m.env.kind = MsgKind::VidChunk;
+    m.env.body = chunks[static_cast<std::size_t>(i)].encode();
+    out.push_back(std::move(m));
+  }
+  flush(std::move(out), e, static_cast<std::uint32_t>(cfg_.self));
+}
+
+// --- message handling --------------------------------------------------------
+
+void DlNode::on_message(sim::Message&& m) {
+  if (!m.payload) return;
+  auto env_opt = Envelope::decode(*m.payload);
+  if (!env_opt.has_value()) return;  // Byzantine noise
+  Envelope& env = *env_opt;
+  if (env.instance >= static_cast<std::uint32_t>(cfg_.n)) return;
+  if (env.epoch > propose_epoch_ + kMaxEpochSkew &&
+      env.epoch > deliver_next_ + kMaxEpochSkew) {
+    return;  // absurd epoch (memory-exhaustion defense)
+  }
+
+  if (env.kind == MsgKind::VidReturnChunk) {
+    handle_return_chunk(m.from, env);
+  } else if (env.kind == MsgKind::VidCancel) {
+    handle_cancel(m.from, env);
+  } else if (is_vid_kind(env.kind)) {
+    handle_vid_message(m.from, env);
+  } else if (is_ba_kind(env.kind)) {
+    handle_ba_message(m.from, env);
+  }
+  // Unknown kinds are dropped.
+}
+
+void DlNode::handle_vid_message(int from, const Envelope& env) {
+  // Only node j may disperse into VID_j^e: drop impersonated Chunk messages
+  // (§4.2 footnote 3).
+  if (env.kind == MsgKind::VidChunk && from != static_cast<int>(env.instance)) {
+    return;
+  }
+  DLEpoch& st = epoch_state(env.epoch);
+  Outbox out;
+  st.vid(static_cast<int>(env.instance)).handle(from, env.kind, env.body, out);
+  flush(std::move(out), env.epoch, env.instance);
+  after_vid_activity(env.epoch, static_cast<int>(env.instance));
+}
+
+void DlNode::handle_ba_message(int from, const Envelope& env) {
+  DLEpoch& st = epoch_state(env.epoch);
+  Outbox out;
+  st.ba(static_cast<int>(env.instance)).handle(from, env.kind, env.body, out);
+  flush(std::move(out), env.epoch, env.instance);
+  after_ba_activity(env.epoch);
+}
+
+void DlNode::handle_return_chunk(int from, const Envelope& env) {
+  vid::ReturnChunkMsg m;
+  if (!vid::ReturnChunkMsg::decode(env.body, m)) return;
+  const BlockKey key{env.epoch, static_cast<int>(env.instance)};
+  if (!retrievals_.on_return_chunk(from, key, m)) return;
+  // Newly decoded: tell the other servers to stop sending chunks (§6.3).
+  if (cfg_.cancel_on_decode) {
+    Outbox out;
+    OutMsg cancel;
+    cancel.to = OutMsg::kAll;
+    cancel.env.kind = MsgKind::VidCancel;
+    out.push_back(std::move(cancel));
+    flush(std::move(out), env.epoch, env.instance);
+  }
+  on_block_available(key);
+}
+
+void DlNode::handle_cancel(int from, const Envelope& env) {
+  // Client `from` decoded block (epoch, instance): drop the ReturnChunk we
+  // may still have queued for it.
+  net_.cancel_egress(cfg_.self, retrieval_tag(env.epoch, env.instance, from));
+}
+
+void DlNode::after_vid_activity(std::uint64_t e, int instance) {
+  DLEpoch& st = epoch_state(e);
+  if (!st.note_vid_complete_once(instance)) return;
+  note_vid_complete(e, instance);
+}
+
+void DlNode::note_vid_complete(std::uint64_t e, int instance) {
+  // Track the V array: V[j] = number of leading epochs of j all complete.
+  auto& prefix = completed_prefix_[static_cast<std::size_t>(instance)];
+  auto& gaps = completed_gaps_[static_cast<std::size_t>(instance)];
+  if (e == prefix) {
+    ++prefix;
+    while (!gaps.empty() && *gaps.begin() == prefix) {
+      gaps.erase(gaps.begin());
+      ++prefix;
+    }
+  } else if (e > prefix) {
+    gaps.insert(e);
+  }
+
+  if (!cfg_.vote_on_dispersal) {
+    // HoneyBadger RBC: download the block as part of "broadcast", then vote.
+    start_retrieval(BlockKey{e, instance});
+  }
+  maybe_vote(e, instance);
+}
+
+void DlNode::maybe_vote(std::uint64_t e, int instance) {
+  DLEpoch& st = epoch_state(e);
+  ba::BinaryAgreement& ba = st.ba(instance);
+  if (ba.has_input()) return;
+  if (!st.vid(instance).complete()) return;
+  if (!cfg_.vote_on_dispersal &&
+      !retrievals_.has(BlockKey{e, instance})) {
+    return;  // HB: block must be downloaded before voting
+  }
+  Outbox out;
+  ba.input(true, out);
+  flush(std::move(out), e, static_cast<std::uint32_t>(instance));
+  after_ba_activity(e);
+}
+
+void DlNode::after_ba_activity(std::uint64_t e) {
+  DLEpoch& st = epoch_state(e);
+  if (!st.refresh_ba_outputs()) return;
+
+  if (st.one_count() >= cfg_.n - cfg_.f) {
+    // Fig. 6: enough blocks committed — close the epoch by voting 0 on the
+    // instances we have not voted on.
+    for (int i = 0; i < cfg_.n; ++i) {
+      if (st.ba(i).has_input()) continue;
+      Outbox out;
+      st.ba(i).input(false, out);
+      flush(std::move(out), e, static_cast<std::uint32_t>(i));
+    }
+    st.refresh_ba_outputs();
+  }
+
+  if (!st.all_ba_output()) return;
+
+  // Commit set decided. Kick off retrieval of committed blocks and account
+  // for our own block's fate.
+  for (int j : st.commit_set()) start_retrieval(BlockKey{e, j});
+
+  const bool committed =
+      std::find(st.commit_set().begin(), st.commit_set().end(), cfg_.self) !=
+      st.commit_set().end();
+  auto own = own_blocks_.find(e);
+  if (!committed && own != own_blocks_.end()) {
+    ++stats_.own_blocks_dropped;
+    if (cfg_.repropose_dropped) {
+      // Plain HoneyBadger: the dropped block will never be delivered, so
+      // its transactions go back to the head of the queue.
+      for (auto it = own->second.txs.rbegin(); it != own->second.txs.rend(); ++it) {
+        input_queue_bytes_ += it->wire_size();
+        stats_.reproposed_tx++;
+        input_queue_.push_front(std::move(*it));
+      }
+      retrievals_.release(BlockKey{e, cfg_.self});
+      own_blocks_.erase(own);
+    }
+  }
+
+  maybe_propose();  // DL: the next dispersal may begin now
+  try_deliver();
+}
+
+// --- retrieval & delivery ----------------------------------------------------
+
+void DlNode::start_retrieval(BlockKey key) {
+  Outbox out;
+  if (retrievals_.ensure_started(key, out)) {
+    flush(std::move(out), key.epoch, static_cast<std::uint32_t>(key.proposer));
+  }
+}
+
+void DlNode::on_block_available(BlockKey key) {
+  maybe_vote(key.epoch, key.proposer);
+  try_deliver();
+}
+
+Block DlNode::decode_or_poison(BlockKey key) const {
+  Block poison;
+  poison.v_array.assign(static_cast<std::size_t>(cfg_.n), kInfObservation);
+  if (!retrievals_.has(key) || retrievals_.is_bad(key)) return poison;
+  auto block = Block::decode(retrievals_.get(key), cfg_.n);
+  if (!block.has_value()) return poison;
+  if (block->v_array.empty()) {
+    // Blocks without observations claim nothing.
+    block->v_array.assign(static_cast<std::size_t>(cfg_.n), 0);
+  }
+  return std::move(*block);
+}
+
+void DlNode::try_deliver() {
+  bool delivered_any = false;
+  while (true) {
+    auto it = epochs_.find(deliver_next_);
+    if (it == epochs_.end() || !it->second.all_ba_output()) break;
+    DLEpoch& st = it->second;
+    const std::uint64_t e = deliver_next_;
+
+    // Phase 2 step 1: all BA-committed blocks must be downloaded.
+    bool missing = false;
+    for (int j : st.commit_set()) {
+      const BlockKey key{e, j};
+      if (!retrievals_.has(key)) {
+        start_retrieval(key);
+        missing = true;
+      }
+    }
+    if (missing) break;
+
+    // Phase 2 steps 3-4: combine observations, queue linked retrievals.
+    if (cfg_.inter_node_linking && !st.linked_computed) {
+      // Decode each committed block once; only the V arrays are needed here.
+      std::vector<std::vector<std::uint64_t>> v_arrays;
+      v_arrays.reserve(st.commit_set().size());
+      for (int k : st.commit_set()) {
+        v_arrays.push_back(decode_or_poison(BlockKey{e, k}).v_array);
+      }
+      std::vector<std::uint64_t> column(v_arrays.size());
+      for (int j = 0; j < cfg_.n; ++j) {
+        for (std::size_t k = 0; k < v_arrays.size(); ++k) {
+          column[k] = v_arrays[k][static_cast<std::size_t>(j)];
+        }
+        // E_e[j] = (f+1)-th largest observation for node j. With at most f
+        // Byzantine proposers, at least one correct node backs this value —
+        // the linked blocks are guaranteed retrievable (Lemma D.4).
+        std::sort(column.begin(), column.end(), std::greater<>());
+        const std::uint64_t ee = column[static_cast<std::size_t>(cfg_.f)];
+        if (ee == kInfObservation) continue;  // impossible with <= f faults
+        auto& scanned = linked_scanned_[static_cast<std::size_t>(j)];
+        for (std::uint64_t d = scanned; d < ee; ++d) {
+          const BlockKey key{d, j};
+          if (delivered_.contains(key) || linked_pending_.contains(key)) continue;
+          linked_pending_.insert(key);
+          st.linked_blocks.emplace_back(d, j);
+          start_retrieval(key);
+        }
+        if (ee > scanned) scanned = ee;
+      }
+      std::sort(st.linked_blocks.begin(), st.linked_blocks.end());
+      st.linked_computed = true;
+    }
+
+    if (cfg_.inter_node_linking) {
+      bool linked_missing = false;
+      for (const auto& [d, j] : st.linked_blocks) {
+        if (!retrievals_.has(BlockKey{d, j})) {
+          linked_missing = true;
+          break;
+        }
+      }
+      if (linked_missing) break;
+    }
+
+    // Phase 2 steps 2 & 5: deliver BA-committed blocks (by node index), then
+    // linked blocks (by epoch, node index).
+    for (int j : st.commit_set()) {
+      const BlockKey key{e, j};
+      if (!delivered_.contains(key)) deliver_block(e, key);
+    }
+    for (const auto& [d, j] : st.linked_blocks) {
+      const BlockKey key{d, j};
+      if (!delivered_.contains(key)) deliver_block(e, key);
+      linked_pending_.erase(key);
+    }
+    st.linked_blocks.clear();
+    st.delivered = true;
+    ++stats_.delivered_epochs;
+    ++deliver_next_;
+    delivered_any = true;
+  }
+  if (delivered_any) maybe_propose();  // HB advances epochs on delivery
+}
+
+void DlNode::deliver_block(std::uint64_t at_epoch, BlockKey key) {
+  const Block block = decode_or_poison(key);
+  delivered_.insert(key);
+
+  ++stats_.delivered_blocks;
+  if (key.epoch != at_epoch) ++stats_.delivered_linked_blocks;
+  if (retrievals_.has(key) && retrievals_.is_bad(key)) ++stats_.bad_uploader_blocks;
+  stats_.delivered_payload_bytes += block.payload_bytes();
+  stats_.delivered_tx_count += block.txs.size();
+  stats_.input_queue_bytes = input_queue_bytes_;
+
+  // Chain a fingerprint so tests can compare delivery order across nodes.
+  Writer w;
+  w.raw(fingerprint_.view());
+  w.u64(key.epoch);
+  w.u32(static_cast<std::uint32_t>(key.proposer));
+  if (retrievals_.has(key)) w.raw(sha256(retrievals_.get(key)).view());
+  fingerprint_ = sha256(w.data());
+
+  if (on_deliver_) on_deliver_(at_epoch, key, block, eq_.now());
+
+  retrievals_.release(key);
+  if (key.proposer == cfg_.self) own_blocks_.erase(key.epoch);
+}
+
+}  // namespace dl::core

@@ -1,0 +1,185 @@
+// DlNode — a full DispersedLedger replica (Fig. 17 of the paper), runnable
+// on the network simulator.
+//
+// One node plays every role: AVID-M server for all N VID instances of every
+// epoch, BA participant in all N instances, disperser of its own proposals,
+// and retrieval client for committed blocks. The configuration flags also
+// express the paper's baselines and variants:
+//
+//   DispersedLedger  vote_on_dispersal=1  linking=1  coupled=0  repropose=0
+//   DL-Coupled       vote_on_dispersal=1  linking=1  coupled=1  repropose=0
+//   HoneyBadger      vote_on_dispersal=0  linking=0  coupled=-  repropose=1
+//   HB-Link          vote_on_dispersal=0  linking=1  coupled=-  repropose=0
+//
+// vote_on_dispersal=0 makes the node download a block before voting for it
+// (VID + immediate retrieval == the reliable-broadcast construction
+// HoneyBadger uses) and advance epochs only after full delivery — exactly
+// the coupling DispersedLedger removes.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "ba/common_coin.hpp"
+#include "dl/block.hpp"
+#include "dl/epoch.hpp"
+#include "dl/retrieval.hpp"
+#include "sim/simulator.hpp"
+
+namespace dl::core {
+
+struct NodeConfig {
+  int n = 4;
+  int f = 1;
+  int self = 0;
+  std::uint64_t coin_seed = 7;
+
+  // Proposal pacing (Nagle; §5): propose when `propose_delay` elapsed since
+  // the last proposal OR `propose_size` bytes are queued — whichever first —
+  // and the previous epoch allows it.
+  double propose_delay = 0.100;       // seconds
+  std::size_t propose_size = 150'000; // bytes
+  std::size_t max_block_bytes = 2'000'000;
+
+  // Protocol shape (see table above).
+  bool vote_on_dispersal = true;  // false => HoneyBadger-style RBC voting
+  bool inter_node_linking = true;
+  bool coupled_proposals = false; // DL-Coupled: empty block while behind
+  bool repropose_dropped = false; // plain HB: resubmit dropped blocks' txs
+  // Stop proposing when delivery lags dispersal by more than P epochs
+  // (§4.5 "constantly-slow nodes"; 0 disables).
+  int fall_behind_stop = 0;
+
+  // Retrieval optimization (§6.3): broadcast a cancel once decoded.
+  bool cancel_on_decode = true;
+
+  // Infinite-backlog workloads: when > 0 the input queue is bottomless and
+  // blocks are filled at proposal time with synthetic transactions of this
+  // payload size (timestamps = proposal time; throughput-only experiments).
+  std::size_t backlog_tx_bytes = 0;
+
+  // Byzantine behaviours, for failure-injection tests and adversary benches.
+  // The node otherwise follows the protocol (a useful worst case: it keeps
+  // liveness while attacking safety-relevant paths).
+  bool byz_inconsistent_blocks = false;  // disperse non-codeword chunk sets
+  bool byz_lie_v_array = false;          // inflate the reported V array
+
+  static NodeConfig dispersed_ledger(int n, int f, int self);
+  static NodeConfig dl_coupled(int n, int f, int self);
+  static NodeConfig honey_badger(int n, int f, int self);
+  static NodeConfig hb_link(int n, int f, int self);
+};
+
+struct NodeStats {
+  std::uint64_t delivered_payload_bytes = 0;  // confirmed tx bytes
+  std::uint64_t delivered_tx_count = 0;
+  std::uint64_t delivered_blocks = 0;
+  std::uint64_t delivered_linked_blocks = 0;  // via inter-node linking
+  std::uint64_t delivered_epochs = 0;
+  std::uint64_t proposed_blocks = 0;
+  std::uint64_t proposed_empty_blocks = 0;    // DL-Coupled back-pressure
+  std::uint64_t own_blocks_dropped = 0;       // proposed but not BA-committed
+  std::uint64_t reproposed_tx = 0;
+  std::uint64_t bad_uploader_blocks = 0;
+  std::uint64_t current_dispersal_epoch = 0;
+  std::size_t input_queue_bytes = 0;
+};
+
+class DlNode : public sim::Host {
+ public:
+  DlNode(NodeConfig cfg, sim::EventQueue& eq, sim::Network& net);
+
+  // --- client interface -------------------------------------------------
+  // Submits a transaction to this node (consortium model: clients talk to
+  // their organization's node).
+  void submit(Bytes payload);
+
+  // Invoked for every delivered (executed) block, in delivery order —
+  // identical across correct nodes.
+  using DeliveryFn =
+      std::function<void(std::uint64_t epoch_delivered_in, BlockKey key,
+                         const Block& block, double now)>;
+  void set_delivery_callback(DeliveryFn fn) { on_deliver_ = std::move(fn); }
+
+  const NodeStats& stats() const { return stats_; }
+  const NodeConfig& config() const { return cfg_; }
+  // Delivered-prefix fingerprint: hash chain over (epoch, proposer, bytes).
+  // Two correct nodes agree on every prefix (tests compare at equal counts).
+  Hash delivery_fingerprint() const { return fingerprint_; }
+  std::uint64_t next_epoch_to_deliver() const { return deliver_next_; }
+
+  // --- sim::Host ---------------------------------------------------------
+  void start() override;
+  void on_message(sim::Message&& m) override;
+
+ private:
+  DLEpoch& epoch_state(std::uint64_t e);
+
+  // Message plumbing: assign envelope ids, map kinds to traffic classes.
+  void flush(Outbox&& out, std::uint64_t epoch, std::uint32_t instance);
+  void send_one(int to, Envelope env);
+  std::uint64_t retrieval_tag(std::uint64_t epoch, std::uint32_t instance,
+                              int client) const;
+
+  // Dispersal pipeline.
+  void maybe_propose();
+  void propose_now();
+  bool can_start_next_epoch() const;
+  Block build_block();
+
+  // Protocol reactions.
+  void handle_vid_message(int from, const Envelope& env);
+  void handle_ba_message(int from, const Envelope& env);
+  void handle_return_chunk(int from, const Envelope& env);
+  void handle_cancel(int from, const Envelope& env);
+  void after_vid_activity(std::uint64_t e, int instance);
+  void after_ba_activity(std::uint64_t e);
+  void note_vid_complete(std::uint64_t e, int instance);
+
+  // Voting rule: DL inputs 1 on VID completion; HB on block download.
+  void maybe_vote(std::uint64_t e, int instance);
+
+  // Retrieval + delivery.
+  void start_retrieval(BlockKey key);
+  void on_block_available(BlockKey key);
+  void try_deliver();
+  void deliver_block(std::uint64_t at_epoch, BlockKey key);
+  Block decode_or_poison(BlockKey key) const;
+
+  NodeConfig cfg_;
+  sim::EventQueue& eq_;
+  sim::Network& net_;
+  ba::CommonCoin coin_;
+  vid::Params vid_params_;
+
+  std::map<std::uint64_t, DLEpoch> epochs_;
+  RetrievalManager retrievals_;
+
+  // Input queue.
+  std::deque<Transaction> input_queue_;
+  std::size_t input_queue_bytes_ = 0;
+
+  // Dispersal pipeline state.
+  std::uint64_t propose_epoch_ = 0;  // next epoch to propose into
+  double last_propose_time_ = -1e18;
+  bool propose_timer_armed_ = false;
+  std::map<std::uint64_t, Block> own_blocks_;  // until delivered
+
+  // VID completion tracking for the V array (§4.3).
+  std::vector<std::uint64_t> completed_prefix_;        // V[j]
+  std::vector<std::set<std::uint64_t>> completed_gaps_;  // out-of-order epochs
+
+  // Delivery state.
+  std::uint64_t deliver_next_ = 0;
+  std::set<BlockKey> delivered_;
+  std::set<BlockKey> linked_pending_;           // queued by linking
+  std::vector<std::uint64_t> linked_scanned_;   // per-proposer scan frontier
+
+  DeliveryFn on_deliver_;
+  NodeStats stats_;
+  Hash fingerprint_{};
+};
+
+}  // namespace dl::core

@@ -1,0 +1,34 @@
+#include "dl/retrieval.hpp"
+
+namespace dl::core {
+
+void RetrievalManager::put_local(BlockKey key, Bytes content) {
+  if (done_keys_.contains(key)) return;
+  done_keys_.insert(key);
+  content_.emplace(key, std::move(content));
+}
+
+bool RetrievalManager::ensure_started(BlockKey key, Outbox& out) {
+  if (done_keys_.contains(key) || active_.contains(key)) return false;
+  auto [it, inserted] = active_.emplace(key, vid::AvidMRetriever(p_, self_));
+  it->second.begin(out);
+  return inserted;
+}
+
+bool RetrievalManager::on_return_chunk(int from, BlockKey key,
+                                       const vid::ReturnChunkMsg& m) {
+  auto it = active_.find(key);
+  if (it == active_.end()) return false;  // stale or never requested
+  it->second.handle_return_chunk(from, m);
+  if (!it->second.done()) return false;
+  done_keys_.insert(key);
+  if (it->second.bad_uploader()) bad_.insert(key);
+  content_.emplace(key, it->second.result());
+  active_.erase(it);
+  ++completed_;
+  return true;
+}
+
+void RetrievalManager::release(BlockKey key) { content_.erase(key); }
+
+}  // namespace dl::core

@@ -1,0 +1,67 @@
+// RetrievalManager: tracks which blocks (epoch, proposer) this node has the
+// content of, which retrievals are in flight, and feeds ReturnChunks into
+// the per-block AVID-M retriever.
+//
+// Content sources: the node's own proposed blocks (stored locally at
+// proposal time, no network needed) and completed retrievals. Content is
+// freed once the block has been delivered — the manager is the node's
+// working set, not an archive.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/envelope.hpp"
+#include "vid/avid_m.hpp"
+
+namespace dl::core {
+
+struct BlockKey {
+  std::uint64_t epoch = 0;
+  int proposer = 0;
+  auto operator<=>(const BlockKey&) const = default;
+};
+
+class RetrievalManager {
+ public:
+  explicit RetrievalManager(vid::Params p, int self) : p_(p), self_(self) {}
+
+  // Stores locally-known content (our own proposal).
+  void put_local(BlockKey key, Bytes content);
+
+  // True if the block's bytes are available (retrieved or local).
+  bool has(BlockKey key) const { return content_.contains(key); }
+  const Bytes& get(BlockKey key) const { return content_.at(key); }
+  // The retrieval ended with the BAD_UPLOADER sentinel.
+  bool is_bad(BlockKey key) const { return bad_.contains(key); }
+
+  // Begins a retrieval if not already started/available. The RequestChunk
+  // broadcast is appended to `out` (envelope ids filled by the caller).
+  // Returns true if a new retrieval actually started.
+  bool ensure_started(BlockKey key, Outbox& out);
+
+  bool in_flight(BlockKey key) const { return active_.contains(key); }
+  std::size_t active_count() const { return active_.size(); }
+
+  // Feeds one ReturnChunk. Returns true if this completed the retrieval
+  // (content now available; caller should broadcast VidCancel).
+  bool on_return_chunk(int from, BlockKey key, const vid::ReturnChunkMsg& m);
+
+  // Frees the stored bytes of a delivered block.
+  void release(BlockKey key);
+
+  std::uint64_t completed_retrievals() const { return completed_; }
+
+ private:
+  vid::Params p_;
+  int self_;
+  std::map<BlockKey, vid::AvidMRetriever> active_;
+  std::map<BlockKey, Bytes> content_;
+  std::set<BlockKey> bad_;
+  std::set<BlockKey> done_keys_;  // everything ever completed or local
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dl::core

@@ -1,0 +1,164 @@
+#include "erasure/gf256.hpp"
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+#include <array>
+
+namespace dl::gf256 {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};  // doubled to skip a mod in mul
+
+  Tables() {
+    // Generator 2 under polynomial 0x11D generates the multiplicative group.
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+#if defined(__x86_64__)
+
+bool cpu_has_avx2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 5)) != 0;
+}
+
+const bool kHasAvx2 = cpu_has_avx2();
+
+// Nibble-table multiply (the ISA-L / klauspost technique): since GF(2^8)
+// multiplication is GF(2)-linear, mul(c, b) = L[b & 15] ^ H[b >> 4] where
+// L[x] = mul(c, x) and H[x] = mul(c, x<<4). PSHUFB evaluates both tables
+// for 32 lanes at once.
+__attribute__((target("avx2")))
+void mul_add_row_avx2(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                      std::size_t n, bool assign) {
+  alignas(16) std::uint8_t lo_tbl[16], hi_tbl[16];
+  for (int x = 0; x < 16; ++x) {
+    lo_tbl[x] = mul(c, static_cast<std::uint8_t>(x));
+    hi_tbl[x] = mul(c, static_cast<std::uint8_t>(x << 4));
+  }
+  const __m256i lo_t = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(lo_tbl)));
+  const __m256i hi_t = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(hi_tbl)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo),
+                                    _mm256_shuffle_epi8(hi_t, hi));
+    if (!assign) {
+      prod = _mm256_xor_si256(
+          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t p = static_cast<std::uint8_t>(lo_tbl[src[i] & 0xF] ^
+                                                     hi_tbl[src[i] >> 4]);
+    dst[i] = assign ? p : dst[i] ^ p;
+  }
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a]) % 255];
+}
+
+std::uint8_t exp(int e) {
+  const Tables& t = tables();
+  int m = e % 255;
+  if (m < 0) m += 255;
+  return t.exp[static_cast<std::size_t>(m)];
+}
+
+std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                 std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+#if defined(__x86_64__)
+  if (kHasAvx2) {
+    mul_add_row_avx2(dst, src, c, n, /*assign=*/false);
+    return;
+  }
+#endif
+  // Build a 256-entry product table for this scalar, then stream.
+  const Tables& t = tables();
+  std::array<std::uint8_t, 256> row;
+  row[0] = 0;
+  const std::size_t lc = t.log[c];
+  for (std::size_t v = 1; v < 256; ++v) row[v] = t.exp[lc + t.log[v]];
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+             std::size_t n) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) {
+      for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    }
+    return;
+  }
+#if defined(__x86_64__)
+  if (kHasAvx2) {
+    mul_add_row_avx2(dst, src, c, n, /*assign=*/true);
+    return;
+  }
+#endif
+  const Tables& t = tables();
+  std::array<std::uint8_t, 256> row;
+  row[0] = 0;
+  const std::size_t lc = t.log[c];
+  for (std::size_t v = 1; v < 256; ++v) row[v] = t.exp[lc + t.log[v]];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace dl::gf256

@@ -1,0 +1,30 @@
+// GF(2^8) arithmetic with the AES-independent primitive polynomial 0x11D
+// (x^8 + x^4 + x^3 + x^2 + 1), the same field used by klauspost/reedsolomon,
+// the library the paper's Go prototype uses.
+//
+// Multiplication uses exp/log tables; bulk row operations use a per-scalar
+// 256-entry lookup so encoding runs at table-lookup speed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dl::gf256 {
+
+// Field multiplication / division / inversion on single elements.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t div(std::uint8_t a, std::uint8_t b);  // b must be nonzero
+std::uint8_t inv(std::uint8_t a);                  // a must be nonzero
+std::uint8_t exp(int e);                           // generator^e, e may exceed 255
+std::uint8_t add(std::uint8_t a, std::uint8_t b);  // XOR, provided for clarity
+
+// dst[i] ^= c * src[i] for i in [0, n). The workhorse of encode/decode.
+void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                 std::size_t n);
+
+// dst[i] = c * src[i].
+void mul_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+             std::size_t n);
+
+}  // namespace dl::gf256

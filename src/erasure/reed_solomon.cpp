@@ -1,0 +1,210 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <stdexcept>
+
+#include "erasure/gf256.hpp"
+
+namespace dl {
+
+namespace {
+
+// Row-major square matrix inversion via Gauss-Jordan over GF(2^8).
+// Returns false if singular.
+bool invert_matrix(std::vector<std::uint8_t>& m, int n) {
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(i * n + i)] = 1;
+
+  auto at = [n](std::vector<std::uint8_t>& mat, int r, int c) -> std::uint8_t& {
+    return mat[static_cast<std::size_t>(r * n + c)];
+  };
+
+  for (int col = 0; col < n; ++col) {
+    // Find pivot.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (at(m, r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(at(m, pivot, c), at(m, col, c));
+        std::swap(at(inv, pivot, c), at(inv, col, c));
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t pv = at(m, col, col);
+    if (pv != 1) {
+      const std::uint8_t pinv = gf256::inv(pv);
+      for (int c = 0; c < n; ++c) {
+        at(m, col, c) = gf256::mul(at(m, col, c), pinv);
+        at(inv, col, c) = gf256::mul(at(inv, col, c), pinv);
+      }
+    }
+    // Eliminate other rows.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = at(m, r, col);
+      if (f == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        at(m, r, c) ^= gf256::mul(f, at(m, col, c));
+        at(inv, r, c) ^= gf256::mul(f, at(inv, col, c));
+      }
+    }
+  }
+  m = std::move(inv);
+  return true;
+}
+
+// N×K matrix multiply: out = a(N×K) * b(K×K), row-major.
+std::vector<std::uint8_t> mat_mul(const std::vector<std::uint8_t>& a,
+                                  const std::vector<std::uint8_t>& b, int n,
+                                  int k) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(n) * static_cast<std::size_t>(k), 0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < k; ++c) {
+      std::uint8_t acc = 0;
+      for (int i = 0; i < k; ++i) {
+        acc ^= gf256::mul(a[static_cast<std::size_t>(r * k + i)],
+                          b[static_cast<std::size_t>(i * k + c)]);
+      }
+      out[static_cast<std::size_t>(r * k + c)] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int data_shards, int total_shards)
+    : k_(data_shards), n_(total_shards) {
+  if (k_ < 1 || n_ < k_ || n_ > 255) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= K <= N <= 255");
+  }
+  // Vandermonde rows: row r = [1, g^r, g^2r, ...] evaluated as exp(r*c).
+  std::vector<std::uint8_t> vand(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
+  for (int r = 0; r < n_; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      vand[static_cast<std::size_t>(r * k_ + c)] = gf256::exp(r * c);
+    }
+  }
+  // Normalize: multiply by inverse of the top K×K block so that the top of
+  // the final matrix is the identity (systematic code). Any K rows of a
+  // Vandermonde matrix are independent, a property preserved under right
+  // multiplication by an invertible matrix.
+  std::vector<std::uint8_t> top(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
+  for (int r = 0; r < k_; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      top[static_cast<std::size_t>(r * k_ + c)] = vand[static_cast<std::size_t>(r * k_ + c)];
+    }
+  }
+  if (!invert_matrix(top, k_)) {
+    throw std::invalid_argument("ReedSolomon: Vandermonde top block singular");
+  }
+  matrix_ = mat_mul(vand, top, n_, k_);
+}
+
+std::uint8_t ReedSolomon::matrix_at(int r, int c) const {
+  return matrix_[static_cast<std::size_t>(r * k_ + c)];
+}
+
+std::vector<Bytes> ReedSolomon::encode(ByteView block) const {
+  // Header: 4-byte little-endian original length, then the payload.
+  const std::size_t total = block.size() + 4;
+  const std::size_t stripe = (total + static_cast<std::size_t>(k_) - 1) / static_cast<std::size_t>(k_);
+  Bytes padded(stripe * static_cast<std::size_t>(k_), 0);
+  const std::uint32_t len = static_cast<std::uint32_t>(block.size());
+  for (int i = 0; i < 4; ++i) padded[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (8 * i));
+  std::copy(block.begin(), block.end(), padded.begin() + 4);
+
+  std::vector<Bytes> data(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    data[static_cast<std::size_t>(i)].assign(
+        padded.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) * stripe),
+        padded.begin() + static_cast<std::ptrdiff_t>((static_cast<std::size_t>(i) + 1) * stripe));
+  }
+  return encode_shards(data);
+}
+
+std::vector<Bytes> ReedSolomon::encode_shards(const std::vector<Bytes>& data) const {
+  if (static_cast<int>(data.size()) != k_) {
+    throw std::invalid_argument("encode_shards: wrong shard count");
+  }
+  const std::size_t stripe = data[0].size();
+  for (const Bytes& d : data) {
+    if (d.size() != stripe) throw std::invalid_argument("encode_shards: ragged shards");
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(n_));
+  for (int i = 0; i < k_; ++i) out[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i)];
+  for (int r = k_; r < n_; ++r) {
+    Bytes& row = out[static_cast<std::size_t>(r)];
+    row.assign(stripe, 0);
+    for (int c = 0; c < k_; ++c) {
+      gf256::mul_add_row(row.data(), data[static_cast<std::size_t>(c)].data(),
+                         matrix_at(r, c), stripe);
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_shards(
+    const std::vector<Bytes>& chunks) const {
+  if (static_cast<int>(chunks.size()) != n_) return std::nullopt;
+  // Collect present chunk indices and validate sizes.
+  std::vector<int> present;
+  std::size_t stripe = 0;
+  for (int i = 0; i < n_; ++i) {
+    const Bytes& c = chunks[static_cast<std::size_t>(i)];
+    if (c.empty()) continue;
+    if (stripe == 0) {
+      stripe = c.size();
+    } else if (c.size() != stripe) {
+      return std::nullopt;
+    }
+    present.push_back(i);
+    if (static_cast<int>(present.size()) == k_) break;
+  }
+  if (static_cast<int>(present.size()) < k_ || stripe == 0) return std::nullopt;
+
+  // Build the K×K submatrix of the rows we have and invert it.
+  std::vector<std::uint8_t> sub(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
+  for (int r = 0; r < k_; ++r) {
+    for (int c = 0; c < k_; ++c) {
+      sub[static_cast<std::size_t>(r * k_ + c)] = matrix_at(present[static_cast<std::size_t>(r)], c);
+    }
+  }
+  if (!invert_matrix(sub, k_)) return std::nullopt;
+
+  // data_row_i = sum_j inv[i][j] * chunk[present[j]].
+  std::vector<Bytes> data(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    Bytes& row = data[static_cast<std::size_t>(i)];
+    row.assign(stripe, 0);
+    for (int j = 0; j < k_; ++j) {
+      gf256::mul_add_row(row.data(),
+                         chunks[static_cast<std::size_t>(present[static_cast<std::size_t>(j)])].data(),
+                         sub[static_cast<std::size_t>(i * k_ + j)], stripe);
+    }
+  }
+  return encode_shards(data);
+}
+
+std::optional<Bytes> ReedSolomon::decode(const std::vector<Bytes>& chunks) const {
+  auto shards = reconstruct_shards(chunks);
+  if (!shards) return std::nullopt;
+  const std::size_t stripe = (*shards)[0].size();
+  Bytes padded;
+  padded.reserve(stripe * static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    append(padded, (*shards)[static_cast<std::size_t>(i)]);
+  }
+  if (padded.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = len << 8 | padded[static_cast<std::size_t>(i)];
+  if (static_cast<std::size_t>(len) + 4 > padded.size()) return std::nullopt;
+  return Bytes(padded.begin() + 4, padded.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+}
+
+}  // namespace dl

@@ -1,0 +1,62 @@
+// Systematic Reed-Solomon erasure code over GF(2^8).
+//
+// DispersedLedger disperses each block with an (N-2f, N) code: the block is
+// split into K = N-2f data chunks and extended with N-K parity chunks such
+// that ANY K chunks reconstruct the block. The code is systematic (chunks
+// 0..K-1 are the raw data stripes), built from a Vandermonde matrix
+// normalized so its top K×K block is the identity — the standard
+// construction, matching klauspost/reedsolomon used by the paper's prototype.
+//
+// Determinism matters for AVID-M: Encode is a pure function of the input, so
+// a retriever can re-encode a decoded block and compare Merkle roots
+// (Fig. 4, step 2-4 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dl {
+
+class ReedSolomon {
+ public:
+  // data_shards = K >= 1, total_shards = N <= 255, K <= N.
+  // Throws std::invalid_argument on bad parameters.
+  ReedSolomon(int data_shards, int total_shards);
+
+  int data_shards() const { return k_; }
+  int total_shards() const { return n_; }
+
+  // Splits `block` into K equal stripes (zero-padding the last) and returns
+  // N chunks of identical size. A 4-byte little-endian length header is
+  // prepended so Decode can strip the padding; chunk size is therefore
+  // ceil((|block|+4) / K).
+  std::vector<Bytes> encode(ByteView block) const;
+
+  // Encodes raw shards (no length header, no padding logic): `shards` must
+  // contain exactly K equal-length stripes; returns all N chunks.
+  std::vector<Bytes> encode_shards(const std::vector<Bytes>& data) const;
+
+  // Reconstructs the original block from any K chunks. `chunks[i]` is either
+  // the i-th chunk or empty (missing). Returns std::nullopt if fewer than K
+  // chunks are present, sizes mismatch, or the length header is implausible.
+  std::optional<Bytes> decode(const std::vector<Bytes>& chunks) const;
+
+  // Reconstructs all N raw shards from any K present shards (for tests and
+  // for re-encoding checks that need the full chunk set).
+  std::optional<std::vector<Bytes>> reconstruct_shards(
+      const std::vector<Bytes>& chunks) const;
+
+  // Row `r`, column `c` of the N×K encoding matrix.
+  std::uint8_t matrix_at(int r, int c) const;
+
+ private:
+  int k_;
+  int n_;
+  // Row-major N×K encoding matrix; top K×K block is identity.
+  std::vector<std::uint8_t> matrix_;
+};
+
+}  // namespace dl

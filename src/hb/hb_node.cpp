@@ -1,0 +1,4 @@
+// HoneyBadger is configured entirely through core::NodeConfig (see
+// hb_node.hpp); the factories live in dl/node.cpp. This translation unit
+// anchors the library target.
+#include "hb/hb_node.hpp"

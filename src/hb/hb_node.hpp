@@ -1,0 +1,41 @@
+// HoneyBadger baseline (Miller et al., CCS'16) and HoneyBadger-Link.
+//
+// HoneyBadger shares DispersedLedger's epoch skeleton — N broadcasts + N
+// binary agreements — but uses VID + immediate retrieval as a reliable
+// broadcast: every node downloads every proposed block *before* voting, and
+// an epoch only ends (and the next begins) when its committed blocks are
+// fully downloaded and delivered. That lockstep is what couples every
+// node's progress to the (f+1)-th slowest node.
+//
+//   HbNode          — plain HoneyBadger: up to f correct blocks dropped per
+//                     epoch; their transactions are re-proposed (bandwidth
+//                     waste measured in §6.2).
+//   HbLinkNode      — HoneyBadger + the paper's inter-node linking, which
+//                     delivers every dispersed block eventually (the
+//                     "HB-Link" baseline of the evaluation).
+//
+// Both are thin configurations of core::DlNode; the protocol differences
+// live in NodeConfig (see dl/node.hpp).
+#pragma once
+
+#include "dl/node.hpp"
+
+namespace dl::hb {
+
+class HbNode : public core::DlNode {
+ public:
+  HbNode(int n, int f, int self, sim::EventQueue& eq, sim::Network& net)
+      : core::DlNode(core::NodeConfig::honey_badger(n, f, self), eq, net) {}
+  HbNode(core::NodeConfig cfg, sim::EventQueue& eq, sim::Network& net)
+      : core::DlNode(std::move(cfg), eq, net) {}
+};
+
+class HbLinkNode : public core::DlNode {
+ public:
+  HbLinkNode(int n, int f, int self, sim::EventQueue& eq, sim::Network& net)
+      : core::DlNode(core::NodeConfig::hb_link(n, f, self), eq, net) {}
+  HbLinkNode(core::NodeConfig cfg, sim::EventQueue& eq, sim::Network& net)
+      : core::DlNode(std::move(cfg), eq, net) {}
+};
+
+}  // namespace dl::hb

@@ -1,0 +1,79 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dl::metrics {
+
+Percentile::Percentile(std::size_t max_samples)
+    : max_samples_(max_samples == 0 ? 1 : max_samples),
+      rng_state_(0x9E3779B97F4A7C15ULL) {}
+
+void Percentile::add(double v) {
+  ++total_;
+  sum_ += v;
+  if (total_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(v);
+    sorted_ = false;
+    return;
+  }
+  // Vitter's algorithm R: replace a uniformly random slot with probability
+  // max_samples / total.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const std::size_t r = static_cast<std::size_t>(rng_state_ % total_);
+  if (r < max_samples_) {
+    samples_[r] = v;
+    sorted_ = false;
+  }
+}
+
+double Percentile::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Percentile::min() const { return min_; }
+double Percentile::max() const { return max_; }
+
+double Percentile::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Percentile::quantile: empty");
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const std::size_t idx = std::min(
+      samples_.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples_.size())));
+  return samples_[idx];
+}
+
+double TimeSeries::value_at(double t) const {
+  double v = 0;
+  for (const auto& [pt, pv] : points_) {
+    if (pt > t) break;
+    v = pv;
+  }
+  return v;
+}
+
+double TimeSeries::rate(double t0, double t1) const {
+  if (t1 <= t0) return 0;
+  return (value_at(t1) - value_at(t0)) / (t1 - t0);
+}
+
+std::vector<double> quantiles(const Percentile& p, std::initializer_list<double> qs) {
+  std::vector<double> out;
+  for (double q : qs) out.push_back(p.empty() ? 0.0 : p.quantile(q));
+  return out;
+}
+
+}  // namespace dl::metrics

@@ -1,0 +1,58 @@
+// Measurement utilities: percentile trackers and time series, used by the
+// experiment runner and the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dl::metrics {
+
+// Collects samples; percentiles computed on demand (nearest-rank on the
+// sorted sample set). Caps memory via uniform reservoir sampling once
+// `max_samples` is exceeded.
+class Percentile {
+ public:
+  explicit Percentile(std::size_t max_samples = 1 << 20);
+
+  void add(double v);
+
+  std::size_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // q in [0,1]; q=0.5 is the median. Requires !empty().
+  double quantile(double q) const;
+
+ private:
+  std::size_t max_samples_;
+  std::size_t total_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::uint64_t rng_state_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// (time, value) series with helpers for rate-over-window computations.
+class TimeSeries {
+ public:
+  void sample(double t, double v) { points_.emplace_back(t, v); }
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Value at the last sample <= t (0 if none).
+  double value_at(double t) const;
+  // Average growth rate of the value between t0 and t1.
+  double rate(double t0, double t1) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+// Pretty-printing helpers shared by the bench binaries.
+std::vector<double> quantiles(const Percentile& p, std::initializer_list<double> qs);
+
+}  // namespace dl::metrics

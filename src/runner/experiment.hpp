@@ -1,0 +1,77 @@
+// Experiment runner: builds a cluster (network + nodes + workload) on the
+// simulator, runs it, and extracts the measurements the paper reports —
+// per-node confirmed throughput, local/all confirmation latency, traffic
+// class split, and confirmed-bytes time series.
+//
+// Every figure bench in bench/ is a thin wrapper around run_experiment().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dl/node.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace dl::runner {
+
+enum class Protocol { DL, DLCoupled, HB, HBLink };
+
+std::string to_string(Protocol p);
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::DL;
+  int n = 4;
+  int f = 1;
+  sim::NetworkConfig net;         // prebuilt (topology / traces / uniform)
+  double duration = 60.0;         // virtual seconds
+  double warmup = 10.0;           // excluded from throughput numbers
+  double sample_interval = 1.0;   // confirmed-bytes time series granularity
+
+  // Workload: offered load per node (Poisson). 0 => infinite backlog.
+  double load_bytes_per_sec = 0;
+  std::size_t tx_bytes = 250;
+
+  // Node knobs (forwarded into NodeConfig).
+  std::size_t max_block_bytes = 2'000'000;
+  std::size_t propose_size = 150'000;
+  double propose_delay = 0.100;
+  int fall_behind_stop = 0;
+  bool cancel_on_decode = true;
+  std::uint64_t seed = 1;
+
+  // Failure injection: indices of crashed (silent) nodes and of Byzantine
+  // bad-dispersers / V-liars.
+  std::vector<int> crashed;
+  std::vector<int> bad_dispersers;
+  std::vector<int> v_liars;
+};
+
+struct NodeResult {
+  // Confirmed transaction-payload bytes per second over [warmup, duration].
+  double throughput_bps = 0;
+  metrics::Percentile latency_local;  // seconds; locally submitted txs only
+  metrics::Percentile latency_all;    // every delivered tx
+  metrics::TimeSeries confirmed;      // (t, cumulative confirmed bytes)
+  core::NodeStats stats;
+  std::uint64_t egress_high = 0, egress_low = 0;
+  std::uint64_t ingress_high = 0, ingress_low = 0;
+  // Delivery-log fingerprint at the end of the run (agreement checks need
+  // equal delivered-block counts; see tests).
+  std::uint64_t delivered_blocks = 0;
+};
+
+struct ExperimentResult {
+  std::vector<NodeResult> nodes;
+  double aggregate_throughput_bps = 0;
+  double mean_dispersal_fraction = 0;  // high-class / total traffic
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// Convenience: NodeConfig for a protocol with the runner's knobs applied.
+core::NodeConfig make_node_config(const ExperimentConfig& cfg, int self);
+
+}  // namespace dl::runner

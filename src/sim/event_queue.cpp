@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace dl::sim {
+
+void EventQueue::at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  heap_.push(Ev{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved out
+  // before pop, so copy the shell and pop first.
+  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(Time deadline) {
+  while (!heap_.empty() && heap_.top().t <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace dl::sim

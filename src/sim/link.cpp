@@ -1,0 +1,155 @@
+#include "sim/link.hpp"
+
+#include <cassert>
+
+namespace dl::sim {
+
+namespace {
+// A message whose remaining bytes fall below this is complete (guards float
+// drift in the fluid integration).
+constexpr double kEps = 1e-6;
+}  // namespace
+
+FluidLink::FluidLink(EventQueue& eq, Trace trace, double weight_high, DoneFn on_done)
+    : eq_(eq),
+      trace_(std::move(trace)),
+      weight_high_(weight_high),
+      on_done_(std::move(on_done)),
+      last_update_(eq.now()) {}
+
+double FluidLink::rate_for(Priority cls, bool other_busy, double link_rate) const {
+  if (!other_busy) return link_rate;
+  const double share = cls == Priority::High ? weight_high_ / (weight_high_ + 1.0)
+                                             : 1.0 / (weight_high_ + 1.0);
+  return link_rate * share;
+}
+
+void FluidLink::enqueue(Message m) {
+  advance();
+  const std::size_t sz = m.wire_size();
+  backlog_ += sz;
+  class_backlog_[static_cast<int>(m.cls)] += sz;
+  if (m.cls == Priority::High) {
+    high_queue_.push_back(std::move(m));
+  } else {
+    low_queue_.emplace(std::make_pair(m.order, low_seq_++), std::move(m));
+  }
+  promote();
+  reschedule();
+}
+
+std::size_t FluidLink::cancel(std::uint64_t tag) {
+  if (tag == 0) return 0;
+  advance();
+  std::size_t removed = 0;
+  for (auto it = low_queue_.begin(); it != low_queue_.end();) {
+    if (it->second.tag == tag) {
+      const std::size_t sz = it->second.wire_size();
+      removed += sz;
+      backlog_ -= sz;
+      class_backlog_[static_cast<int>(Priority::Low)] -= sz;
+      it = low_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) reschedule();
+  return removed;
+}
+
+void FluidLink::promote() {
+  if (!serving_[0].active && !high_queue_.empty()) {
+    serving_[0].msg = std::move(high_queue_.front());
+    high_queue_.pop_front();
+    serving_[0].remaining = static_cast<double>(serving_[0].msg.wire_size());
+    serving_[0].active = true;
+  }
+  if (!serving_[1].active && !low_queue_.empty()) {
+    auto it = low_queue_.begin();
+    serving_[1].msg = std::move(it->second);
+    low_queue_.erase(it);
+    serving_[1].remaining = static_cast<double>(serving_[1].msg.wire_size());
+    serving_[1].active = true;
+  }
+}
+
+void FluidLink::advance() {
+  const Time now = eq_.now();
+  // The trace is piecewise constant and reschedule() always plans a wake at
+  // the next trace boundary, so the rate is constant on [last_update_, now].
+  double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0) {
+    // Still drain any already-finished heads (e.g. zero-size edge cases).
+    dt = 0;
+  }
+
+  // Completions can cascade (a head finishes, the next head starts within
+  // the same advance window), so loop until the interval is consumed.
+  while (true) {
+    const bool high_busy = serving_[0].active;
+    const bool low_busy = serving_[1].active;
+    if (!high_busy && !low_busy) return;
+
+    const double link_rate = trace_.rate_at(last_update_ - dt);  // constant over window
+    const double rh = high_busy ? rate_for(Priority::High, low_busy, link_rate) : 0;
+    const double rl = low_busy ? rate_for(Priority::Low, high_busy, link_rate) : 0;
+
+    // Time until the earliest head completes at current rates.
+    Time first = kInfinity;
+    if (high_busy && rh > 0) first = std::min(first, serving_[0].remaining / rh);
+    if (low_busy && rl > 0) first = std::min(first, serving_[1].remaining / rl);
+
+    const Time step = std::min(first, dt);
+    if (high_busy) serving_[0].remaining -= rh * step;
+    if (low_busy) serving_[1].remaining -= rl * step;
+    dt -= step;
+
+    bool finished_any = false;
+    for (int c = 0; c < 2; ++c) {
+      if (serving_[c].active && serving_[c].remaining <= kEps) {
+        serving_[c].active = false;
+        const std::size_t sz = serving_[c].msg.wire_size();
+        served_[c] += sz;
+        backlog_ -= sz;
+        class_backlog_[c] -= sz;
+        Message done = std::move(serving_[c].msg);
+        finished_any = true;
+        on_done_(std::move(done));
+      }
+    }
+    if (finished_any) promote();
+    if (dt <= 0 && !finished_any) return;
+    if (dt <= 0) {
+      // Interval consumed exactly at a completion boundary; heads promoted,
+      // nothing more to integrate.
+      return;
+    }
+  }
+}
+
+void FluidLink::reschedule() {
+  ++generation_;
+  const bool high_busy = serving_[0].active;
+  const bool low_busy = serving_[1].active;
+  if (!high_busy && !low_busy) return;
+
+  const Time now = eq_.now();
+  const double link_rate = trace_.rate_at(now);
+  const double rh = high_busy ? rate_for(Priority::High, low_busy, link_rate) : 0;
+  const double rl = low_busy ? rate_for(Priority::Low, high_busy, link_rate) : 0;
+
+  Time wake = trace_.next_change_after(now);
+  if (high_busy && rh > 0) wake = std::min(wake, now + serving_[0].remaining / rh);
+  if (low_busy && rl > 0) wake = std::min(wake, now + serving_[1].remaining / rl);
+  if (wake >= kInfinity) return;
+
+  const std::uint64_t gen = generation_;
+  eq_.at(wake, [this, gen] {
+    if (gen != generation_) return;  // superseded by a later arrival/cancel
+    advance();
+    reschedule();
+  });
+}
+
+}  // namespace dl::sim

@@ -1,0 +1,84 @@
+// FluidLink: a fluid-flow model of one direction of a node's access link.
+//
+// Each node has an egress link and an ingress link, each serialized at the
+// (possibly time-varying) rate of its bandwidth trace. A link serves two
+// traffic classes:
+//   High — dispersal + agreement messages (small, latency critical)
+//   Low  — block retrieval (bulk)
+// When both classes are backlogged, High receives weight/(weight+1) of the
+// rate and Low the rest — a fluid rendering of the paper's MulTcp trick with
+// T = weight (§5). Within Low, messages are served lowest `order` first
+// (per-epoch prioritization via QUIC streams); within the same order, FIFO.
+//
+// The link is event-driven: progress is applied lazily between "wake" events
+// (head-of-line completion or trace rate change), so simulation cost is
+// O(log n) per message, independent of message size.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "sim/event_queue.hpp"
+#include "sim/message.hpp"
+#include "sim/trace.hpp"
+
+namespace dl::sim {
+
+class FluidLink {
+ public:
+  using DoneFn = std::function<void(Message&&)>;
+
+  FluidLink(EventQueue& eq, Trace trace, double weight_high, DoneFn on_done);
+
+  // Adds a message to the link; on_done fires when its last byte is out.
+  void enqueue(Message m);
+
+  // Removes all *not yet started* Low-class messages carrying `tag`.
+  // Returns the number of bytes cancelled. The message currently in
+  // service keeps transmitting (its bytes are already "on the wire").
+  std::size_t cancel(std::uint64_t tag);
+
+  // Cumulative bytes fully served per class.
+  std::uint64_t served_bytes(Priority cls) const {
+    return served_[static_cast<int>(cls)];
+  }
+
+  // Bytes queued but not yet fully served (both classes).
+  std::size_t backlog_bytes() const { return backlog_; }
+  std::size_t backlog_bytes(Priority cls) const {
+    return class_backlog_[static_cast<int>(cls)];
+  }
+
+ private:
+  struct InService {
+    Message msg;
+    double remaining = 0;  // bytes left
+    bool active = false;
+  };
+
+  void advance();     // apply progress from last_update_ to eq_.now()
+  void reschedule();  // plan the next wake event
+  void promote();     // move queue heads into service slots
+  double rate_for(Priority cls, bool other_busy, double link_rate) const;
+
+  EventQueue& eq_;
+  Trace trace_;
+  double weight_high_;
+  DoneFn on_done_;
+
+  std::deque<Message> high_queue_;
+  // Low queue keyed by (order, arrival seq) so lower epochs go first.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Message> low_queue_;
+  std::uint64_t low_seq_ = 0;
+
+  InService serving_[2];  // indexed by Priority
+  Time last_update_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates stale wake events
+  std::uint64_t served_[2] = {0, 0};
+  std::size_t backlog_ = 0;
+  std::size_t class_backlog_[2] = {0, 0};
+};
+
+}  // namespace dl::sim

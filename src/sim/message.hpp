@@ -1,0 +1,39 @@
+// The unit of network transfer.
+//
+// Payloads are shared (broadcasts fan one buffer out to N links without
+// copying). `cls` selects the traffic class: DispersedLedger sends dispersal
+// and agreement messages as High and retrieval as Low, mirroring the paper's
+// MulTcp-style prioritization (§5). `order` ranks messages *within* the Low
+// class (lower first) — the per-epoch QUIC-stream scheduling of the paper.
+// `tag` lets protocols cancel not-yet-transmitted messages (the "stop sending
+// chunks once decoded" optimization of §6.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace dl::sim {
+
+using NodeId = int;
+
+enum class Priority : std::uint8_t { High = 0, Low = 1 };
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  Priority cls = Priority::High;
+  std::uint64_t order = 0;  // Low-class scheduling key (epoch number)
+  std::uint64_t tag = 0;    // cancellation handle; 0 = not cancellable
+  std::shared_ptr<const Bytes> payload;
+
+  std::size_t wire_size() const {
+    // Payload plus a fixed per-message framing overhead (headers etc.).
+    return (payload ? payload->size() : 0) + kHeaderOverhead;
+  }
+
+  static constexpr std::size_t kHeaderOverhead = 64;
+};
+
+}  // namespace dl::sim

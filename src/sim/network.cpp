@@ -1,0 +1,103 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace dl::sim {
+
+NetworkConfig NetworkConfig::uniform(int n, Time delay, double rate_bytes_per_sec) {
+  NetworkConfig cfg;
+  cfg.n = n;
+  cfg.one_way_delay.assign(static_cast<std::size_t>(n),
+                           std::vector<Time>(static_cast<std::size_t>(n), delay));
+  for (int i = 0; i < n; ++i) {
+    cfg.egress.push_back(Trace::constant(rate_bytes_per_sec));
+    cfg.ingress.push_back(Trace::constant(rate_bytes_per_sec));
+  }
+  return cfg;
+}
+
+Network::Network(EventQueue& eq, NetworkConfig cfg)
+    : eq_(eq), n_(cfg.n), delay_(std::move(cfg.one_way_delay)) {
+  if (n_ <= 0 || static_cast<int>(delay_.size()) != n_ ||
+      static_cast<int>(cfg.egress.size()) != n_ ||
+      static_cast<int>(cfg.ingress.size()) != n_) {
+    throw std::invalid_argument("Network: inconsistent config");
+  }
+  handlers_.resize(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    egress_.push_back(std::make_unique<FluidLink>(
+        eq_, cfg.egress[static_cast<std::size_t>(i)], cfg.weight_high,
+        [this](Message&& m) { on_egress_done(std::move(m)); }));
+    const int node = i;
+    ingress_.push_back(std::make_unique<FluidLink>(
+        eq_, cfg.ingress[static_cast<std::size_t>(i)], cfg.weight_high,
+        [this, node](Message&& m) {
+          if (handlers_[static_cast<std::size_t>(node)]) {
+            handlers_[static_cast<std::size_t>(node)](std::move(m));
+          }
+        }));
+  }
+}
+
+void Network::set_handler(NodeId node, Handler h) {
+  handlers_.at(static_cast<std::size_t>(node)) = std::move(h);
+}
+
+void Network::send(Message m) {
+  if (m.to == m.from) {
+    // Local delivery: free and (virtually) instantaneous, but still via the
+    // event queue so handler re-entrancy is impossible.
+    eq_.after(0, [this, m = std::move(m)]() mutable {
+      if (handlers_[static_cast<std::size_t>(m.to)]) {
+        handlers_[static_cast<std::size_t>(m.to)](std::move(m));
+      }
+    });
+    return;
+  }
+  egress_[static_cast<std::size_t>(m.from)]->enqueue(std::move(m));
+}
+
+void Network::broadcast(NodeId from, Priority cls, std::uint64_t order,
+                        std::shared_ptr<const Bytes> payload, std::uint64_t tag) {
+  for (int to = 0; to < n_; ++to) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.cls = cls;
+    m.order = order;
+    m.tag = tag;
+    m.payload = payload;
+    send(std::move(m));
+  }
+}
+
+void Network::on_egress_done(Message&& m) {
+  const Time d = delay_[static_cast<std::size_t>(m.from)][static_cast<std::size_t>(m.to)];
+  // After the propagation delay the message reaches the receiver's ingress
+  // link and must be serialized through it as well.
+  eq_.after(d, [this, m = std::move(m)]() mutable {
+    ingress_[static_cast<std::size_t>(m.to)]->enqueue(std::move(m));
+  });
+}
+
+std::size_t Network::cancel_egress(NodeId node, std::uint64_t tag) {
+  return egress_[static_cast<std::size_t>(node)]->cancel(tag);
+}
+
+std::uint64_t Network::egress_bytes(NodeId node, Priority cls) const {
+  return egress_[static_cast<std::size_t>(node)]->served_bytes(cls);
+}
+
+std::uint64_t Network::ingress_bytes(NodeId node, Priority cls) const {
+  return ingress_[static_cast<std::size_t>(node)]->served_bytes(cls);
+}
+
+std::size_t Network::egress_backlog(NodeId node) const {
+  return egress_[static_cast<std::size_t>(node)]->backlog_bytes();
+}
+
+std::size_t Network::egress_backlog(NodeId node, Priority cls) const {
+  return egress_[static_cast<std::size_t>(node)]->backlog_bytes(cls);
+}
+
+}  // namespace dl::sim

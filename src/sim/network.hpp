@@ -1,0 +1,71 @@
+// Network: N nodes, each with an egress and ingress FluidLink, connected
+// pairwise with one-way propagation delays.
+//
+// A message's journey: sender egress serialization -> propagation delay ->
+// receiver ingress serialization -> handler. This mirrors how the paper's
+// Mahimahi setup throttles each node's up/down link while the WAN core is
+// un-congested. Self-addressed messages skip the network entirely (the
+// protocols "broadcast to themselves" logically, not physically).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/link.hpp"
+
+namespace dl::sim {
+
+struct NetworkConfig {
+  int n = 0;
+  // one_way_delay[i][j]: seconds from i to j. Diagonal ignored.
+  std::vector<std::vector<Time>> one_way_delay;
+  std::vector<Trace> egress;  // per node
+  std::vector<Trace> ingress;
+  double weight_high = 30.0;  // the paper's T
+
+  // Uniform helper: same delay everywhere, same constant bandwidth.
+  static NetworkConfig uniform(int n, Time delay, double rate_bytes_per_sec);
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  Network(EventQueue& eq, NetworkConfig cfg);
+
+  int size() const { return n_; }
+
+  void set_handler(NodeId node, Handler h);
+
+  // Queues `m` on the sender's egress link (or delivers locally if
+  // m.to == m.from, with zero bandwidth cost and zero delay).
+  void send(Message m);
+
+  // Sends `payload` to every node (including `from` itself, delivered
+  // locally for free), sharing one buffer.
+  void broadcast(NodeId from, Priority cls, std::uint64_t order,
+                 std::shared_ptr<const Bytes> payload, std::uint64_t tag = 0);
+
+  // Cancels not-yet-transmitted Low-class messages tagged `tag` on `node`'s
+  // egress. Returns bytes removed.
+  std::size_t cancel_egress(NodeId node, std::uint64_t tag);
+
+  // Traffic accounting (bytes fully serialized through each link).
+  std::uint64_t egress_bytes(NodeId node, Priority cls) const;
+  std::uint64_t ingress_bytes(NodeId node, Priority cls) const;
+  std::size_t egress_backlog(NodeId node) const;
+  std::size_t egress_backlog(NodeId node, Priority cls) const;
+
+ private:
+  void on_egress_done(Message&& m);
+
+  EventQueue& eq_;
+  int n_;
+  std::vector<std::vector<Time>> delay_;
+  std::vector<std::unique_ptr<FluidLink>> egress_;
+  std::vector<std::unique_ptr<FluidLink>> ingress_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace dl::sim

@@ -1,0 +1,26 @@
+#include "sim/simulator.hpp"
+
+namespace dl::sim {
+
+Simulator::Simulator(NetworkConfig cfg) : net_(std::make_unique<Network>(eq_, std::move(cfg))) {
+  hosts_.resize(static_cast<std::size_t>(net_->size()), nullptr);
+}
+
+void Simulator::attach(NodeId id, Host* host) {
+  hosts_.at(static_cast<std::size_t>(id)) = host;
+  net_->set_handler(id, [host](Message&& m) { host->on_message(std::move(m)); });
+}
+
+void Simulator::run_until(Time deadline) {
+  if (!started_) {
+    started_ = true;
+    for (Host* h : hosts_) {
+      if (h != nullptr) {
+        eq_.at(0, [h] { h->start(); });
+      }
+    }
+  }
+  eq_.run_until(deadline);
+}
+
+}  // namespace dl::sim

@@ -1,0 +1,46 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace dl::sim {
+
+namespace {
+// Floor of 1 byte/s keeps fluid-server completion times finite.
+constexpr double kMinRate = 1.0;
+}  // namespace
+
+Trace Trace::constant(double bytes_per_sec) {
+  return Trace({bytes_per_sec}, 1.0);
+}
+
+Trace::Trace(std::vector<double> rates, Time step) : rates_(std::move(rates)), step_(step) {
+  if (rates_.empty() || step_ <= 0) throw std::invalid_argument("Trace: empty or bad step");
+  for (double& r : rates_) {
+    if (r < kMinRate) r = kMinRate;
+  }
+}
+
+double Trace::rate_at(Time t) const {
+  if (t < 0) t = 0;
+  const std::size_t idx = static_cast<std::size_t>(t / step_);
+  return idx >= rates_.size() ? rates_.back() : rates_[idx];
+}
+
+Time Trace::next_change_after(Time t) const {
+  if (rates_.size() == 1) return kInfinity;
+  std::size_t idx = t < 0 ? 0 : static_cast<std::size_t>(t / step_);
+  // Scan forward for the next boundary where the value actually differs.
+  const double cur = rate_at(t);
+  for (std::size_t i = idx + 1; i < rates_.size(); ++i) {
+    if (rates_[i] != cur) return static_cast<Time>(i) * step_;
+  }
+  return kInfinity;
+}
+
+double Trace::mean_rate() const {
+  double sum = 0;
+  for (double r : rates_) sum += r;
+  return sum / static_cast<double>(rates_.size());
+}
+
+}  // namespace dl::sim

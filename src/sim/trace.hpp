@@ -1,0 +1,37 @@
+// Piecewise-constant bandwidth traces.
+//
+// A Trace maps virtual time to a link rate in bytes/second. Constant traces
+// model fixed capacities (Fig. 11a, Fig. 12); sampled traces hold the
+// Gauss-Markov processes of §6.3 (one sample per second, last sample held
+// forever). Links ask for the rate *and* for the next time the rate changes,
+// so the fluid servers can re-plan exactly at trace boundaries.
+#pragma once
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace dl::sim {
+
+class Trace {
+ public:
+  // Fixed rate forever.
+  static Trace constant(double bytes_per_sec);
+
+  // rates[i] holds on [i*step, (i+1)*step); the last value holds forever.
+  Trace(std::vector<double> rates, Time step);
+
+  double rate_at(Time t) const;
+
+  // First instant strictly after `t` at which the rate changes;
+  // kInfinity if the rate is constant from `t` on.
+  Time next_change_after(Time t) const;
+
+  double mean_rate() const;
+
+ private:
+  std::vector<double> rates_;
+  Time step_;
+};
+
+}  // namespace dl::sim

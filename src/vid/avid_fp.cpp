@@ -1,0 +1,211 @@
+#include "vid/avid_fp.hpp"
+
+#include <stdexcept>
+
+namespace dl::vid {
+
+namespace {
+
+OutMsg broadcast(MsgKind kind, Bytes body) {
+  OutMsg m;
+  m.to = OutMsg::kAll;
+  m.env.kind = kind;
+  m.env.body = std::move(body);
+  return m;
+}
+
+OutMsg unicast(int to, MsgKind kind, Bytes body) {
+  OutMsg m;
+  m.to = to;
+  m.env.kind = kind;
+  m.env.body = std::move(body);
+  return m;
+}
+
+Hash cc_key(const CrossChecksum& cc) { return sha256(cc.encode()); }
+
+}  // namespace
+
+std::vector<FpChunkMsg> avid_fp_disperse(const Params& p, ByteView block) {
+  const ReedSolomon rs(p.data_shards(), p.n);
+  std::vector<Bytes> chunks = rs.encode(block);
+
+  CrossChecksum cc;
+  cc.chunk_hashes.reserve(static_cast<std::size_t>(p.n));
+  Sha256 point_src;
+  for (const Bytes& c : chunks) {
+    cc.chunk_hashes.push_back(sha256(c));
+    point_src.update(cc.chunk_hashes.back().view());
+  }
+  // Fiat-Shamir-style evaluation point from the chunk hashes.
+  const Hash ph = point_src.finalize();
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r = r << 8 | ph.v[static_cast<std::size_t>(i)];
+  if (r == 0) r = 1;
+  cc.eval_point = r;
+  for (int i = 0; i < p.data_shards(); ++i) {
+    cc.data_fps.push_back(fingerprint(chunks[static_cast<std::size_t>(i)], r));
+  }
+
+  std::vector<FpChunkMsg> out;
+  out.reserve(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    FpChunkMsg m;
+    m.chunk = std::move(chunks[static_cast<std::size_t>(i)]);
+    m.checksum = cc;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+AvidFpServer::AvidFpServer(Params p, int self)
+    : p_(p),
+      self_(self),
+      echo_seen_(static_cast<std::size_t>(p.n), false),
+      ready_seen_(static_cast<std::size_t>(p.n), false),
+      request_seen_(static_cast<std::size_t>(p.n), false) {
+  if (p_.n < 3 * p_.f + 1 || self < 0 || self >= p_.n) {
+    throw std::invalid_argument("AvidFpServer: need N >= 3f+1 and valid id");
+  }
+}
+
+bool AvidFpServer::verify_own_chunk(ByteView chunk, const CrossChecksum& cc) const {
+  if (static_cast<int>(cc.chunk_hashes.size()) != p_.n ||
+      static_cast<int>(cc.data_fps.size()) != p_.data_shards() || cc.eval_point == 0) {
+    return false;
+  }
+  if (sha256(chunk) != cc.chunk_hashes[static_cast<std::size_t>(self_)]) return false;
+  // Fingerprint homomorphism: fp(chunk_i) must equal the encoding-matrix
+  // row i applied to the data-chunk fingerprints.
+  const ReedSolomon rs(p_.data_shards(), p_.n);
+  std::vector<std::uint64_t> coeffs(static_cast<std::size_t>(p_.data_shards()));
+  for (int c = 0; c < p_.data_shards(); ++c) {
+    coeffs[static_cast<std::size_t>(c)] = gf256_embed(rs.matrix_at(self_, c));
+  }
+  return fingerprint(chunk, cc.eval_point) == combine(coeffs, cc.data_fps);
+}
+
+void AvidFpServer::handle_chunk(const FpChunkMsg& m, Outbox& out) {
+  if (my_chunk_.has_value()) return;
+  if (!verify_own_chunk(m.chunk, m.checksum)) return;
+  my_chunk_ = m.chunk;
+  my_cc_ = m.checksum;
+  if (!sent_echo_) {
+    sent_echo_ = true;
+    out.push_back(broadcast(MsgKind::FpEcho, FpChecksumMsg{m.checksum}.encode()));
+  }
+  if (complete_ && cc_key(*my_cc_) == cc_key(checksum_)) {
+    auto pending = std::move(deferred_requests_);
+    deferred_requests_.clear();
+    for (int requester : pending) serve(requester, out);
+  }
+}
+
+void AvidFpServer::handle_echo(int from, const FpChecksumMsg& m, Outbox& out) {
+  if (from < 0 || from >= p_.n || echo_seen_[static_cast<std::size_t>(from)]) return;
+  echo_seen_[static_cast<std::size_t>(from)] = true;
+  const Hash key = cc_key(m.checksum);
+  cc_by_key_.emplace(key, m.checksum);
+  const int count = ++echo_count_[key];
+  if (count >= p_.n - p_.f) maybe_send_ready(m.checksum, out);
+}
+
+void AvidFpServer::handle_ready(int from, const FpChecksumMsg& m, Outbox& out) {
+  if (from < 0 || from >= p_.n || ready_seen_[static_cast<std::size_t>(from)]) return;
+  ready_seen_[static_cast<std::size_t>(from)] = true;
+  const Hash key = cc_key(m.checksum);
+  cc_by_key_.emplace(key, m.checksum);
+  const int count = ++ready_count_[key];
+  if (count >= p_.f + 1) maybe_send_ready(m.checksum, out);
+  if (count >= 2 * p_.f + 1 && !complete_) {
+    complete_ = true;
+    checksum_ = m.checksum;
+    auto pending = std::move(deferred_requests_);
+    deferred_requests_.clear();
+    for (int requester : pending) serve(requester, out);
+  }
+}
+
+void AvidFpServer::maybe_send_ready(const CrossChecksum& cc, Outbox& out) {
+  if (sent_ready_) return;
+  sent_ready_ = true;
+  out.push_back(broadcast(MsgKind::FpReady, FpChecksumMsg{cc}.encode()));
+}
+
+void AvidFpServer::handle_request(int from, Outbox& out) {
+  if (from < 0 || from >= p_.n || request_seen_[static_cast<std::size_t>(from)]) return;
+  request_seen_[static_cast<std::size_t>(from)] = true;
+  serve(from, out);
+}
+
+void AvidFpServer::serve(int requester, Outbox& out) {
+  if (!complete_ || !my_chunk_.has_value()) {
+    deferred_requests_.push_back(requester);
+    return;
+  }
+  if (cc_key(*my_cc_) != cc_key(checksum_)) return;
+  FpChunkMsg m;
+  m.chunk = *my_chunk_;
+  m.checksum = *my_cc_;
+  out.push_back(unicast(requester, MsgKind::FpReturnChunk, m.encode()));
+}
+
+bool AvidFpServer::handle(int from, MsgKind kind, ByteView body, Outbox& out) {
+  switch (kind) {
+    case MsgKind::FpChunk: {
+      FpChunkMsg m;
+      if (!FpChunkMsg::decode(body, m)) return false;
+      handle_chunk(m, out);
+      return true;
+    }
+    case MsgKind::FpEcho: {
+      FpChecksumMsg m;
+      if (!FpChecksumMsg::decode(body, m)) return false;
+      handle_echo(from, m, out);
+      return true;
+    }
+    case MsgKind::FpReady: {
+      FpChecksumMsg m;
+      if (!FpChecksumMsg::decode(body, m)) return false;
+      handle_ready(from, m, out);
+      return true;
+    }
+    case MsgKind::FpRequestChunk:
+      handle_request(from, out);
+      return true;
+    default:
+      return false;
+  }
+}
+
+AvidFpRetriever::AvidFpRetriever(Params p, int self)
+    : p_(p), self_(self), seen_(static_cast<std::size_t>(p.n), false) {}
+
+void AvidFpRetriever::begin(Outbox& out) {
+  out.push_back(broadcast(MsgKind::FpRequestChunk, {}));
+}
+
+void AvidFpRetriever::handle_return_chunk(int from, const FpChunkMsg& m) {
+  if (done_ || from < 0 || from >= p_.n || seen_[static_cast<std::size_t>(from)]) return;
+  if (static_cast<int>(m.checksum.chunk_hashes.size()) != p_.n) return;
+  // Chunk must hash to its slot in the sender's cross-checksum.
+  if (sha256(m.chunk) != m.checksum.chunk_hashes[static_cast<std::size_t>(from)]) return;
+  seen_[static_cast<std::size_t>(from)] = true;
+
+  const Hash key = cc_key(m.checksum);
+  cc_by_key_.emplace(key, m.checksum);
+  auto& per_cc = chunks_[key];
+  per_cc.emplace(from, m.chunk);
+  if (static_cast<int>(per_cc.size()) < p_.data_shards()) return;
+
+  std::vector<Bytes> slots(static_cast<std::size_t>(p_.n));
+  for (const auto& [idx, chunk] : per_cc) slots[static_cast<std::size_t>(idx)] = chunk;
+  const ReedSolomon rs(p_.data_shards(), p_.n);
+  done_ = true;
+  // Encoding was verified during dispersal, so no re-encode check is needed;
+  // decode failure can only happen on pathological sizes, yield empty.
+  std::optional<Bytes> block = rs.decode(slots);
+  result_ = block.has_value() ? std::move(*block) : Bytes{};
+}
+
+}  // namespace dl::vid

@@ -1,0 +1,89 @@
+// AVID-FP — the prior-art VID baseline (Hendricks et al., PODC'07).
+//
+// Structure: the disperser computes a fingerprinted cross-checksum (hashes
+// of all N chunks + homomorphic fingerprints of the N-2f data chunks) and
+// Bracha-broadcasts it alongside the chunks. Every server verifies its own
+// chunk against the cross-checksum *during dispersal* — hash match plus the
+// fingerprint homomorphism check — so retrieval needs no re-encode step.
+// The price: every Echo/Ready message carries the full cross-checksum
+// (N*32 + (N-2f)*8 + 8 bytes), which is the O(N) per-message overhead that
+// makes AVID-FP uncompetitive at large N or small blocks (paper Fig. 2).
+//
+// Like AvidM*, these are pure automata; callers wrap bodies in Envelopes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/envelope.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "vid/avid_m.hpp"
+#include "vid/messages.hpp"
+
+namespace dl::vid {
+
+// Client-side Disperse(B): per-server FpChunk bodies (index i -> server i).
+// The evaluation point is derived from the chunk hashes (Fiat-Shamir style)
+// so the disperser cannot grind it.
+std::vector<FpChunkMsg> avid_fp_disperse(const Params& p, ByteView block);
+
+class AvidFpServer {
+ public:
+  AvidFpServer(Params p, int self);
+
+  bool handle(int from, MsgKind kind, ByteView body, Outbox& out);
+
+  bool complete() const { return complete_; }
+  bool has_chunk() const { return my_chunk_.has_value(); }
+  const CrossChecksum& checksum() const { return checksum_; }
+
+ private:
+  void handle_chunk(const FpChunkMsg& m, Outbox& out);
+  void handle_echo(int from, const FpChecksumMsg& m, Outbox& out);
+  void handle_ready(int from, const FpChecksumMsg& m, Outbox& out);
+  void handle_request(int from, Outbox& out);
+  void maybe_send_ready(const CrossChecksum& cc, Outbox& out);
+  void serve(int requester, Outbox& out);
+  bool verify_own_chunk(ByteView chunk, const CrossChecksum& cc) const;
+
+  Params p_;
+  int self_;
+  std::optional<Bytes> my_chunk_;
+  std::optional<CrossChecksum> my_cc_;
+  // Vote counting keyed by the hash of the encoded cross-checksum.
+  std::map<Hash, int> echo_count_;
+  std::map<Hash, int> ready_count_;
+  std::map<Hash, CrossChecksum> cc_by_key_;
+  std::vector<bool> echo_seen_;
+  std::vector<bool> ready_seen_;
+  std::vector<bool> request_seen_;
+  bool sent_echo_ = false;
+  bool sent_ready_ = false;
+  bool complete_ = false;
+  CrossChecksum checksum_;
+  std::vector<int> deferred_requests_;
+};
+
+class AvidFpRetriever {
+ public:
+  AvidFpRetriever(Params p, int self);
+
+  void begin(Outbox& out);
+  // FpReturnChunk body: FpChunkMsg (chunk + the sender's cross-checksum).
+  void handle_return_chunk(int from, const FpChunkMsg& m);
+
+  bool done() const { return done_; }
+  const Bytes& result() const { return result_; }
+
+ private:
+  Params p_;
+  int self_;
+  std::map<Hash, std::map<int, Bytes>> chunks_;  // checksum key -> chunks
+  std::map<Hash, CrossChecksum> cc_by_key_;
+  std::vector<bool> seen_;
+  bool done_ = false;
+  Bytes result_;
+};
+
+}  // namespace dl::vid

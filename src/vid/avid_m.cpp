@@ -1,0 +1,195 @@
+#include "vid/avid_m.hpp"
+
+#include <stdexcept>
+
+namespace dl::vid {
+
+namespace {
+
+// Envelope stubs: the caller fills epoch/instance; we set kind + body.
+OutMsg broadcast(MsgKind kind, Bytes body) {
+  OutMsg m;
+  m.to = OutMsg::kAll;
+  m.env.kind = kind;
+  m.env.body = std::move(body);
+  return m;
+}
+
+OutMsg unicast(int to, MsgKind kind, Bytes body) {
+  OutMsg m;
+  m.to = to;
+  m.env.kind = kind;
+  m.env.body = std::move(body);
+  return m;
+}
+
+}  // namespace
+
+std::vector<ChunkMsg> avid_m_disperse(const Params& p, ByteView block) {
+  const ReedSolomon rs(p.data_shards(), p.n);
+  std::vector<Bytes> chunks = rs.encode(block);
+  const MerkleTree tree(chunks);
+  std::vector<ChunkMsg> out;
+  out.reserve(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    ChunkMsg m;
+    m.root = tree.root();
+    m.chunk = std::move(chunks[static_cast<std::size_t>(i)]);
+    m.proof = tree.prove(static_cast<std::uint32_t>(i));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+AvidMServer::AvidMServer(Params p, int self)
+    : p_(p),
+      self_(self),
+      got_chunk_seen_(static_cast<std::size_t>(p.n), false),
+      ready_seen_(static_cast<std::size_t>(p.n), false),
+      request_seen_(static_cast<std::size_t>(p.n), false) {
+  if (p_.n < 3 * p_.f + 1 || self < 0 || self >= p_.n) {
+    throw std::invalid_argument("AvidMServer: need N >= 3f+1 and valid id");
+  }
+}
+
+void AvidMServer::handle_chunk(const ChunkMsg& m, Outbox& out) {
+  if (my_chunk_.has_value()) return;  // first valid Chunk wins
+  if (m.proof.index != static_cast<std::uint32_t>(self_) ||
+      m.proof.leaf_count != static_cast<std::uint32_t>(p_.n)) {
+    return;
+  }
+  if (!merkle_verify(m.root, m.chunk, m.proof)) return;
+  my_chunk_ = m;
+  if (!sent_got_chunk_) {
+    sent_got_chunk_ = true;
+    out.push_back(broadcast(MsgKind::VidGotChunk, RootMsg{m.root}.encode()));
+  }
+  // If dispersal already completed with our root, late requesters can now
+  // be served.
+  if (complete_ && my_chunk_->root == chunk_root_) {
+    auto pending = std::move(deferred_requests_);
+    deferred_requests_.clear();
+    for (int requester : pending) serve(requester, out);
+  }
+}
+
+void AvidMServer::handle_got_chunk(int from, const RootMsg& m, Outbox& out) {
+  if (from < 0 || from >= p_.n || got_chunk_seen_[static_cast<std::size_t>(from)]) return;
+  got_chunk_seen_[static_cast<std::size_t>(from)] = true;
+  const int count = ++share_count_[m.root];
+  if (count >= p_.n - p_.f) maybe_send_ready(m.root, out);
+}
+
+void AvidMServer::handle_ready(int from, const RootMsg& m, Outbox& out) {
+  if (from < 0 || from >= p_.n || ready_seen_[static_cast<std::size_t>(from)]) return;
+  ready_seen_[static_cast<std::size_t>(from)] = true;
+  const int count = ++ready_count_[m.root];
+  if (count >= p_.f + 1) maybe_send_ready(m.root, out);
+  if (count >= 2 * p_.f + 1 && !complete_) {
+    complete_ = true;
+    chunk_root_ = m.root;
+    // Serve requests deferred while dispersal was incomplete.
+    auto pending = std::move(deferred_requests_);
+    deferred_requests_.clear();
+    for (int requester : pending) serve(requester, out);
+  }
+}
+
+void AvidMServer::maybe_send_ready(const Hash& r, Outbox& out) {
+  if (sent_ready_) return;
+  sent_ready_ = true;
+  out.push_back(broadcast(MsgKind::VidReady, RootMsg{r}.encode()));
+}
+
+void AvidMServer::handle_request_chunk(int from, Outbox& out) {
+  if (from < 0 || from >= p_.n || request_seen_[static_cast<std::size_t>(from)]) return;
+  request_seen_[static_cast<std::size_t>(from)] = true;
+  serve(from, out);
+}
+
+void AvidMServer::serve(int requester, Outbox& out) {
+  // Fig. 4: respond only when complete and MyRoot == ChunkRoot; defer
+  // otherwise. A server whose chunk is under a different root can never
+  // serve this instance.
+  if (!complete_ || !my_chunk_.has_value()) {
+    deferred_requests_.push_back(requester);
+    return;
+  }
+  if (my_chunk_->root != chunk_root_) return;
+  out.push_back(unicast(requester, MsgKind::VidReturnChunk, my_chunk_->encode()));
+}
+
+bool AvidMServer::handle(int from, MsgKind kind, ByteView body, Outbox& out) {
+  switch (kind) {
+    case MsgKind::VidChunk: {
+      ChunkMsg m;
+      if (!ChunkMsg::decode(body, m)) return false;
+      handle_chunk(m, out);
+      return true;
+    }
+    case MsgKind::VidGotChunk: {
+      RootMsg m;
+      if (!RootMsg::decode(body, m)) return false;
+      handle_got_chunk(from, m, out);
+      return true;
+    }
+    case MsgKind::VidReady: {
+      RootMsg m;
+      if (!RootMsg::decode(body, m)) return false;
+      handle_ready(from, m, out);
+      return true;
+    }
+    case MsgKind::VidRequestChunk:
+      handle_request_chunk(from, out);
+      return true;
+    default:
+      return false;
+  }
+}
+
+AvidMRetriever::AvidMRetriever(Params p, int self)
+    : p_(p), self_(self), seen_(static_cast<std::size_t>(p.n), false) {}
+
+void AvidMRetriever::begin(Outbox& out) {
+  out.push_back(broadcast(MsgKind::VidRequestChunk, {}));
+}
+
+void AvidMRetriever::handle_return_chunk(int from, const ReturnChunkMsg& m) {
+  if (done_ || from < 0 || from >= p_.n || seen_[static_cast<std::size_t>(from)]) return;
+  if (m.proof.index != static_cast<std::uint32_t>(from) ||
+      m.proof.leaf_count != static_cast<std::uint32_t>(p_.n)) {
+    return;
+  }
+  if (!merkle_verify(m.root, m.chunk, m.proof)) return;
+  seen_[static_cast<std::size_t>(from)] = true;
+
+  auto& per_root = chunks_[m.root];
+  per_root.emplace(from, m.chunk);
+  if (static_cast<int>(per_root.size()) < p_.data_shards()) return;
+
+  // Decode from the first N-2f chunks under this root.
+  std::vector<Bytes> slots(static_cast<std::size_t>(p_.n));
+  for (const auto& [idx, chunk] : per_root) slots[static_cast<std::size_t>(idx)] = chunk;
+  const ReedSolomon rs(p_.data_shards(), p_.n);
+  done_ = true;
+  chunk_root_ = m.root;
+
+  std::optional<Bytes> block = rs.decode(slots);
+  if (!block.has_value()) {
+    // Ragged or structurally invalid chunk set: provably inconsistent
+    // encoding, same verdict as a failed re-encode check.
+    bad_uploader_ = true;
+    result_ = bytes_of(kBadUploader);
+    return;
+  }
+  // The AVID-M check: re-encode and compare Merkle roots (Fig. 4, steps 2-4).
+  const std::vector<Bytes> reencoded = rs.encode(*block);
+  if (merkle_root(reencoded) == m.root) {
+    result_ = std::move(*block);
+  } else {
+    bad_uploader_ = true;
+    result_ = bytes_of(kBadUploader);
+  }
+}
+
+}  // namespace dl::vid

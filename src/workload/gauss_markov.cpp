@@ -1,0 +1,29 @@
+#include "workload/gauss_markov.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dl::workload {
+
+sim::Trace gauss_markov_trace(const GaussMarkovParams& p, double duration_seconds,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t steps =
+      static_cast<std::size_t>(duration_seconds / p.step_seconds) + 1;
+  std::vector<double> rates;
+  rates.reserve(steps);
+  // Start from the stationary distribution so there is no warm-up bias.
+  double x = p.mean_bytes_per_sec + p.stddev_bytes_per_sec * rng.next_gaussian();
+  const double innovation_std =
+      p.stddev_bytes_per_sec * std::sqrt(1.0 - p.correlation * p.correlation);
+  for (std::size_t i = 0; i < steps; ++i) {
+    rates.push_back(x < p.floor_bytes_per_sec ? p.floor_bytes_per_sec : x);
+    x = p.correlation * x + (1.0 - p.correlation) * p.mean_bytes_per_sec +
+        innovation_std * rng.next_gaussian();
+  }
+  return sim::Trace(std::move(rates), p.step_seconds);
+}
+
+}  // namespace dl::workload

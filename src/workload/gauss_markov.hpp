@@ -1,0 +1,29 @@
+// Gauss-Markov bandwidth traces (§6.3).
+//
+// The paper models each node's ingress/egress bandwidth as an independent
+// Gauss-Markov process sampled every second: X_{t+1} has mean
+// alpha*X_t + (1-alpha)*b and standard deviation sigma*sqrt(1-alpha^2)
+// (the stationary process has mean b, std sigma, lag-1 correlation alpha;
+// the paper uses b=10 MB/s, sigma=5 MB/s, alpha=0.98). Values are clamped
+// at a small positive floor — links never fully die.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace dl::workload {
+
+struct GaussMarkovParams {
+  double mean_bytes_per_sec = 10e6;   // b
+  double stddev_bytes_per_sec = 5e6;  // sigma
+  double correlation = 0.98;          // alpha
+  double step_seconds = 1.0;
+  double floor_bytes_per_sec = 100e3; // clamp to keep links alive
+};
+
+// Generates `duration_seconds` worth of samples from the stationary process.
+sim::Trace gauss_markov_trace(const GaussMarkovParams& p, double duration_seconds,
+                              std::uint64_t seed);
+
+}  // namespace dl::workload

@@ -1,0 +1,120 @@
+#include "workload/topology.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "workload/gauss_markov.hpp"
+
+namespace dl::workload {
+
+namespace {
+
+double deg2rad(double d) { return d * std::numbers::pi / 180.0; }
+
+// Great-circle distance in km (haversine).
+double distance_km(const City& a, const City& b) {
+  const double lat1 = deg2rad(a.lat), lat2 = deg2rad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon - a.lon);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * 6371.0 * std::asin(std::sqrt(h < 0 ? 0 : (h > 1 ? 1 : h)));
+}
+
+}  // namespace
+
+double one_way_delay_s(const City& a, const City& b) {
+  // Fiber propagation ~200 km/ms, plus a 4 ms fixed overhead (routing,
+  // last-mile), plus 25% path stretch over great-circle.
+  const double km = distance_km(a, b) * 1.25;
+  return (km / 200.0 + 4.0) / 1000.0;
+}
+
+sim::NetworkConfig Topology::network(double weight_high, double bw_scale) const {
+  const int n = size();
+  sim::NetworkConfig cfg;
+  cfg.n = n;
+  cfg.weight_high = weight_high;
+  cfg.one_way_delay.assign(static_cast<std::size_t>(n),
+                           std::vector<sim::Time>(static_cast<std::size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) {
+        cfg.one_way_delay[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            one_way_delay_s(cities[static_cast<std::size_t>(i)],
+                            cities[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  for (const City& c : cities) {
+    const double rate = c.bw_mbps * 1e6 * bw_scale;
+    cfg.egress.push_back(sim::Trace::constant(rate));
+    cfg.ingress.push_back(sim::Trace::constant(rate));
+  }
+  return cfg;
+}
+
+sim::NetworkConfig Topology::network_jittered(double weight_high, double bw_scale,
+                                              double sigma_frac, double duration_s,
+                                              std::uint64_t seed) const {
+  sim::NetworkConfig cfg = network(weight_high, bw_scale);
+  for (int i = 0; i < size(); ++i) {
+    const double mean = cities[static_cast<std::size_t>(i)].bw_mbps * 1e6 * bw_scale;
+    GaussMarkovParams gm;
+    gm.mean_bytes_per_sec = mean;
+    gm.stddev_bytes_per_sec = sigma_frac * mean;
+    gm.correlation = 0.98;
+    gm.floor_bytes_per_sec = 0.1 * mean;
+    cfg.egress[static_cast<std::size_t>(i)] =
+        gauss_markov_trace(gm, duration_s, seed * 1000 + static_cast<std::uint64_t>(2 * i));
+    cfg.ingress[static_cast<std::size_t>(i)] =
+        gauss_markov_trace(gm, duration_s, seed * 1000 + static_cast<std::uint64_t>(2 * i + 1));
+  }
+  return cfg;
+}
+
+Topology Topology::aws_geo16() {
+  // Bandwidths (MB/s): North America & Europe well provisioned; Mumbai and
+  // Sao Paulo limited; Asia-Pacific mid-range — the paper's Fig. 8 spread.
+  return Topology{{
+      {"virginia", 38.9, -77.0, 22},
+      {"ohio", 40.0, -83.0, 24},
+      {"california", 37.4, -122.1, 18},
+      {"oregon", 45.5, -122.7, 20},
+      {"montreal", 45.5, -73.6, 18},
+      {"saopaulo", -23.5, -46.6, 8},
+      {"ireland", 53.3, -6.3, 18},
+      {"london", 51.5, -0.1, 20},
+      {"paris", 48.9, 2.3, 18},
+      {"frankfurt", 50.1, 8.7, 20},
+      {"stockholm", 59.3, 18.1, 16},
+      {"mumbai", 19.1, 72.9, 6},
+      {"singapore", 1.35, 103.8, 11},
+      {"seoul", 37.6, 127.0, 13},
+      {"tokyo", 35.7, 139.7, 14},
+      {"sydney", -33.9, 151.2, 9},
+  }};
+}
+
+Topology Topology::vultr15() {
+  // Low-cost provider: generally lower and more uneven bandwidth.
+  return Topology{{
+      {"newjersey", 40.7, -74.2, 14},
+      {"chicago", 41.9, -87.6, 12},
+      {"dallas", 32.8, -96.8, 12},
+      {"seattle", 47.6, -122.3, 11},
+      {"losangeles", 34.1, -118.2, 12},
+      {"atlanta", 33.7, -84.4, 10},
+      {"miami", 25.8, -80.2, 9},
+      {"toronto", 43.7, -79.4, 11},
+      {"london", 51.5, -0.1, 12},
+      {"amsterdam", 52.4, 4.9, 13},
+      {"paris", 48.9, 2.3, 11},
+      {"frankfurt", 50.1, 8.7, 12},
+      {"singapore", 1.35, 103.8, 6},
+      {"tokyo", 35.7, 139.7, 8},
+      {"sydney", -33.9, 151.2, 5},
+  }};
+}
+
+}  // namespace dl::workload

@@ -1,0 +1,55 @@
+// Geo-distributed testbed topologies.
+//
+// The paper evaluates on 16 AWS regions and 15 Vultr locations across the
+// real Internet. We rebuild those testbeds synthetically: one-way delays are
+// derived from great-circle distances at fiber propagation speed (~200 km/ms,
+// the same first-order model behind WonderNetwork's tables the paper cites),
+// and per-city access bandwidths are fixed values chosen to reflect the
+// relative spread visible in the paper's Fig. 8/15 (e.g. Mumbai and
+// Sao Paulo limited, North-American and European sites well provisioned).
+// Absolute values are not calibrated to AWS — only the heterogeneity shape
+// matters for reproducing who-wins-by-how-much (see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace dl::workload {
+
+struct City {
+  std::string name;
+  double lat = 0;   // degrees
+  double lon = 0;   // degrees
+  double bw_mbps = 10;  // access bandwidth, megaBYTES per second (both ways)
+};
+
+// One-way propagation delay between two cities, in seconds.
+double one_way_delay_s(const City& a, const City& b);
+
+struct Topology {
+  std::vector<City> cities;
+
+  int size() const { return static_cast<int>(cities.size()); }
+
+  // Builds a NetworkConfig with constant-rate links (bandwidth scaled by
+  // `bw_scale`, letting benches shrink the deployment to keep runtimes sane).
+  sim::NetworkConfig network(double weight_high = 30.0, double bw_scale = 1.0) const;
+
+  // Like network(), but each node's ingress/egress rate follows an
+  // independent Gauss-Markov process around the city's (scaled) mean with
+  // relative standard deviation `sigma_frac` and lag-1 correlation 0.98 —
+  // the temporal variability real WAN paths exhibit (§6.2/§6.3: "different
+  // nodes become the straggler at different times").
+  sim::NetworkConfig network_jittered(double weight_high, double bw_scale,
+                                      double sigma_frac, double duration_s,
+                                      std::uint64_t seed) const;
+
+  // The 16-city AWS-like deployment of §6.2.
+  static Topology aws_geo16();
+  // The 15-city Vultr deployment of Appendix A.2.
+  static Topology vultr15();
+};
+
+}  // namespace dl::workload

@@ -1,0 +1,33 @@
+#include "workload/txgen.hpp"
+
+#include <stdexcept>
+
+namespace dl::workload {
+
+PoissonTxGen::PoissonTxGen(TxGenParams p, sim::EventQueue& eq, SubmitFn submit)
+    : p_(p), eq_(eq), submit_(std::move(submit)), rng_(p.seed) {
+  if (p_.tx_bytes == 0 || p_.rate_bytes_per_sec <= 0) {
+    throw std::invalid_argument("PoissonTxGen: bad parameters");
+  }
+  tx_per_sec_ = p_.rate_bytes_per_sec / static_cast<double>(p_.tx_bytes);
+}
+
+void PoissonTxGen::start() {
+  eq_.after(rng_.next_exponential(tx_per_sec_), [this] { arrival(); });
+}
+
+void PoissonTxGen::arrival() {
+  if (eq_.now() >= p_.stop_time) return;
+  ++generated_;
+  // Payload content is irrelevant to the protocols; fill with a counter so
+  // transactions are distinguishable in logs.
+  Bytes payload(p_.tx_bytes, 0);
+  for (int i = 0; i < 8 && i < static_cast<int>(payload.size()); ++i) {
+    payload[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(generated_ >> (8 * i));
+  }
+  submit_(std::move(payload));
+  eq_.after(rng_.next_exponential(tx_per_sec_), [this] { arrival(); });
+}
+
+}  // namespace dl::workload

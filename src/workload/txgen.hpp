@@ -1,0 +1,45 @@
+// Transaction workload: per-node Poisson arrival generators (§6.1).
+//
+// Each node runs one generator thread in the paper; here each generator
+// schedules itself on the event queue and calls submit() on its node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace dl::workload {
+
+struct TxGenParams {
+  double rate_bytes_per_sec = 1e6;  // offered load at this node
+  std::size_t tx_bytes = 250;       // payload size per transaction
+  std::uint64_t seed = 1;
+  double stop_time = 1e18;          // stop generating after this instant
+};
+
+class PoissonTxGen {
+ public:
+  using SubmitFn = std::function<void(Bytes payload)>;
+
+  PoissonTxGen(TxGenParams p, sim::EventQueue& eq, SubmitFn submit);
+
+  // Schedules the first arrival; subsequent arrivals self-schedule.
+  void start();
+
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void arrival();
+
+  TxGenParams p_;
+  sim::EventQueue& eq_;
+  SubmitFn submit_;
+  Rng rng_;
+  double tx_per_sec_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace dl::workload

@@ -1,0 +1,88 @@
+// Test-only message router for the pure protocol automata (AVID-M, AVID-FP,
+// BA). Collects Outbox entries into a pending pool and delivers them in a
+// seed-controlled random order — modelling asynchrony (arbitrary delay and
+// reordering, no loss). Supports Byzantine nodes that stay silent (their
+// outgoing messages are dropped) and message injection for equivocation
+// tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/envelope.hpp"
+#include "common/rng.hpp"
+
+namespace dl::test {
+
+struct Delivery {
+  int from = 0;
+  int to = 0;
+  Envelope env;
+};
+
+class Router {
+ public:
+  // handler(from, to, env) routes one message to automaton `to` and appends
+  // that automaton's reactions via push().
+  using Handler = std::function<void(int from, int to, const Envelope& env)>;
+
+  Router(int n, std::uint64_t seed) : n_(n), rng_(seed) {}
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  // Marks `node` as crashed/Byzantine-silent: messages FROM it are dropped
+  // at push time (as if never sent).
+  void mute(int node) { muted_.insert(node); }
+
+  // Queues all messages of `out` as sent by `from`. Broadcasts fan out to
+  // all nodes (including the sender).
+  void push(int from, const Outbox& out) {
+    if (muted_.contains(from)) return;
+    for (const OutMsg& m : out) {
+      if (m.to == OutMsg::kAll) {
+        for (int to = 0; to < n_; ++to) pending_.push_back({from, to, m.env});
+      } else {
+        pending_.push_back({from, m.to, m.env});
+      }
+    }
+  }
+
+  // Injects a crafted message (Byzantine equivocation). Ignores mute().
+  void inject(int from, int to, Envelope env) {
+    pending_.push_back({from, to, std::move(env)});
+  }
+
+  bool idle() const { return pending_.empty(); }
+  std::size_t pending() const { return pending_.size(); }
+
+  // Delivers one randomly chosen pending message. Returns false when idle.
+  bool step() {
+    if (pending_.empty()) return false;
+    const std::size_t i = static_cast<std::size_t>(rng_.next_below(pending_.size()));
+    std::swap(pending_[i], pending_.back());
+    Delivery d = std::move(pending_.back());
+    pending_.pop_back();
+    handler_(d.from, d.to, d.env);
+    return true;
+  }
+
+  // Runs to quiescence (bounded; protocol automata always quiesce).
+  void run(std::size_t max_steps = 10'000'000) {
+    std::size_t steps = 0;
+    while (step()) {
+      if (++steps > max_steps) FAIL() << "router did not quiesce";
+    }
+  }
+
+ private:
+  int n_;
+  Rng rng_;
+  Handler handler_;
+  std::vector<Delivery> pending_;
+  std::set<int> muted_;
+};
+
+}  // namespace dl::test

@@ -1,0 +1,186 @@
+// AVID-FP baseline: dispersal-time verification via fingerprinted
+// cross-checksums, Bracha-pattern completion, retrieval, and the message
+// overhead formula that bench/fig02 relies on.
+#include <gtest/gtest.h>
+
+#include "automaton_harness.hpp"
+#include "common/rng.hpp"
+#include "vid/avid_fp.hpp"
+
+namespace dl::vid {
+namespace {
+
+using test::Router;
+
+struct FpCluster {
+  Params p;
+  std::vector<AvidFpServer> servers;
+  std::vector<AvidFpRetriever> retrievers;
+  Router router;
+
+  FpCluster(int n, int f, std::uint64_t seed) : p{n, f}, router(n, seed) {
+    for (int i = 0; i < n; ++i) {
+      servers.emplace_back(p, i);
+      retrievers.emplace_back(p, i);
+    }
+    router.set_handler([this](int from, int to, const Envelope& env) {
+      Outbox out;
+      if (env.kind == MsgKind::FpReturnChunk) {
+        FpChunkMsg m;
+        if (FpChunkMsg::decode(env.body, m)) {
+          retrievers[static_cast<std::size_t>(to)].handle_return_chunk(from, m);
+        }
+        return;
+      }
+      servers[static_cast<std::size_t>(to)].handle(from, env.kind, env.body, out);
+      router.push(to, out);
+    });
+  }
+
+  void disperse(int who, ByteView block) {
+    auto chunks = avid_fp_disperse(p, block);
+    Outbox out;
+    for (int i = 0; i < p.n; ++i) {
+      OutMsg m;
+      m.to = i;
+      m.env.kind = MsgKind::FpChunk;
+      m.env.body = chunks[static_cast<std::size_t>(i)].encode();
+      out.push_back(std::move(m));
+    }
+    router.push(who, out);
+  }
+
+  void retrieve(int who) {
+    Outbox out;
+    retrievers[static_cast<std::size_t>(who)].begin(out);
+    router.push(who, out);
+  }
+
+  int complete_count() const {
+    int c = 0;
+    for (const auto& s : servers) c += s.complete() ? 1 : 0;
+    return c;
+  }
+};
+
+struct FpParam {
+  int n;
+  int f;
+  std::uint64_t seed;
+};
+
+class AvidFpP : public ::testing::TestWithParam<FpParam> {};
+
+TEST_P(AvidFpP, DispersalCompletes) {
+  const auto [n, f, seed] = GetParam();
+  FpCluster c(n, f, seed);
+  c.disperse(0, random_bytes(4000, seed));
+  c.router.run();
+  EXPECT_EQ(c.complete_count(), n);
+}
+
+TEST_P(AvidFpP, RetrievalReturnsBlock) {
+  const auto [n, f, seed] = GetParam();
+  FpCluster c(n, f, seed);
+  const Bytes block = random_bytes(2222, seed + 1);
+  c.disperse(0, block);
+  c.router.run();
+  for (int i = 0; i < n; ++i) c.retrieve(i);
+  c.router.run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(c.retrievers[static_cast<std::size_t>(i)].done()) << i;
+    EXPECT_EQ(c.retrievers[static_cast<std::size_t>(i)].result(), block);
+  }
+}
+
+TEST_P(AvidFpP, ToleratesCrashFaults) {
+  const auto [n, f, seed] = GetParam();
+  FpCluster c(n, f, seed);
+  for (int i = 0; i < f; ++i) c.router.mute(n - 1 - i);
+  const Bytes block = random_bytes(1000, seed + 2);
+  c.disperse(0, block);
+  c.router.run();
+  for (int i = 0; i < n - f; ++i) {
+    EXPECT_TRUE(c.servers[static_cast<std::size_t>(i)].complete()) << i;
+  }
+  c.retrieve(0);
+  c.router.run();
+  ASSERT_TRUE(c.retrievers[0].done());
+  EXPECT_EQ(c.retrievers[0].result(), block);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AvidFpP,
+                         ::testing::Values(FpParam{4, 1, 1}, FpParam{7, 2, 2},
+                                           FpParam{10, 3, 3}, FpParam{16, 5, 4}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "f" +
+                                  std::to_string(info.param.f) + "s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(AvidFp, ServerRejectsInconsistentChunk) {
+  // Unlike AVID-M, AVID-FP catches inconsistent encoding AT DISPERSAL: a
+  // chunk that does not satisfy the fingerprint homomorphism is dropped.
+  const Params p{7, 2};
+  auto msgs = avid_fp_disperse(p, random_bytes(600, 7));
+  // Tamper a parity chunk but keep ITS hash slot consistent so only the
+  // fingerprint check can catch it.
+  msgs[5].chunk[0] ^= 0xFF;
+  msgs[5].checksum.chunk_hashes[5] = sha256(msgs[5].chunk);
+  AvidFpServer server(p, 5);
+  Outbox out;
+  server.handle(0, MsgKind::FpChunk, msgs[5].encode(), out);
+  EXPECT_FALSE(server.has_chunk());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AvidFp, ServerRejectsWrongHash) {
+  const Params p{7, 2};
+  auto msgs = avid_fp_disperse(p, random_bytes(600, 8));
+  msgs[3].chunk[0] ^= 0x01;  // hash mismatch
+  AvidFpServer server(p, 3);
+  Outbox out;
+  server.handle(0, MsgKind::FpChunk, msgs[3].encode(), out);
+  EXPECT_FALSE(server.has_chunk());
+}
+
+TEST(AvidFp, MessageOverheadIsLinearInN) {
+  // The Echo/Ready bodies carry the cross-checksum: N*32 + (N-2f)*8 + 8
+  // bytes — this is what makes Fig. 2's AVID-FP curve blow up with N.
+  for (int n : {4, 16, 64}) {
+    const int f = (n - 1) / 3;
+    const Params p{n, f};
+    auto msgs = avid_fp_disperse(p, random_bytes(256, 9));
+    const std::size_t cc = msgs[0].checksum.wire_size();
+    EXPECT_EQ(cc, static_cast<std::size_t>(n) * 32 +
+                      static_cast<std::size_t>(n - 2 * f) * 8 + 8);
+  }
+}
+
+TEST(AvidFp, DispersalDeterministic) {
+  const Params p{4, 1};
+  const Bytes block = random_bytes(100, 10);
+  const auto a = avid_fp_disperse(p, block);
+  const auto b = avid_fp_disperse(p, block);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].chunk, b[i].chunk);
+    EXPECT_EQ(a[i].checksum, b[i].checksum);
+  }
+}
+
+TEST(AvidFp, RequestBeforeCompleteDeferred) {
+  const Params p{4, 1};
+  FpCluster c(p.n, p.f, 12);
+  c.retrieve(2);
+  c.router.run();
+  EXPECT_FALSE(c.retrievers[2].done());
+  const Bytes block = random_bytes(333, 11);
+  c.disperse(0, block);
+  c.router.run();
+  ASSERT_TRUE(c.retrievers[2].done());
+  EXPECT_EQ(c.retrievers[2].result(), block);
+}
+
+}  // namespace
+}  // namespace dl::vid

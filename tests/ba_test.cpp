@@ -1,0 +1,264 @@
+// Binary agreement properties (§4.1): Termination, Agreement, Validity —
+// under random schedules, mixed inputs, crash faults, and Byzantine inputs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "automaton_harness.hpp"
+#include "ba/binary_agreement.hpp"
+#include "ba/common_coin.hpp"
+
+namespace dl::ba {
+namespace {
+
+using test::Router;
+
+struct BaCluster {
+  int n;
+  int f;
+  CommonCoin coin;
+  std::vector<std::unique_ptr<BinaryAgreement>> nodes;
+  Router router;
+
+  BaCluster(int n_, int f_, std::uint64_t seed)
+      : n(n_), f(f_), coin(seed ^ 0xC011u), router(n_, seed) {
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<BinaryAgreement>(
+          n, f, i, [this](std::uint32_t r) { return coin.flip(0, 0, r); }));
+    }
+    router.set_handler([this](int from, int to, const Envelope& env) {
+      Outbox out;
+      nodes[static_cast<std::size_t>(to)]->handle(from, env.kind, env.body, out);
+      router.push(to, out);
+    });
+  }
+
+  void input(int who, bool v) {
+    Outbox out;
+    nodes[static_cast<std::size_t>(who)]->input(v, out);
+    router.push(who, out);
+  }
+
+  int decided_count() const {
+    int c = 0;
+    for (const auto& node : nodes) c += node->decided() ? 1 : 0;
+    return c;
+  }
+};
+
+struct BaParam {
+  int n;
+  int f;
+  std::uint64_t seed;
+};
+
+class BaP : public ::testing::TestWithParam<BaParam> {};
+
+TEST_P(BaP, UnanimousOneDecidesOne) {
+  const auto [n, f, seed] = GetParam();
+  BaCluster c(n, f, seed);
+  for (int i = 0; i < n; ++i) c.input(i, true);
+  c.router.run();
+  EXPECT_EQ(c.decided_count(), n);
+  for (const auto& node : c.nodes) EXPECT_TRUE(node->output());
+}
+
+TEST_P(BaP, UnanimousZeroDecidesZero) {
+  const auto [n, f, seed] = GetParam();
+  BaCluster c(n, f, seed);
+  for (int i = 0; i < n; ++i) c.input(i, false);
+  c.router.run();
+  EXPECT_EQ(c.decided_count(), n);
+  for (const auto& node : c.nodes) EXPECT_FALSE(node->output());
+}
+
+TEST_P(BaP, MixedInputsAgree) {
+  const auto [n, f, seed] = GetParam();
+  BaCluster c(n, f, seed);
+  for (int i = 0; i < n; ++i) c.input(i, i % 2 == 0);
+  c.router.run();
+  ASSERT_EQ(c.decided_count(), n);
+  const bool v = c.nodes[0]->output();
+  for (const auto& node : c.nodes) EXPECT_EQ(node->output(), v);
+}
+
+TEST_P(BaP, TerminatesWithCrashFaults) {
+  const auto [n, f, seed] = GetParam();
+  BaCluster c(n, f, seed);
+  for (int i = 0; i < f; ++i) c.router.mute(n - 1 - i);
+  for (int i = 0; i < n; ++i) c.input(i, (i + static_cast<int>(seed)) % 3 == 0);
+  c.router.run();
+  // All non-muted nodes decide the same value.
+  int decided = 0;
+  bool v = false;
+  for (int i = 0; i < n - f; ++i) {
+    if (c.nodes[static_cast<std::size_t>(i)]->decided()) {
+      if (decided == 0) v = c.nodes[static_cast<std::size_t>(i)]->output();
+      EXPECT_EQ(c.nodes[static_cast<std::size_t>(i)]->output(), v);
+      ++decided;
+    }
+  }
+  EXPECT_EQ(decided, n - f);
+}
+
+TEST_P(BaP, ValidityUnanimous) {
+  // Validity: output must equal some correct node's input; with unanimous
+  // input v, output must be v. Repeat over seeds via the parameter.
+  const auto [n, f, seed] = GetParam();
+  for (bool v : {false, true}) {
+    BaCluster c(n, f, seed * 31 + (v ? 1 : 0));
+    for (int i = 0; i < n; ++i) c.input(i, v);
+    c.router.run();
+    for (const auto& node : c.nodes) {
+      ASSERT_TRUE(node->decided());
+      EXPECT_EQ(node->output(), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaP,
+    ::testing::Values(BaParam{4, 1, 1}, BaParam{4, 1, 2}, BaParam{4, 1, 3},
+                      BaParam{7, 2, 4}, BaParam{7, 2, 5}, BaParam{10, 3, 6},
+                      BaParam{16, 5, 7}, BaParam{16, 5, 8}, BaParam{31, 10, 9}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "f" +
+             std::to_string(info.param.f) + "s" + std::to_string(info.param.seed);
+    });
+
+TEST(Ba, ManySeedsAlwaysAgree) {
+  // Schedule-randomized agreement sweep: 40 random schedules, random inputs.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    BaCluster c(7, 2, seed);
+    Rng rng(seed + 1000);
+    for (int i = 0; i < 7; ++i) c.input(i, rng.next_below(2) == 1);
+    c.router.run();
+    ASSERT_EQ(c.decided_count(), 7) << "seed " << seed;
+    const bool v = c.nodes[0]->output();
+    for (const auto& node : c.nodes) EXPECT_EQ(node->output(), v) << "seed " << seed;
+  }
+}
+
+TEST(Ba, ByzantineEquivocatorCannotBreakAgreement) {
+  // Node n-1 sends conflicting BVAL/AUX to different peers.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    BaCluster c(4, 1, seed);
+    c.router.mute(3);  // its protocol-driven messages are dropped
+    for (int i = 0; i < 3; ++i) c.input(i, i % 2 == 0);
+    // Inject equivocating round-0 messages from node 3.
+    for (int to = 0; to < 3; ++to) {
+      Envelope bval;
+      bval.kind = MsgKind::BaBval;
+      bval.body = BaRoundMsg{0, to % 2 == 0}.encode();
+      c.router.inject(3, to, std::move(bval));
+      Envelope aux;
+      aux.kind = MsgKind::BaAux;
+      aux.body = BaRoundMsg{0, to % 2 == 1}.encode();
+      c.router.inject(3, to, std::move(aux));
+    }
+    c.router.run();
+    int decided = 0;
+    bool v = false;
+    for (int i = 0; i < 3; ++i) {
+      if (c.nodes[static_cast<std::size_t>(i)]->decided()) {
+        if (decided == 0) v = c.nodes[static_cast<std::size_t>(i)]->output();
+        EXPECT_EQ(c.nodes[static_cast<std::size_t>(i)]->output(), v);
+        ++decided;
+      }
+    }
+    EXPECT_EQ(decided, 3) << "seed " << seed;
+  }
+}
+
+TEST(Ba, FakeDoneRequiresQuorum) {
+  // A single Byzantine DONE must not cause adoption; f+1 must.
+  BaCluster c(4, 1, 5);
+  Envelope done;
+  done.kind = MsgKind::BaDone;
+  done.body = BaDoneMsg{true}.encode();
+  c.router.inject(3, 0, done);
+  c.router.run();
+  EXPECT_FALSE(c.nodes[0]->decided());
+  // Second distinct sender reaches f+1 = 2: adoption.
+  c.router.inject(2, 0, done);
+  c.router.run();
+  EXPECT_TRUE(c.nodes[0]->decided());
+  EXPECT_TRUE(c.nodes[0]->output());
+}
+
+TEST(Ba, DuplicateMessagesIgnored) {
+  BaCluster c(4, 1, 6);
+  // Same BVAL from the same sender many times must count once: with only
+  // one distinct sender the f+1 echo rule must NOT fire at f=1.
+  Envelope bval;
+  bval.kind = MsgKind::BaBval;
+  bval.body = BaRoundMsg{0, true}.encode();
+  for (int i = 0; i < 10; ++i) c.router.inject(2, 0, bval);
+  c.router.run();
+  EXPECT_FALSE(c.nodes[0]->decided());
+}
+
+TEST(Ba, MalformedBodiesRejected) {
+  BaCluster c(4, 1, 7);
+  Outbox out;
+  EXPECT_FALSE(c.nodes[0]->handle(1, MsgKind::BaBval, bytes_of("xx"), out));
+  EXPECT_FALSE(c.nodes[0]->handle(1, MsgKind::BaAux, {}, out));
+  EXPECT_FALSE(c.nodes[0]->handle(1, MsgKind::VidChunk, {}, out));
+  // Value byte > 1 rejected.
+  Bytes bad = BaRoundMsg{0, true}.encode();
+  bad.back() = 2;
+  EXPECT_FALSE(c.nodes[0]->handle(1, MsgKind::BaBval, bad, out));
+}
+
+TEST(Ba, AbsurdRoundNumbersBounded) {
+  // A Byzantine sender quoting a huge round must not blow up memory or
+  // crash; the message is simply dropped.
+  BaCluster c(4, 1, 8);
+  Envelope bval;
+  bval.kind = MsgKind::BaBval;
+  bval.body = BaRoundMsg{0xFFFFFFFF, true}.encode();
+  c.router.inject(3, 0, std::move(bval));
+  c.router.run();
+  EXPECT_FALSE(c.nodes[0]->decided());
+}
+
+TEST(Ba, InputIdempotent) {
+  BaCluster c(4, 1, 9);
+  Outbox out;
+  c.nodes[0]->input(true, out);
+  const std::size_t first = out.size();
+  c.nodes[0]->input(false, out);  // ignored
+  EXPECT_EQ(out.size(), first);
+  EXPECT_TRUE(c.nodes[0]->has_input());
+}
+
+TEST(Ba, CoinDeterministicAcrossNodes) {
+  CommonCoin a(77), b(77), c(78);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.flip(1, 2, r), b.flip(1, 2, r));
+  }
+  // Different instances give (overwhelmingly) independent sequences.
+  int diff = 0;
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    diff += a.flip(1, 2, r) != c.flip(1, 2, r) ? 1 : 0;
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Ba, CoinRoughlyFair) {
+  CommonCoin coin(123);
+  int ones = 0;
+  for (std::uint32_t r = 0; r < 2000; ++r) ones += coin.flip(0, 0, r) ? 1 : 0;
+  EXPECT_GT(ones, 800);
+  EXPECT_LT(ones, 1200);
+}
+
+TEST(Ba, BadParamsThrow) {
+  auto coin = [](std::uint32_t) { return false; };
+  EXPECT_THROW(BinaryAgreement(3, 1, 0, coin), std::invalid_argument);
+  EXPECT_THROW(BinaryAgreement(4, 1, 4, coin), std::invalid_argument);
+  EXPECT_NO_THROW(BinaryAgreement(4, 1, 0, coin));
+}
+
+}  // namespace
+}  // namespace dl::ba

@@ -1,0 +1,87 @@
+// Block / transaction codec: round-trips, malformed input, payload math.
+#include <gtest/gtest.h>
+
+#include "dl/block.hpp"
+
+namespace dl::core {
+namespace {
+
+Block sample_block(int n) {
+  Block b;
+  for (int i = 0; i < n; ++i) b.v_array.push_back(static_cast<std::uint64_t>(i * 7));
+  for (int i = 0; i < 5; ++i) {
+    Transaction tx;
+    tx.submit_time = 1.5 + i;
+    tx.origin = static_cast<std::uint32_t>(i);
+    tx.payload = random_bytes(100 + static_cast<std::size_t>(i), static_cast<std::uint64_t>(i));
+    b.txs.push_back(std::move(tx));
+  }
+  return b;
+}
+
+TEST(Block, RoundTrip) {
+  const Block b = sample_block(4);
+  auto back = Block::decode(b.encode(), 4);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->v_array, b.v_array);
+  ASSERT_EQ(back->txs.size(), b.txs.size());
+  for (std::size_t i = 0; i < b.txs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back->txs[i].submit_time, b.txs[i].submit_time);
+    EXPECT_EQ(back->txs[i].origin, b.txs[i].origin);
+    EXPECT_EQ(back->txs[i].payload, b.txs[i].payload);
+  }
+}
+
+TEST(Block, EmptyBlock) {
+  Block b;
+  auto back = Block::decode(b.encode(), 4);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->txs.empty());
+  EXPECT_TRUE(back->v_array.empty());
+  EXPECT_EQ(back->payload_bytes(), 0u);
+}
+
+TEST(Block, VArraySizeMismatchRejected) {
+  const Block b = sample_block(4);
+  EXPECT_FALSE(Block::decode(b.encode(), 5).has_value());
+  EXPECT_TRUE(Block::decode(b.encode(), 4).has_value());
+}
+
+TEST(Block, MalformedInputRejected) {
+  EXPECT_FALSE(Block::decode(bytes_of("BAD_UPLOADER"), 4).has_value());
+  EXPECT_FALSE(Block::decode({}, 4).has_value());
+  Bytes truncated = sample_block(4).encode();
+  truncated.pop_back();
+  EXPECT_FALSE(Block::decode(truncated, 4).has_value());
+  Bytes extended = sample_block(4).encode();
+  extended.push_back(0);
+  EXPECT_FALSE(Block::decode(extended, 4).has_value());
+}
+
+TEST(Block, AbsurdTxCountRejected) {
+  // Claims 2^31 transactions in a tiny buffer: must fail fast, not allocate.
+  Bytes evil;
+  evil.push_back(0);  // v_array count = 0 (u32)
+  evil.push_back(0);
+  evil.push_back(0);
+  evil.push_back(0);
+  evil.push_back(0xFF);  // tx count
+  evil.push_back(0xFF);
+  evil.push_back(0xFF);
+  evil.push_back(0x7F);
+  EXPECT_FALSE(Block::decode(evil, 4).has_value());
+}
+
+TEST(Block, PayloadBytes) {
+  const Block b = sample_block(4);
+  EXPECT_EQ(b.payload_bytes(), 100u + 101 + 102 + 103 + 104);
+}
+
+TEST(Transaction, WireSize) {
+  Transaction tx;
+  tx.payload = Bytes(250, 0);
+  EXPECT_EQ(tx.wire_size(), 250u + 16);
+}
+
+}  // namespace
+}  // namespace dl::core

@@ -1,0 +1,444 @@
+// End-to-end integration tests of the full protocol stack on the network
+// simulator: DispersedLedger, DL-Coupled, HoneyBadger, and HB-Link clusters.
+//
+// BFT properties checked (§2.1): Agreement + Total Order (every pair of
+// correct nodes delivers prefix-consistent logs), Validity (submitted
+// transactions are delivered everywhere), plus the DispersedLedger-specific
+// behaviours: decoupled progress, inter-node linking, censorship resistance,
+// BAD_UPLOADER consistency, and HoneyBadger's drop/re-propose behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "dl/node.hpp"
+#include "hb/hb_node.hpp"
+
+namespace dl::core {
+namespace {
+
+struct DeliveryRecord {
+  std::uint64_t at_epoch;
+  std::uint64_t block_epoch;
+  int proposer;
+  std::uint64_t payload;
+
+  bool operator==(const DeliveryRecord&) const = default;
+};
+
+// A cluster harness: N nodes (some possibly crashed/Byzantine) on a uniform
+// or custom network, with per-node delivery logs.
+struct Cluster {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<DlNode*> nodes;  // indexed by node id; nullptr when crashed
+  std::vector<std::vector<DeliveryRecord>> logs;  // fixed size: stable ptrs
+
+  explicit Cluster(sim::NetworkConfig net)
+      : sim(net), nodes(static_cast<std::size_t>(net.n), nullptr),
+        logs(static_cast<std::size_t>(net.n)) {}
+
+  DlNode* add_node(NodeConfig cfg) {
+    auto node = std::make_unique<DlNode>(cfg, sim.queue(), sim.network());
+    DlNode* raw = node.get();
+    auto* log = &logs[static_cast<std::size_t>(cfg.self)];
+    raw->set_delivery_callback([log](std::uint64_t at, BlockKey key,
+                                     const Block& b, double) {
+      log->push_back({at, key.epoch, key.proposer, b.payload_bytes()});
+    });
+    sim.attach(cfg.self, raw);
+    nodes[static_cast<std::size_t>(cfg.self)] = raw;
+    hosts.push_back(std::move(node));
+    return raw;
+  }
+
+  void add_crashed(int self) {
+    hosts.push_back(std::make_unique<adversary::CrashNode>());
+    sim.attach(self, hosts.back().get());
+  }
+
+  // Prefix-consistency of two delivery logs.
+  static void expect_prefix_consistent(const std::vector<DeliveryRecord>& a,
+                                       const std::vector<DeliveryRecord>& b) {
+    const std::size_t m = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(a[i], b[i]) << "logs diverge at position " << i;
+    }
+  }
+
+  void expect_all_logs_consistent() {
+    const std::vector<DeliveryRecord>* first = nullptr;
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      if (nodes[i] == nullptr) continue;
+      if (first == nullptr) {
+        first = &logs[i];
+        continue;
+      }
+      expect_prefix_consistent(*first, logs[i]);
+    }
+  }
+};
+
+NodeConfig with_small_blocks(NodeConfig c) {
+  c.max_block_bytes = 60'000;
+  c.propose_size = 30'000;
+  return c;
+}
+
+struct ProtoParam {
+  const char* name;
+  NodeConfig (*make)(int, int, int);
+};
+
+class ProtocolP : public ::testing::TestWithParam<ProtoParam> {};
+
+TEST_P(ProtocolP, AgreementTotalOrderUnderLoad) {
+  const auto& param = GetParam();
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  for (int i = 0; i < n; ++i) c.add_node(with_small_blocks(param.make(n, f, i)));
+  // Continuous load on every node.
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < 40; ++k) {
+      const double t = 0.05 * k;
+      DlNode* node = c.nodes[static_cast<std::size_t>(i)];
+      c.sim.queue().at(t, [node, i, k] {
+        node->submit(random_bytes(2000, static_cast<std::uint64_t>(i * 1000 + k)));
+      });
+    }
+  }
+  c.sim.run_until(30.0);
+  // Everyone delivered something and the logs are prefix-consistent.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(c.logs[static_cast<std::size_t>(i)].size(), 10u) << param.name;
+    EXPECT_GT(c.nodes[static_cast<std::size_t>(i)]->stats().delivered_payload_bytes, 0u);
+  }
+  c.expect_all_logs_consistent();
+}
+
+TEST_P(ProtocolP, ProgressWithFCrashedNodes) {
+  const auto& param = GetParam();
+  const int n = 7, f = 2;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  for (int i = 0; i < n - f; ++i) c.add_node(with_small_blocks(param.make(n, f, i)));
+  for (int i = n - f; i < n; ++i) c.add_crashed(i);
+  for (int i = 0; i < n - f; ++i) {
+    DlNode* node = c.nodes[static_cast<std::size_t>(i)];
+    c.sim.queue().at(0.01, [node, i] {
+      for (int k = 0; k < 10; ++k) {
+        node->submit(random_bytes(1000, static_cast<std::uint64_t>(i * 100 + k)));
+      }
+    });
+  }
+  c.sim.run_until(30.0);
+  for (int i = 0; i < n - f; ++i) {
+    EXPECT_GT(c.logs[static_cast<std::size_t>(i)].size(), 0u) << param.name;
+  }
+  c.expect_all_logs_consistent();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolP,
+    ::testing::Values(ProtoParam{"DL", &NodeConfig::dispersed_ledger},
+                      ProtoParam{"DLCoupled", &NodeConfig::dl_coupled},
+                      ProtoParam{"HB", &NodeConfig::honey_badger},
+                      ProtoParam{"HBLink", &NodeConfig::hb_link}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(DlNode, ValidityEveryTxDeliveredEverywhere) {
+  // Each node submits tagged transactions; every correct node must deliver
+  // every one of them (DL's inter-node linking guarantees all correct
+  // blocks are delivered — the paper's strengthened Validity).
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  std::vector<std::set<std::string>> delivered_tx(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto cfg = with_small_blocks(NodeConfig::dispersed_ledger(n, f, i));
+    auto* node = c.add_node(cfg);
+    auto* got = &delivered_tx[static_cast<std::size_t>(i)];
+    node->set_delivery_callback([got](std::uint64_t, BlockKey, const Block& b, double) {
+      for (const auto& tx : b.txs) got->insert(to_string(tx.payload));
+    });
+  }
+  std::set<std::string> submitted;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      const std::string tag = "tx-" + std::to_string(i) + "-" + std::to_string(k);
+      submitted.insert(tag);
+      DlNode* node = c.nodes[static_cast<std::size_t>(i)];
+      c.sim.queue().at(0.1 * k, [node, tag] { node->submit(bytes_of(tag)); });
+    }
+  }
+  c.sim.run_until(30.0);
+  for (int i = 0; i < n; ++i) {
+    for (const auto& tag : submitted) {
+      EXPECT_TRUE(delivered_tx[static_cast<std::size_t>(i)].contains(tag))
+          << "node " << i << " missing " << tag;
+    }
+  }
+}
+
+TEST(DlNode, DecoupledProgressUnderSpatialVariation) {
+  // f+1 = 2 slow nodes (10x less bandwidth), so the (f+1)-th slowest node is
+  // slow: HoneyBadger's epoch progress is gated by it at EVERY node, while
+  // DispersedLedger lets the fast nodes confirm at their own pace. (With
+  // only f slow nodes HB would simply leave them behind — the protocol only
+  // waits for N-f nodes.)
+  const int n = 4, f = 1;
+  auto make_net = [] {
+    sim::NetworkConfig net = sim::NetworkConfig::uniform(4, 0.02, 4e6);
+    for (int i : {0, 1}) {
+      net.egress[static_cast<std::size_t>(i)] = sim::Trace::constant(0.4e6);
+      net.ingress[static_cast<std::size_t>(i)] = sim::Trace::constant(0.4e6);
+    }
+    return net;
+  };
+
+  auto run = [&](NodeConfig (*make)(int, int, int)) {
+    Cluster c(make_net());
+    for (int i = 0; i < n; ++i) {
+      auto cfg = make(n, f, i);
+      cfg.max_block_bytes = 120'000;
+      cfg.backlog_tx_bytes = 250;  // infinite backlog
+      c.add_node(cfg);
+    }
+    c.sim.run_until(30.0);
+    std::vector<std::uint64_t> confirmed;
+    for (auto* node : c.nodes) confirmed.push_back(node->stats().delivered_payload_bytes);
+    c.expect_all_logs_consistent();
+    return confirmed;
+  };
+
+  const auto dl = run(&NodeConfig::dispersed_ledger);
+  const auto hb = run(&NodeConfig::honey_badger);
+
+  // DL: a fast node confirms much more than a slow node.
+  EXPECT_GT(dl[2], 2 * dl[0]);
+  // HB: fast nodes are dragged down to (roughly) the straggler's pace —
+  // all correct nodes deliver the same epochs, differing only by lag.
+  EXPECT_LT(hb[2], 2 * hb[0] + 1'000'000);
+  // And DL's fast nodes beat HB's fast nodes outright.
+  EXPECT_GT(dl[2], hb[2]);
+}
+
+TEST(DlNode, InterNodeLinkingDeliversUncommittedBlocks) {
+  // With a slow proposer, some of its dispersed blocks miss their epoch's
+  // BA. Linking must deliver them later (delivered_linked_blocks > 0) and
+  // identically at all nodes.
+  const int n = 4, f = 1;
+  sim::NetworkConfig net = sim::NetworkConfig::uniform(n, 0.02, 2e6);
+  net.egress[3] = sim::Trace::constant(0.3e6);
+  net.ingress[3] = sim::Trace::constant(0.3e6);
+  Cluster c(net);
+  for (int i = 0; i < n; ++i) {
+    auto cfg = NodeConfig::dispersed_ledger(n, f, i);
+    cfg.max_block_bytes = 100'000;
+    cfg.backlog_tx_bytes = 250;
+    c.add_node(cfg);
+  }
+  c.sim.run_until(40.0);
+  std::uint64_t linked = 0;
+  for (auto* node : c.nodes) linked += node->stats().delivered_linked_blocks;
+  EXPECT_GT(linked, 0u);
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, HoneyBadgerDropsAndReproposes) {
+  // Plain HB: the slow node's blocks get dropped (BA outputs 0) and their
+  // transactions are re-proposed; with linking they would not be.
+  const int n = 4, f = 1;
+  sim::NetworkConfig net = sim::NetworkConfig::uniform(n, 0.02, 2e6);
+  net.egress[3] = sim::Trace::constant(0.2e6);
+  net.ingress[3] = sim::Trace::constant(0.2e6);
+  Cluster c(net);
+  for (int i = 0; i < n; ++i) {
+    auto cfg = NodeConfig::honey_badger(n, f, i);
+    cfg.max_block_bytes = 100'000;
+    cfg.backlog_tx_bytes = 250;
+    c.add_node(cfg);
+  }
+  c.sim.run_until(40.0);
+  std::uint64_t dropped = 0;
+  for (auto* node : c.nodes) dropped += node->stats().own_blocks_dropped;
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(c.nodes[3]->stats().reproposed_tx, 0u);
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, BadDisperserYieldsConsistentBadBlocks) {
+  // A Byzantine proposer dispersing inconsistent encodings: all correct
+  // nodes must agree on the BAD_UPLOADER outcome and keep making progress.
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  for (int i = 0; i < 3; ++i) {
+    auto cfg = with_small_blocks(NodeConfig::dispersed_ledger(n, f, i));
+    cfg.backlog_tx_bytes = 250;
+    cfg.max_block_bytes = 50'000;
+    c.add_node(cfg);
+  }
+  c.add_node(with_small_blocks(adversary::bad_disperser_config(n, f, 3)));
+  c.sim.run_until(30.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(c.nodes[static_cast<std::size_t>(i)]->stats().delivered_payload_bytes, 0u);
+    EXPECT_GT(c.nodes[static_cast<std::size_t>(i)]->stats().bad_uploader_blocks, 0u);
+  }
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, VLiarCannotStallLinking) {
+  // A proposer reporting inflated V arrays: the (f+1)-th-largest rule must
+  // clip its lies; the system keeps delivering and logs stay consistent.
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  for (int i = 0; i < 3; ++i) {
+    auto cfg = with_small_blocks(NodeConfig::dispersed_ledger(n, f, i));
+    cfg.backlog_tx_bytes = 250;
+    cfg.max_block_bytes = 50'000;
+    c.add_node(cfg);
+  }
+  c.add_node(with_small_blocks(adversary::v_liar_config(n, f, 3)));
+  c.sim.run_until(30.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(c.logs[static_cast<std::size_t>(i)].size(), 10u);
+  }
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, DlCoupledProposesEmptyWhenBehind) {
+  // DL-Coupled on a slow node: when retrieval lags, the node participates
+  // with empty blocks (spam defense of §4.5).
+  const int n = 4, f = 1;
+  sim::NetworkConfig net = sim::NetworkConfig::uniform(n, 0.02, 3e6);
+  net.egress[0] = sim::Trace::constant(0.25e6);
+  net.ingress[0] = sim::Trace::constant(0.25e6);
+  Cluster c(net);
+  for (int i = 0; i < n; ++i) {
+    auto cfg = NodeConfig::dl_coupled(n, f, i);
+    cfg.max_block_bytes = 100'000;
+    cfg.backlog_tx_bytes = 250;
+    c.add_node(cfg);
+  }
+  c.sim.run_until(40.0);
+  EXPECT_GT(c.nodes[0]->stats().proposed_empty_blocks, 0u);
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, FallBehindStopThrottlesProposals) {
+  const int n = 4, f = 1;
+  sim::NetworkConfig net = sim::NetworkConfig::uniform(n, 0.02, 3e6);
+  net.egress[0] = sim::Trace::constant(0.25e6);
+  net.ingress[0] = sim::Trace::constant(0.25e6);
+  Cluster c(net);
+  for (int i = 0; i < n; ++i) {
+    auto cfg = NodeConfig::dispersed_ledger(n, f, i);
+    cfg.max_block_bytes = 100'000;
+    cfg.backlog_tx_bytes = 250;
+    cfg.fall_behind_stop = (i == 0) ? 3 : 0;  // P=3 for the slow node
+    c.add_node(cfg);
+  }
+  c.sim.run_until(40.0);
+  // The slow node must not have dispersed more than P epochs past its
+  // delivery frontier (+1: the gate is checked before each proposal).
+  const auto& s = c.nodes[0]->stats();
+  EXPECT_LE(s.current_dispersal_epoch, c.nodes[0]->next_epoch_to_deliver() + 4);
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, EpochsAdvanceWithoutRetrievalInDL) {
+  // The core decoupling claim: a DL node participates in dispersal for
+  // epochs far beyond what it has retrieved.
+  const int n = 4, f = 1;
+  sim::NetworkConfig net = sim::NetworkConfig::uniform(n, 0.02, 3e6);
+  net.egress[0] = sim::Trace::constant(0.3e6);
+  net.ingress[0] = sim::Trace::constant(0.3e6);
+  Cluster c(net);
+  for (int i = 0; i < n; ++i) {
+    auto cfg = NodeConfig::dispersed_ledger(n, f, i);
+    cfg.max_block_bytes = 150'000;
+    cfg.backlog_tx_bytes = 250;
+    c.add_node(cfg);
+  }
+  c.sim.run_until(30.0);
+  const auto& slow = c.nodes[0]->stats();
+  EXPECT_GT(slow.current_dispersal_epoch, c.nodes[0]->next_epoch_to_deliver() + 2);
+}
+
+TEST(DlNode, FingerprintsMatchAtEqualBlockCounts) {
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  for (int i = 0; i < n; ++i) {
+    auto cfg = with_small_blocks(NodeConfig::dispersed_ledger(n, f, i));
+    cfg.backlog_tx_bytes = 250;
+    cfg.max_block_bytes = 40'000;
+    c.add_node(cfg);
+  }
+  c.sim.run_until(20.0);
+  // If two nodes delivered the same number of blocks, their delivery-chain
+  // fingerprints must be identical.
+  for (int i = 1; i < n; ++i) {
+    if (c.nodes[0]->stats().delivered_blocks ==
+        c.nodes[static_cast<std::size_t>(i)]->stats().delivered_blocks) {
+      EXPECT_EQ(c.nodes[0]->delivery_fingerprint(),
+                c.nodes[static_cast<std::size_t>(i)]->delivery_fingerprint());
+    }
+  }
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, NoLoadStillLive) {
+  // Zero transactions: epochs tick with empty blocks, nothing crashes, and
+  // no payload is "confirmed".
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 1e6));
+  for (int i = 0; i < n; ++i) c.add_node(NodeConfig::dispersed_ledger(n, f, i));
+  c.sim.run_until(5.0);
+  for (auto* node : c.nodes) {
+    EXPECT_GT(node->stats().delivered_epochs, 0u);
+    EXPECT_EQ(node->stats().delivered_payload_bytes, 0u);
+  }
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, GarbageMessagesIgnored) {
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  for (int i = 0; i < n; ++i) c.add_node(with_small_blocks(NodeConfig::dispersed_ledger(n, f, i)));
+  // Inject garbage directly into node 0 at various times.
+  for (int k = 0; k < 20; ++k) {
+    c.sim.queue().at(0.1 * k, [&c, k] {
+      sim::Message m;
+      m.from = 3;
+      m.to = 0;
+      m.payload = std::make_shared<Bytes>(random_bytes(64, static_cast<std::uint64_t>(k)));
+      c.sim.network().send(std::move(m));
+    });
+  }
+  c.nodes[0]->submit(bytes_of("real-tx"));
+  c.sim.run_until(10.0);
+  EXPECT_GT(c.nodes[1]->stats().delivered_payload_bytes, 0u);
+  c.expect_all_logs_consistent();
+}
+
+TEST(DlNode, AbsurdEpochMessageBounded) {
+  // A message naming an absurd epoch must not blow up memory or crash.
+  const int n = 4, f = 1;
+  Cluster c(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  for (int i = 0; i < n; ++i) c.add_node(NodeConfig::dispersed_ledger(n, f, i));
+  c.sim.queue().at(0.5, [&c] {
+    Envelope env;
+    env.kind = MsgKind::BaBval;
+    env.epoch = 1'000'000'000;
+    env.instance = 0;
+    env.body = ba::BaRoundMsg{0, true}.encode();
+    sim::Message m;
+    m.from = 3;
+    m.to = 0;
+    m.payload = std::make_shared<Bytes>(env.encode());
+    c.sim.network().send(std::move(m));
+  });
+  c.sim.run_until(5.0);
+  for (auto* node : c.nodes) EXPECT_GT(node->stats().delivered_epochs, 0u);
+}
+
+}  // namespace
+}  // namespace dl::core

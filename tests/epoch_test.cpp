@@ -1,0 +1,62 @@
+// DLEpoch bookkeeping: BA output tracking, commit-set formation, VID
+// completion edge detection.
+#include <gtest/gtest.h>
+
+#include "dl/epoch.hpp"
+
+namespace dl::core {
+namespace {
+
+DLEpoch make_epoch(int n = 4, int f = 1) {
+  static ba::CommonCoin coin(1);
+  return DLEpoch(0, n, f, 0, coin);
+}
+
+TEST(DLEpoch, CommitSetAfterAllOutputs) {
+  DLEpoch ep = make_epoch();
+  EXPECT_FALSE(ep.all_ba_output());
+  // Drive each BA to a decision via f+1 DONE messages (the adoption path).
+  for (int inst = 0; inst < 4; ++inst) {
+    const bool value = inst != 2;  // BA 2 decides 0
+    Outbox out;
+    ba::BaDoneMsg done{value};
+    ep.ba(inst).handle(1, MsgKind::BaDone, done.encode(), out);
+    ep.ba(inst).handle(3, MsgKind::BaDone, done.encode(), out);
+    EXPECT_TRUE(ep.ba(inst).decided());
+  }
+  EXPECT_TRUE(ep.refresh_ba_outputs());
+  EXPECT_TRUE(ep.all_ba_output());
+  EXPECT_EQ(ep.decided_count(), 4);
+  EXPECT_EQ(ep.one_count(), 3);
+  EXPECT_EQ(ep.commit_set(), (std::vector<int>{0, 1, 3}));
+  // Idempotent refresh.
+  EXPECT_FALSE(ep.refresh_ba_outputs());
+}
+
+TEST(DLEpoch, VidCompleteNotedOnce) {
+  DLEpoch ep = make_epoch();
+  EXPECT_FALSE(ep.note_vid_complete_once(1));  // not complete yet
+
+  // Complete VID 1 via 2f+1 Ready messages.
+  const Hash root = sha256(bytes_of("root"));
+  Outbox out;
+  vid::RootMsg ready{root};
+  for (int from : {0, 2, 3}) {
+    ep.vid(1).handle(from, MsgKind::VidReady, ready.encode(), out);
+  }
+  ASSERT_TRUE(ep.vid(1).complete());
+  EXPECT_TRUE(ep.note_vid_complete_once(1));
+  EXPECT_FALSE(ep.note_vid_complete_once(1));  // edge already consumed
+  EXPECT_FALSE(ep.note_vid_complete_once(0));  // other instance untouched
+}
+
+TEST(DLEpoch, InstancesAreIndependent) {
+  DLEpoch ep = make_epoch();
+  Outbox out;
+  ep.ba(0).input(true, out);
+  EXPECT_TRUE(ep.ba_input_done(0));
+  EXPECT_FALSE(ep.ba_input_done(1));
+}
+
+}  // namespace
+}  // namespace dl::core

@@ -1,0 +1,83 @@
+// Event queue: ordering, tie-breaking, clock semantics.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace dl::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.at(3.0, [&] { order.push_back(3); });
+  eq.at(1.0, [&] { order.push_back(1); });
+  eq.at(2.0, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertion) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, AfterUsesCurrentTime) {
+  EventQueue eq;
+  double fired_at = -1;
+  eq.at(5.0, [&] {
+    eq.after(2.5, [&] { fired_at = eq.now(); });
+  });
+  eq.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) eq.after(1.0, tick);
+  };
+  eq.at(0.0, tick);
+  eq.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(eq.now(), 99.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue eq;
+  int fired = 0;
+  eq.at(1.0, [&] { fired++; });
+  eq.at(10.0, [&] { fired++; });
+  eq.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+  EXPECT_EQ(eq.pending(), 1u);
+  eq.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.step());
+  EXPECT_TRUE(eq.empty());
+  eq.at(0.0, [] {});
+  EXPECT_TRUE(eq.step());
+  EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, DeadlineEqualEventRuns) {
+  EventQueue eq;
+  bool fired = false;
+  eq.at(5.0, [&] { fired = true; });
+  eq.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace dl::sim

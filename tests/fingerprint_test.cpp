@@ -1,0 +1,148 @@
+// GF(2^64) arithmetic, the GF(2^8)->GF(2^64) embedding, and the fingerprint
+// homomorphism that AVID-FP's dispersal-time verification rests on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/fingerprint.hpp"
+#include "erasure/gf256.hpp"
+#include "erasure/reed_solomon.hpp"
+
+namespace dl {
+namespace {
+
+TEST(Gf64, MulIdentityZero) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.next();
+    EXPECT_EQ(gf64::mul(a, 1), a);
+    EXPECT_EQ(gf64::mul(1, a), a);
+    EXPECT_EQ(gf64::mul(a, 0), 0u);
+  }
+}
+
+TEST(Gf64, MulCommutativeAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next(), c = rng.next();
+    EXPECT_EQ(gf64::mul(a, b), gf64::mul(b, a));
+    EXPECT_EQ(gf64::mul(gf64::mul(a, b), c), gf64::mul(a, gf64::mul(b, c)));
+  }
+}
+
+TEST(Gf64, Distributive) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next(), c = rng.next();
+    EXPECT_EQ(gf64::mul(a, b ^ c), gf64::mul(a, b) ^ gf64::mul(a, c));
+  }
+}
+
+TEST(Gf64, PowConsistent) {
+  const std::uint64_t g = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t acc = 1;
+  for (int e = 0; e < 64; ++e) {
+    EXPECT_EQ(gf64::pow(g, static_cast<std::uint64_t>(e)), acc);
+    acc = gf64::mul(acc, g);
+  }
+}
+
+TEST(Embedding, IsFieldHomomorphism) {
+  // phi must preserve both operations for ALL pairs — exhaustive.
+  EXPECT_EQ(gf256_embed(0), 0u);
+  EXPECT_EQ(gf256_embed(1), 1u);
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf256_embed(x ^ y), gf256_embed(x) ^ gf256_embed(y));
+      EXPECT_EQ(gf256_embed(gf256::mul(x, y)),
+                gf64::mul(gf256_embed(x), gf256_embed(y)));
+    }
+  }
+}
+
+TEST(Embedding, Injective) {
+  std::set<std::uint64_t> seen;
+  for (int a = 0; a < 256; ++a) seen.insert(gf256_embed(static_cast<std::uint8_t>(a)));
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Fingerprint, DetectsDifferences) {
+  const Bytes a = random_bytes(1000, 1);
+  Bytes b = a;
+  b[500] ^= 1;
+  const std::uint64_t r = 0x123456789ABCDEFULL;
+  EXPECT_NE(fingerprint(a, r), fingerprint(b, r));
+  EXPECT_EQ(fingerprint(a, r), fingerprint(a, r));
+}
+
+TEST(Fingerprint, LinearInData) {
+  // fp(a xor b) == fp(a) xor fp(b) byte-wise (phi is additive).
+  const Bytes a = random_bytes(512, 2);
+  const Bytes b = random_bytes(512, 3);
+  Bytes x(512);
+  for (std::size_t i = 0; i < 512; ++i) x[i] = a[i] ^ b[i];
+  const std::uint64_t r = 0xDEADBEEFCAFEBABEULL;
+  EXPECT_EQ(fingerprint(x, r), fingerprint(a, r) ^ fingerprint(b, r));
+}
+
+TEST(Fingerprint, HomomorphicWithReedSolomon) {
+  // The AVID-FP check: fingerprint of any encoded chunk equals the encoding
+  // row applied (in the embedded field) to the data-chunk fingerprints.
+  const int k = 4, n = 10;
+  const ReedSolomon rs(k, n);
+  const auto chunks = rs.encode(random_bytes(1000, 4));
+  const std::uint64_t r = 0x1122334455667788ULL;
+  std::vector<std::uint64_t> data_fps;
+  for (int i = 0; i < k; ++i) data_fps.push_back(fingerprint(chunks[static_cast<std::size_t>(i)], r));
+  for (int row = 0; row < n; ++row) {
+    std::vector<std::uint64_t> coeffs;
+    for (int c = 0; c < k; ++c) coeffs.push_back(gf256_embed(rs.matrix_at(row, c)));
+    EXPECT_EQ(fingerprint(chunks[static_cast<std::size_t>(row)], r),
+              combine(coeffs, data_fps))
+        << "row " << row;
+  }
+}
+
+TEST(Fingerprint, TamperedChunkFailsHomomorphism) {
+  const int k = 4, n = 10;
+  const ReedSolomon rs(k, n);
+  auto chunks = rs.encode(random_bytes(500, 5));
+  const std::uint64_t r = 0x1111111111111111ULL;
+  std::vector<std::uint64_t> data_fps;
+  for (int i = 0; i < k; ++i) data_fps.push_back(fingerprint(chunks[static_cast<std::size_t>(i)], r));
+  chunks[7][3] ^= 0x5A;  // tamper a parity chunk
+  std::vector<std::uint64_t> coeffs;
+  for (int c = 0; c < k; ++c) coeffs.push_back(gf256_embed(rs.matrix_at(7, c)));
+  EXPECT_NE(fingerprint(chunks[7], r), combine(coeffs, data_fps));
+}
+
+TEST(CrossChecksum, EncodeDecodeRoundTrip) {
+  CrossChecksum cc;
+  for (int i = 0; i < 10; ++i) cc.chunk_hashes.push_back(sha256(random_bytes(10, static_cast<std::uint64_t>(i))));
+  for (int i = 0; i < 4; ++i) cc.data_fps.push_back(0x1000ULL + static_cast<std::uint64_t>(i));
+  cc.eval_point = 77;
+  CrossChecksum back;
+  ASSERT_TRUE(CrossChecksum::decode(cc.encode(), back));
+  EXPECT_EQ(back, cc);
+}
+
+TEST(CrossChecksum, WireSizeMatchesPaperFormula) {
+  // N*lambda + (N-2f)*gamma + point: the per-message overhead of AVID-FP.
+  CrossChecksum cc;
+  cc.chunk_hashes.resize(16);
+  cc.data_fps.resize(6);
+  EXPECT_EQ(cc.wire_size(), 16u * 32 + 6u * 8 + 8);
+}
+
+TEST(CrossChecksum, DecodeRejectsGarbage) {
+  CrossChecksum out;
+  EXPECT_FALSE(CrossChecksum::decode(bytes_of("junk"), out));
+  EXPECT_FALSE(CrossChecksum::decode({}, out));
+  // Absurd counts rejected.
+  Bytes huge = {0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_FALSE(CrossChecksum::decode(huge, out));
+}
+
+}  // namespace
+}  // namespace dl

@@ -1,0 +1,108 @@
+// Decoder robustness: every wire decoder in the library must be total —
+// random bytes, bit-flipped valid messages, and truncations must never
+// crash, hang, or allocate absurdly; they either parse or return failure.
+// (Byzantine peers control every one of these inputs.)
+#include <gtest/gtest.h>
+
+#include "app/kv_state_machine.hpp"
+#include "ba/binary_agreement.hpp"
+#include "common/envelope.hpp"
+#include "common/rng.hpp"
+#include "crypto/fingerprint.hpp"
+#include "dl/block.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "vid/avid_fp.hpp"
+#include "vid/avid_m.hpp"
+
+namespace dl {
+namespace {
+
+// Feeds `input` to every decoder; success criterion is simply "no crash".
+void feed_all(ByteView input) {
+  { auto v = Envelope::decode(input); (void)v; }
+  { vid::ChunkMsg m; (void)vid::ChunkMsg::decode(input, m); }
+  { vid::RootMsg m; (void)vid::RootMsg::decode(input, m); }
+  { vid::FpChunkMsg m; (void)vid::FpChunkMsg::decode(input, m); }
+  { vid::FpChecksumMsg m; (void)vid::FpChecksumMsg::decode(input, m); }
+  { MerkleProof p; (void)MerkleProof::decode(input, p); }
+  { CrossChecksum c; (void)CrossChecksum::decode(input, c); }
+  { ba::BaRoundMsg m; (void)ba::BaRoundMsg::decode(input, m); }
+  { ba::BaDoneMsg m; (void)ba::BaDoneMsg::decode(input, m); }
+  { auto b = core::Block::decode(input, 16); (void)b; }
+  { auto c = app::Command::decode(input); (void)c; }
+}
+
+TEST(FuzzDecode, RandomBytes) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const std::size_t len = static_cast<std::size_t>(rng.next_below(512));
+    feed_all(random_bytes(len, seed));
+  }
+}
+
+TEST(FuzzDecode, BitFlippedValidMessages) {
+  // Start from real messages of each type and flip random bits.
+  const vid::Params p{7, 2};
+  const Bytes block = random_bytes(777, 1);
+  std::vector<Bytes> corpus;
+  for (const auto& m : vid::avid_m_disperse(p, block)) corpus.push_back(m.encode());
+  for (const auto& m : vid::avid_fp_disperse(p, block)) corpus.push_back(m.encode());
+  {
+    core::Block b;
+    b.v_array.assign(16, 3);
+    core::Transaction tx;
+    tx.payload = bytes_of("x");
+    b.txs.push_back(tx);
+    corpus.push_back(b.encode());
+    Envelope env;
+    env.kind = MsgKind::VidChunk;
+    env.body = corpus[0];
+    corpus.push_back(env.encode());
+    corpus.push_back(ba::BaRoundMsg{3, true}.encode());
+    corpus.push_back(app::Command{app::CommandKind::Put, "k", "v", ""}.encode());
+  }
+  Rng rng(42);
+  for (const Bytes& base : corpus) {
+    for (int trial = 0; trial < 50; ++trial) {
+      Bytes mutated = base;
+      const int flips = 1 + static_cast<int>(rng.next_below(8));
+      for (int i = 0; i < flips; ++i) {
+        const std::size_t pos = static_cast<std::size_t>(rng.next_below(mutated.size()));
+        mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
+      feed_all(mutated);
+    }
+  }
+}
+
+TEST(FuzzDecode, AllTruncations) {
+  const vid::Params p{4, 1};
+  const auto msgs = vid::avid_m_disperse(p, random_bytes(100, 2));
+  const Bytes full = msgs[0].encode();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    feed_all(ByteView(full.data(), len));
+  }
+}
+
+TEST(FuzzDecode, ProtocolAutomataSurviveGarbage) {
+  // Random kind/bodies into live automata.
+  vid::AvidMServer server({4, 1}, 0);
+  ba::BinaryAgreement ba(4, 1, 0, [](std::uint32_t) { return true; });
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes body = random_bytes(static_cast<std::size_t>(rng.next_below(128)), static_cast<std::uint64_t>(i));
+    const auto kind = static_cast<MsgKind>(rng.next_below(40));
+    const int from = static_cast<int>(rng.next_below(4));
+    Outbox out;
+    server.handle(from, kind, body, out);
+    ba.handle(from, kind, body, out);
+  }
+  // Automata remain functional after the garbage storm.
+  EXPECT_FALSE(server.complete());
+  Outbox out;
+  ba.input(true, out);
+  EXPECT_TRUE(ba.has_input());
+}
+
+}  // namespace
+}  // namespace dl

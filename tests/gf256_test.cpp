@@ -1,0 +1,116 @@
+// Property tests of GF(2^8) arithmetic: field axioms over exhaustive and
+// randomly sampled element sets.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "erasure/gf256.hpp"
+
+namespace dl {
+namespace {
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(x, 1), x);
+    EXPECT_EQ(gf256::mul(1, x), x);
+    EXPECT_EQ(gf256::mul(x, 0), 0);
+    EXPECT_EQ(gf256::mul(0, x), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = a; b < 256; ++b) {
+      EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                gf256::mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MulAssociativeSampled) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next());
+    const auto b = static_cast<std::uint8_t>(rng.next());
+    const auto c = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributiveSampled) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next());
+    const auto b = static_cast<std::uint8_t>(rng.next());
+    const auto c = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(gf256::mul(a, static_cast<std::uint8_t>(b ^ c)),
+              gf256::mul(a, b) ^ gf256::mul(a, c));
+  }
+}
+
+TEST(Gf256, InverseExhaustive) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(x, gf256::inv(x)), 1) << a;
+  }
+}
+
+TEST(Gf256, DivisionIsMulByInverse) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf256::div(x, y), gf256::mul(x, gf256::inv(y)));
+    }
+  }
+}
+
+TEST(Gf256, ExpGeneratorCyclic) {
+  // exp is 255-periodic and hits every nonzero element exactly once.
+  std::vector<bool> seen(256, false);
+  for (int e = 0; e < 255; ++e) {
+    const std::uint8_t v = gf256::exp(e);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "repeat at e=" << e;
+    seen[v] = true;
+  }
+  EXPECT_EQ(gf256::exp(255), gf256::exp(0));
+  EXPECT_EQ(gf256::exp(-1), gf256::exp(254));
+  EXPECT_EQ(gf256::exp(510), gf256::exp(0));
+}
+
+TEST(Gf256, MulAddRowMatchesScalar) {
+  Rng rng(3);
+  Bytes src = random_bytes(1000, 4);
+  for (int c : {0, 1, 2, 37, 255}) {
+    Bytes dst = random_bytes(1000, 5);
+    Bytes expect = dst;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      expect[i] ^= gf256::mul(static_cast<std::uint8_t>(c), src[i]);
+    }
+    gf256::mul_add_row(dst.data(), src.data(), static_cast<std::uint8_t>(c), src.size());
+    EXPECT_EQ(dst, expect) << "c=" << c;
+  }
+}
+
+TEST(Gf256, MulRowMatchesScalar) {
+  Bytes src = random_bytes(512, 6);
+  for (int c : {0, 1, 91, 254}) {
+    Bytes dst(512, 0);
+    gf256::mul_row(dst.data(), src.data(), static_cast<std::uint8_t>(c), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      EXPECT_EQ(dst[i], gf256::mul(static_cast<std::uint8_t>(c), src[i]));
+    }
+  }
+}
+
+TEST(Gf256, MulRowInPlace) {
+  Bytes buf = random_bytes(64, 8);
+  Bytes expect = buf;
+  for (auto& b : expect) b = gf256::mul(7, b);
+  gf256::mul_row(buf.data(), buf.data(), 7, buf.size());
+  EXPECT_EQ(buf, expect);
+}
+
+}  // namespace
+}  // namespace dl

@@ -1,0 +1,131 @@
+// Replicated KV state machine: command codec, local semantics (PUT/DEL/CAS),
+// and full replication on a DL cluster — identical digests everywhere, CAS
+// races resolved identically by total order.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/kv_state_machine.hpp"
+
+namespace dl::app {
+namespace {
+
+TEST(Command, CodecRoundTrip) {
+  Command c;
+  c.kind = CommandKind::Cas;
+  c.key = "balance/alice";
+  c.value = "90";
+  c.expected = "100";
+  auto back = Command::decode(c.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, CommandKind::Cas);
+  EXPECT_EQ(back->key, c.key);
+  EXPECT_EQ(back->value, c.value);
+  EXPECT_EQ(back->expected, c.expected);
+}
+
+TEST(Command, RejectsGarbageAndForeignPayloads) {
+  EXPECT_FALSE(Command::decode(bytes_of("not a command")).has_value());
+  EXPECT_FALSE(Command::decode({}).has_value());
+  Command c;
+  c.key = "k";
+  Bytes raw = c.encode();
+  raw[2] = 9;  // invalid kind
+  EXPECT_FALSE(Command::decode(raw).has_value());
+  // Empty key rejected.
+  Command empty;
+  empty.key = "";
+  EXPECT_FALSE(Command::decode(empty.encode()).has_value());
+}
+
+TEST(KvStateMachine, PutDelSemantics) {
+  KvStateMachine sm;
+  EXPECT_TRUE(sm.apply({CommandKind::Put, "a", "1", ""}));
+  EXPECT_TRUE(sm.apply({CommandKind::Put, "a", "2", ""}));
+  EXPECT_EQ(sm.get("a"), "2");
+  EXPECT_TRUE(sm.apply({CommandKind::Del, "a", "", ""}));
+  EXPECT_FALSE(sm.get("a").has_value());
+  EXPECT_FALSE(sm.apply({CommandKind::Del, "a", "", ""}));  // already gone
+  EXPECT_EQ(sm.applied(), 4u);
+  EXPECT_EQ(sm.rejected(), 1u);
+}
+
+TEST(KvStateMachine, CasSemantics) {
+  KvStateMachine sm;
+  sm.apply({CommandKind::Put, "x", "100", ""});
+  EXPECT_TRUE(sm.apply({CommandKind::Cas, "x", "90", "100"}));
+  EXPECT_EQ(sm.get("x"), "90");
+  EXPECT_FALSE(sm.apply({CommandKind::Cas, "x", "80", "100"}));  // stale expected
+  EXPECT_EQ(sm.get("x"), "90");
+  EXPECT_FALSE(sm.apply({CommandKind::Cas, "missing", "1", "0"}));
+}
+
+TEST(KvStateMachine, DigestReflectsStateAndHistory) {
+  KvStateMachine a, b;
+  a.apply({CommandKind::Put, "k", "v", ""});
+  b.apply({CommandKind::Put, "k", "v", ""});
+  EXPECT_EQ(a.digest(), b.digest());
+  // Same final state, different history (a failed op) => different digest.
+  b.apply({CommandKind::Del, "zzz", "", ""});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(ReplicatedKv, IdenticalStateAcrossCluster) {
+  const int n = 4, f = 1;
+  sim::Simulator sim(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  std::vector<std::unique_ptr<core::DlNode>> nodes;
+  std::vector<std::unique_ptr<ReplicatedKv>> kvs;
+  for (int i = 0; i < n; ++i) {
+    auto cfg = core::NodeConfig::dispersed_ledger(n, f, i);
+    cfg.max_block_bytes = 50'000;
+    nodes.push_back(std::make_unique<core::DlNode>(cfg, sim.queue(), sim.network()));
+    sim.attach(i, nodes.back().get());
+    kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
+  }
+  // Concurrent writes from different nodes, including conflicting CAS from
+  // two nodes: total order decides the winner — identically everywhere.
+  sim.queue().at(0.1, [&] { kvs[0]->submit({CommandKind::Put, "acct", "100", ""}); });
+  sim.queue().at(1.5, [&] { kvs[1]->submit({CommandKind::Cas, "acct", "90", "100"}); });
+  sim.queue().at(1.5, [&] { kvs[2]->submit({CommandKind::Cas, "acct", "80", "100"}); });
+  for (int i = 0; i < n; ++i) {
+    sim.queue().at(2.0 + 0.1 * i, [&kvs, i] {
+      kvs[static_cast<std::size_t>(i)]->submit(
+          {CommandKind::Put, "node" + std::to_string(i), "hello", ""});
+    });
+  }
+  sim.run_until(20.0);
+
+  // All replicas applied every command; digests identical.
+  ASSERT_EQ(kvs[0]->state().applied(), 7u);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(kvs[static_cast<std::size_t>(i)]->state().digest(), kvs[0]->state().digest()) << i;
+  }
+  // Exactly one CAS won.
+  const auto acct = kvs[0]->state().get("acct");
+  ASSERT_TRUE(acct.has_value());
+  EXPECT_TRUE(*acct == "90" || *acct == "80");
+  EXPECT_EQ(kvs[0]->state().rejected(), 1u);
+}
+
+TEST(ReplicatedKv, NonCommandPayloadsIgnored) {
+  const int n = 4, f = 1;
+  sim::Simulator sim(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  std::vector<std::unique_ptr<core::DlNode>> nodes;
+  std::vector<std::unique_ptr<ReplicatedKv>> kvs;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<core::DlNode>(
+        core::NodeConfig::dispersed_ledger(n, f, i), sim.queue(), sim.network()));
+    sim.attach(i, nodes.back().get());
+    kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
+  }
+  sim.queue().at(0.1, [&] {
+    nodes[0]->submit(bytes_of("raw ledger payload, not a KV command"));
+    kvs[1]->submit({CommandKind::Put, "k", "v", ""});
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(kvs[3]->state().applied(), 1u);
+  EXPECT_EQ(kvs[3]->state().get("k"), "v");
+}
+
+}  // namespace
+}  // namespace dl::app

@@ -1,0 +1,187 @@
+// FluidLink: serialization times, FIFO within class, weighted sharing
+// between classes, per-epoch ordering in the Low class, trace changes,
+// cancellation, byte accounting.
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+
+namespace dl::sim {
+namespace {
+
+Message make_msg(std::size_t payload, Priority cls = Priority::High,
+                 std::uint64_t order = 0, std::uint64_t tag = 0) {
+  Message m;
+  m.cls = cls;
+  m.order = order;
+  m.tag = tag;
+  m.payload = std::make_shared<Bytes>(payload, 0x55);
+  return m;
+}
+
+struct Capture {
+  std::vector<std::pair<Time, Message>> done;
+  FluidLink::DoneFn fn(EventQueue& eq) {
+    return [this, &eq](Message&& m) { done.emplace_back(eq.now(), std::move(m)); };
+  }
+};
+
+TEST(FluidLink, SingleMessageSerializationTime) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead));  // wire = 1000 B
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 1u);
+  EXPECT_NEAR(cap.done[0].first, 1.0, 1e-9);
+}
+
+TEST(FluidLink, FifoWithinClass) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  for (int i = 0; i < 3; ++i) {
+    auto m = make_msg(1000 - Message::kHeaderOverhead);
+    m.tag = static_cast<std::uint64_t>(i + 1);
+    link.enqueue(std::move(m));
+  }
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(cap.done[static_cast<std::size_t>(i)].first, i + 1.0, 1e-9);
+    EXPECT_EQ(cap.done[static_cast<std::size_t>(i)].second.tag,
+              static_cast<std::uint64_t>(i + 1));
+  }
+}
+
+TEST(FluidLink, WeightedSharingBetweenClasses) {
+  // weight 3: High gets 3/4 of the rate, Low 1/4, while both are busy.
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 3.0, cap.fn(eq));
+  auto high = make_msg(1500 - Message::kHeaderOverhead, Priority::High);
+  high.tag = 1;
+  auto low = make_msg(1500 - Message::kHeaderOverhead, Priority::Low);
+  low.tag = 2;
+  link.enqueue(std::move(high));
+  link.enqueue(std::move(low));
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 2u);
+  // High: 1500 B at 750 B/s -> t=2. Low then: 1500 - 2*250 = 1000 B left
+  // at full 1000 B/s -> t=3.
+  EXPECT_EQ(cap.done[0].second.tag, 1u);
+  EXPECT_NEAR(cap.done[0].first, 2.0, 1e-6);
+  EXPECT_EQ(cap.done[1].second.tag, 2u);
+  EXPECT_NEAR(cap.done[1].first, 3.0, 1e-6);
+}
+
+TEST(FluidLink, LowClassOrderedByEpoch) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  // Enqueue epochs 5, 3, 4. Epoch 5 starts serving immediately; 3 and 4
+  // queue and must come out in epoch order.
+  for (std::uint64_t e : {5u, 3u, 4u}) {
+    auto m = make_msg(1000 - Message::kHeaderOverhead, Priority::Low, e);
+    m.tag = e;
+    link.enqueue(std::move(m));
+  }
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 3u);
+  EXPECT_EQ(cap.done[0].second.tag, 5u);  // already in service
+  EXPECT_EQ(cap.done[1].second.tag, 3u);
+  EXPECT_EQ(cap.done[2].second.tag, 4u);
+}
+
+TEST(FluidLink, TraceRateChangeMidMessage) {
+  EventQueue eq;
+  Capture cap;
+  // 1000 B/s for 1 s, then 500 B/s.
+  FluidLink link(eq, Trace({1000.0, 500.0}, 1.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(1500 - Message::kHeaderOverhead));
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 1u);
+  // 1000 B in the first second, remaining 500 B at 500 B/s -> t=2.
+  EXPECT_NEAR(cap.done[0].first, 2.0, 1e-6);
+}
+
+TEST(FluidLink, CancelRemovesQueuedLowMessages) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  auto first = make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 0, 7);
+  link.enqueue(std::move(first));  // starts serving immediately
+  auto queued = make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 1, 7);
+  link.enqueue(std::move(queued));
+  const std::size_t removed = link.cancel(7);
+  EXPECT_EQ(removed, 1000u);  // only the queued one
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 1u);  // in-service message still completes
+  EXPECT_NEAR(cap.done[0].first, 1.0, 1e-9);
+}
+
+TEST(FluidLink, CancelZeroTagIsNoop) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(100, Priority::Low, 0, 0));
+  EXPECT_EQ(link.cancel(0), 0u);
+}
+
+TEST(FluidLink, ServedBytesAccounting) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1e6), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(936, Priority::High));   // wire 1000
+  link.enqueue(make_msg(1936, Priority::Low));   // wire 2000
+  eq.run();
+  EXPECT_EQ(link.served_bytes(Priority::High), 1000u);
+  EXPECT_EQ(link.served_bytes(Priority::Low), 2000u);
+  EXPECT_EQ(link.backlog_bytes(), 0u);
+}
+
+TEST(FluidLink, BacklogTracking) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(936, Priority::High));
+  link.enqueue(make_msg(936, Priority::Low));
+  EXPECT_EQ(link.backlog_bytes(), 2000u);
+  EXPECT_EQ(link.backlog_bytes(Priority::High), 1000u);
+  EXPECT_EQ(link.backlog_bytes(Priority::Low), 1000u);
+  eq.run();
+  EXPECT_EQ(link.backlog_bytes(), 0u);
+}
+
+TEST(FluidLink, HighAloneGetsFullRate) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(2000 - Message::kHeaderOverhead, Priority::Low));
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 1u);
+  EXPECT_NEAR(cap.done[0].first, 2.0, 1e-9);  // full rate despite Low class
+}
+
+TEST(FluidLink, ArrivalDuringServiceAdjustsShares) {
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 1.0, cap.fn(eq));  // equal split
+  // Low starts alone at t=0 with 2000 B (full rate).
+  auto low = make_msg(2000 - Message::kHeaderOverhead, Priority::Low);
+  low.tag = 1;
+  link.enqueue(std::move(low));
+  // High (1000 B) arrives at t=1; from then: each gets 500 B/s.
+  eq.at(1.0, [&] {
+    auto high = make_msg(1000 - Message::kHeaderOverhead, Priority::High);
+    high.tag = 2;
+    link.enqueue(std::move(high));
+  });
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 2u);
+  // Low: 1000 B left at t=1, at 500 B/s -> t=3. High: 1000 B at 500 -> t=3.
+  EXPECT_NEAR(cap.done[0].first, 3.0, 1e-6);
+  EXPECT_NEAR(cap.done[1].first, 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace dl::sim

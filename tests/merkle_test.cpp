@@ -1,0 +1,152 @@
+// Merkle tree: proof verification, position binding, tamper detection,
+// odd leaf counts, and proof codec round-trips.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "merkle/merkle_tree.hpp"
+
+namespace dl {
+namespace {
+
+std::vector<Bytes> make_leaves(int n, std::uint64_t seed) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < n; ++i) {
+    leaves.push_back(random_bytes(50, seed * 1000 + static_cast<std::uint64_t>(i)));
+  }
+  return leaves;
+}
+
+class MerkleP : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleP, AllProofsVerify) {
+  const int n = GetParam();
+  const auto leaves = make_leaves(n, 1);
+  const MerkleTree tree(leaves);
+  for (int i = 0; i < n; ++i) {
+    const auto proof = tree.prove(static_cast<std::uint32_t>(i));
+    EXPECT_TRUE(merkle_verify(tree.root(), leaves[static_cast<std::size_t>(i)], proof)) << i;
+  }
+}
+
+TEST_P(MerkleP, WrongLeafFails) {
+  const int n = GetParam();
+  const auto leaves = make_leaves(n, 2);
+  const MerkleTree tree(leaves);
+  const auto proof = tree.prove(0);
+  Bytes tampered = leaves[0];
+  tampered[0] ^= 1;
+  EXPECT_FALSE(merkle_verify(tree.root(), tampered, proof));
+}
+
+TEST_P(MerkleP, WrongPositionFails) {
+  const int n = GetParam();
+  if (n < 2) return;
+  const auto leaves = make_leaves(n, 3);
+  const MerkleTree tree(leaves);
+  // A proof for leaf 0 must not verify leaf 1's content or position.
+  auto proof = tree.prove(0);
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[1], proof));
+  proof.index = 1;
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[0], proof));
+}
+
+TEST_P(MerkleP, WrongRootFails) {
+  const int n = GetParam();
+  const auto leaves = make_leaves(n, 4);
+  const MerkleTree tree(leaves);
+  const Hash bogus = sha256(bytes_of("bogus"));
+  EXPECT_FALSE(merkle_verify(bogus, leaves[0], tree.prove(0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 33, 64, 100, 128, 255));
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  const auto leaves = make_leaves(9, 5);
+  const Hash r0 = merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mod = leaves;
+    mod[i][0] ^= 0xFF;
+    EXPECT_NE(merkle_root(mod), r0) << i;
+  }
+}
+
+TEST(Merkle, RootSensitiveToOrder) {
+  auto leaves = make_leaves(4, 6);
+  const Hash r0 = merkle_root(leaves);
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(merkle_root(leaves), r0);
+}
+
+TEST(Merkle, LeafDomainSeparation) {
+  // A leaf containing what looks like two concatenated hashes must not
+  // collide with the inner node above them.
+  const auto leaves = make_leaves(2, 7);
+  const MerkleTree tree(leaves);
+  Bytes fake_leaf;
+  append(fake_leaf, merkle_leaf_hash(leaves[0]).view());
+  append(fake_leaf, merkle_leaf_hash(leaves[1]).view());
+  EXPECT_NE(merkle_root({fake_leaf}), tree.root());
+}
+
+TEST(Merkle, ProofCodecRoundTrip) {
+  const auto leaves = make_leaves(13, 8);
+  const MerkleTree tree(leaves);
+  for (std::uint32_t i : {0u, 5u, 12u}) {
+    const auto proof = tree.prove(i);
+    MerkleProof back;
+    ASSERT_TRUE(MerkleProof::decode(proof.encode(), back));
+    EXPECT_EQ(back, proof);
+    EXPECT_TRUE(merkle_verify(tree.root(), leaves[i], back));
+  }
+}
+
+TEST(Merkle, ProofDecodeRejectsGarbage) {
+  MerkleProof out;
+  EXPECT_FALSE(MerkleProof::decode(bytes_of("xx"), out));
+  EXPECT_FALSE(MerkleProof::decode({}, out));
+}
+
+TEST(Merkle, DepthMismatchRejected) {
+  const auto leaves = make_leaves(8, 9);
+  const MerkleTree tree(leaves);
+  auto proof = tree.prove(3);
+  proof.siblings.pop_back();
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[3], proof));
+  auto proof2 = tree.prove(3);
+  proof2.siblings.push_back(Hash{});
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[3], proof2));
+}
+
+TEST(Merkle, IndexOutOfRangeRejected) {
+  const auto leaves = make_leaves(8, 10);
+  const MerkleTree tree(leaves);
+  auto proof = tree.prove(3);
+  proof.index = 9;  // >= leaf_count
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[3], proof));
+  proof.index = 3;
+  proof.leaf_count = 0;
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[3], proof));
+  EXPECT_THROW(tree.prove(8), std::out_of_range);
+}
+
+TEST(Merkle, SingleLeafTree) {
+  const std::vector<Bytes> leaves = {bytes_of("only")};
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), merkle_leaf_hash(leaves[0]));
+  EXPECT_TRUE(merkle_verify(tree.root(), leaves[0], tree.prove(0)));
+  EXPECT_THROW(MerkleTree({}), std::invalid_argument);
+}
+
+TEST(Merkle, LeafCountMismatchRejected) {
+  // Proof from an 8-leaf tree must not verify with a claimed count of 9.
+  const auto leaves = make_leaves(8, 11);
+  const MerkleTree tree(leaves);
+  auto proof = tree.prove(0);
+  proof.leaf_count = 9;
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[0], proof));
+}
+
+}  // namespace
+}  // namespace dl

@@ -1,0 +1,191 @@
+// Network: end-to-end delivery timing (egress + propagation + ingress),
+// broadcasts, local delivery, traffic accounting, cancellation.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace dl::sim {
+namespace {
+
+Message msg(NodeId from, NodeId to, std::size_t payload,
+            Priority cls = Priority::High) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.cls = cls;
+  m.payload = std::make_shared<Bytes>(payload, 0xAA);
+  return m;
+}
+
+struct Sink {
+  std::vector<std::pair<Time, Message>> got;
+};
+
+void attach_sinks(EventQueue& eq, Network& net, std::vector<Sink>& sinks) {
+  for (int i = 0; i < net.size(); ++i) {
+    Sink* s = &sinks[static_cast<std::size_t>(i)];
+    net.set_handler(i, [s, &eq](Message&& m) { s->got.emplace_back(eq.now(), std::move(m)); });
+  }
+}
+
+TEST(Network, PointToPointTiming) {
+  EventQueue eq;
+  Network net(eq, NetworkConfig::uniform(2, 0.1, 1000.0));
+  std::vector<Sink> sinks(2);
+  attach_sinks(eq, net, sinks);
+  net.send(msg(0, 1, 1000 - Message::kHeaderOverhead));
+  eq.run();
+  ASSERT_EQ(sinks[1].got.size(), 1u);
+  // 1 s egress + 0.1 s propagation + 1 s ingress.
+  EXPECT_NEAR(sinks[1].got[0].first, 2.1, 1e-6);
+  EXPECT_TRUE(sinks[0].got.empty());
+}
+
+TEST(Network, SelfDeliveryFreeAndImmediate) {
+  EventQueue eq;
+  Network net(eq, NetworkConfig::uniform(2, 0.1, 1000.0));
+  std::vector<Sink> sinks(2);
+  attach_sinks(eq, net, sinks);
+  net.send(msg(0, 0, 100000));
+  eq.run();
+  ASSERT_EQ(sinks[0].got.size(), 1u);
+  EXPECT_NEAR(sinks[0].got[0].first, 0.0, 1e-9);
+  EXPECT_EQ(net.egress_bytes(0, Priority::High), 0u);
+}
+
+TEST(Network, BroadcastReachesAllIncludingSelf) {
+  EventQueue eq;
+  Network net(eq, NetworkConfig::uniform(4, 0.05, 1e6));
+  std::vector<Sink> sinks(4);
+  attach_sinks(eq, net, sinks);
+  net.broadcast(1, Priority::High, 0, std::make_shared<Bytes>(100, 1));
+  eq.run();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(sinks[static_cast<std::size_t>(i)].got.size(), 1u) << i;
+    EXPECT_EQ(sinks[static_cast<std::size_t>(i)].got[0].second.from, 1);
+  }
+}
+
+TEST(Network, EgressSharedAcrossDestinations) {
+  // Two messages to different peers serialize through the same egress.
+  EventQueue eq;
+  Network net(eq, NetworkConfig::uniform(3, 0.0, 1000.0));
+  std::vector<Sink> sinks(3);
+  attach_sinks(eq, net, sinks);
+  net.send(msg(0, 1, 1000 - Message::kHeaderOverhead));
+  net.send(msg(0, 2, 1000 - Message::kHeaderOverhead));
+  eq.run();
+  ASSERT_EQ(sinks[1].got.size(), 1u);
+  ASSERT_EQ(sinks[2].got.size(), 1u);
+  // First: 1 s egress + 1 s ingress = 2. Second: egress finishes at 2,
+  // ingress (idle link at node 2) -> 3.
+  EXPECT_NEAR(sinks[1].got[0].first, 2.0, 1e-6);
+  EXPECT_NEAR(sinks[2].got[0].first, 3.0, 1e-6);
+}
+
+TEST(Network, IngressBottleneckSequencesArrivals) {
+  // Two senders to one receiver: receiver ingress serializes them.
+  EventQueue eq;
+  Network net(eq, NetworkConfig::uniform(3, 0.0, 1000.0));
+  std::vector<Sink> sinks(3);
+  attach_sinks(eq, net, sinks);
+  net.send(msg(0, 2, 1000 - Message::kHeaderOverhead));
+  net.send(msg(1, 2, 1000 - Message::kHeaderOverhead));
+  eq.run();
+  ASSERT_EQ(sinks[2].got.size(), 2u);
+  EXPECT_NEAR(sinks[2].got[0].first, 2.0, 1e-6);
+  EXPECT_NEAR(sinks[2].got[1].first, 3.0, 1e-6);
+}
+
+TEST(Network, AsymmetricDelayMatrix) {
+  NetworkConfig cfg = NetworkConfig::uniform(2, 0.0, 1e9);
+  cfg.one_way_delay[0][1] = 0.2;
+  cfg.one_way_delay[1][0] = 0.4;
+  EventQueue eq;
+  Network net(eq, std::move(cfg));
+  std::vector<Sink> sinks(2);
+  attach_sinks(eq, net, sinks);
+  net.send(msg(0, 1, 10));
+  net.send(msg(1, 0, 10));
+  eq.run();
+  ASSERT_EQ(sinks[1].got.size(), 1u);
+  ASSERT_EQ(sinks[0].got.size(), 1u);
+  EXPECT_NEAR(sinks[1].got[0].first, 0.2, 1e-3);
+  EXPECT_NEAR(sinks[0].got[0].first, 0.4, 1e-3);
+}
+
+TEST(Network, TrafficAccountingPerClass) {
+  EventQueue eq;
+  Network net(eq, NetworkConfig::uniform(2, 0.0, 1e6));
+  std::vector<Sink> sinks(2);
+  attach_sinks(eq, net, sinks);
+  net.send(msg(0, 1, 936, Priority::High));
+  net.send(msg(0, 1, 1936, Priority::Low));
+  eq.run();
+  EXPECT_EQ(net.egress_bytes(0, Priority::High), 1000u);
+  EXPECT_EQ(net.egress_bytes(0, Priority::Low), 2000u);
+  EXPECT_EQ(net.ingress_bytes(1, Priority::High), 1000u);
+  EXPECT_EQ(net.ingress_bytes(1, Priority::Low), 2000u);
+}
+
+TEST(Network, CancelEgressByTag) {
+  EventQueue eq;
+  Network net(eq, NetworkConfig::uniform(2, 0.0, 1000.0));
+  std::vector<Sink> sinks(2);
+  attach_sinks(eq, net, sinks);
+  auto a = msg(0, 1, 1000 - Message::kHeaderOverhead, Priority::Low);
+  a.tag = 9;
+  auto b = msg(0, 1, 1000 - Message::kHeaderOverhead, Priority::Low);
+  b.tag = 9;
+  b.order = 1;
+  net.send(std::move(a));
+  net.send(std::move(b));
+  EXPECT_EQ(net.cancel_egress(0, 9), 1000u);  // the queued one
+  eq.run();
+  EXPECT_EQ(sinks[1].got.size(), 1u);
+}
+
+TEST(Network, SimulatorHostIntegration) {
+  struct Echo : Host {
+    Network& net;
+    NodeId id;
+    int received = 0;
+    Echo(Network& n, NodeId i) : net(n), id(i) {}
+    void start() override {
+      if (id == 0) {
+        Message m;
+        m.from = 0;
+        m.to = 1;
+        m.payload = std::make_shared<Bytes>(10, 0);
+        net.send(std::move(m));
+      }
+    }
+    void on_message(Message&& m) override {
+      received++;
+      if (id == 1) {
+        Message r;
+        r.from = 1;
+        r.to = m.from;
+        r.payload = std::make_shared<Bytes>(10, 0);
+        net.send(std::move(r));
+      }
+    }
+  };
+  Simulator sim(NetworkConfig::uniform(2, 0.1, 1e6));
+  Echo a(sim.network(), 0), b(sim.network(), 1);
+  sim.attach(0, &a);
+  sim.attach(1, &b);
+  sim.run_until(10.0);
+  EXPECT_EQ(b.received, 1);
+  EXPECT_EQ(a.received, 1);
+}
+
+TEST(Network, BadConfigThrows) {
+  EventQueue eq;
+  NetworkConfig cfg = NetworkConfig::uniform(2, 0.1, 1.0);
+  cfg.egress.pop_back();
+  EXPECT_THROW(Network(eq, std::move(cfg)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dl::sim

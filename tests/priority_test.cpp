@@ -1,0 +1,99 @@
+// Traffic-prioritization behaviours at the protocol level (§4.5/§5):
+// dispersal must keep flowing while retrieval is backlogged, the
+// decode-cancellation optimization must save ingress bandwidth, and
+// per-epoch ordering must favour older retrievals.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dl/node.hpp"
+
+namespace dl::core {
+namespace {
+
+struct MiniCluster {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<DlNode>> nodes;
+
+  MiniCluster(sim::NetworkConfig net, NodeConfig base) : sim(net) {
+    for (int i = 0; i < net.n; ++i) {
+      NodeConfig cfg = base;
+      cfg.self = i;
+      nodes.push_back(std::make_unique<DlNode>(cfg, sim.queue(), sim.network()));
+      sim.attach(i, nodes.back().get());
+    }
+  }
+};
+
+NodeConfig backlogged_dl(int n, int f) {
+  NodeConfig cfg = NodeConfig::dispersed_ledger(n, f, 0);
+  cfg.backlog_tx_bytes = 250;
+  cfg.max_block_bytes = 100'000;
+  return cfg;
+}
+
+TEST(Priority, DispersalAdvancesDespiteRetrievalBacklog) {
+  // A slow node accumulates a huge retrieval backlog. With T=30 its
+  // dispersal (High class) keeps pace with the cluster; with T=1 retrieval
+  // bulk crowds out dispersal and its voting frontier lags.
+  auto run = [](double weight) {
+    sim::NetworkConfig net = sim::NetworkConfig::uniform(4, 0.02, 3e6);
+    net.weight_high = weight;
+    net.egress[0] = sim::Trace::constant(0.3e6);
+    net.ingress[0] = sim::Trace::constant(0.3e6);
+    MiniCluster c(net, backlogged_dl(4, 1));
+    c.sim.run_until(30.0);
+    return c.nodes[0]->stats().current_dispersal_epoch;
+  };
+  const auto with_priority = run(30.0);
+  const auto without_priority = run(1.0);
+  EXPECT_GT(with_priority, without_priority);
+}
+
+TEST(Priority, CancelOnDecodeSavesIngress) {
+  auto run = [](bool cancel) {
+    sim::NetworkConfig net = sim::NetworkConfig::uniform(4, 0.02, 2e6);
+    NodeConfig cfg = backlogged_dl(4, 1);
+    cfg.cancel_on_decode = cancel;
+    MiniCluster c(net, cfg);
+    c.sim.run_until(20.0);
+    // Ingress retrieval bytes per delivered payload byte.
+    std::uint64_t low = 0, payload = 0;
+    for (int i = 0; i < 4; ++i) {
+      low += c.sim.network().ingress_bytes(i, sim::Priority::Low);
+      payload += c.nodes[static_cast<std::size_t>(i)]->stats().delivered_payload_bytes;
+    }
+    return static_cast<double>(low) / static_cast<double>(payload);
+  };
+  const double with_cancel = run(true);
+  const double without_cancel = run(false);
+  // Without cancellation every retrieval pulls ~N/K-ish chunk data; with it,
+  // closer to 1x the block. (N=4, K=2: up to 2x vs ~1x.)
+  EXPECT_LT(with_cancel, without_cancel);
+}
+
+TEST(Priority, HighClassTrafficIsSmallFraction) {
+  // The design goal (Fig. 13): agreement+dispersal is a thin stream.
+  MiniCluster c(sim::NetworkConfig::uniform(4, 0.02, 2e6), backlogged_dl(4, 1));
+  c.sim.run_until(20.0);
+  const auto high = c.sim.network().ingress_bytes(1, sim::Priority::High);
+  const auto low = c.sim.network().ingress_bytes(1, sim::Priority::Low);
+  EXPECT_GT(high, 0u);
+  EXPECT_GT(low, high);  // bulk is retrieval even at N=4 (K=2)
+}
+
+TEST(Priority, RetrievalTagsAreDistinctAcrossClients) {
+  // Two clients retrieving the same block must not cancel each other's
+  // ReturnChunks: after client 1's cancel, client 2 still completes.
+  sim::NetworkConfig net = sim::NetworkConfig::uniform(4, 0.02, 2e6);
+  MiniCluster c(net, backlogged_dl(4, 1));
+  c.sim.run_until(25.0);
+  // All nodes deliver continuously; if cancels leaked across clients some
+  // node would stall (its retrievals never complete).
+  for (const auto& node : c.nodes) {
+    EXPECT_GT(node->stats().delivered_epochs, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace dl::core

@@ -1,0 +1,190 @@
+// Reed-Solomon properties: systematic layout, any-K-subset reconstruction,
+// determinism, padding round-trips, and failure modes — parameter-swept over
+// the (K, N) pairs DispersedLedger actually uses (K = N-2f).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "erasure/reed_solomon.hpp"
+
+namespace dl {
+namespace {
+
+struct RsParam {
+  int n;
+  int f;
+  int k() const { return n - 2 * f; }
+};
+
+class ReedSolomonP : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonP, RoundTripAllChunks) {
+  const auto p = GetParam();
+  const ReedSolomon rs(p.k(), p.n);
+  const Bytes block = random_bytes(10000, 1);
+  auto chunks = rs.encode(block);
+  ASSERT_EQ(static_cast<int>(chunks.size()), p.n);
+  auto back = rs.decode(chunks);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, block);
+}
+
+TEST_P(ReedSolomonP, AnyKSubsetDecodes) {
+  const auto p = GetParam();
+  const ReedSolomon rs(p.k(), p.n);
+  const Bytes block = random_bytes(4321, 2);
+  const auto chunks = rs.encode(block);
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random K-subset of chunk indices.
+    std::vector<int> idx(static_cast<std::size_t>(p.n));
+    for (int i = 0; i < p.n; ++i) idx[static_cast<std::size_t>(i)] = i;
+    for (int i = p.n - 1; i > 0; --i) {
+      std::swap(idx[static_cast<std::size_t>(i)],
+                idx[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i + 1)))]);
+    }
+    std::vector<Bytes> subset(static_cast<std::size_t>(p.n));
+    for (int i = 0; i < p.k(); ++i) {
+      subset[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])] =
+          chunks[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])];
+    }
+    auto back = rs.decode(subset);
+    ASSERT_TRUE(back.has_value()) << "trial " << trial;
+    EXPECT_EQ(*back, block);
+  }
+}
+
+TEST_P(ReedSolomonP, ParityOnlyDecodes) {
+  const auto p = GetParam();
+  if (p.n - p.k() < p.k()) return;  // not enough parity rows alone
+  const ReedSolomon rs(p.k(), p.n);
+  const Bytes block = random_bytes(999, 4);
+  const auto chunks = rs.encode(block);
+  std::vector<Bytes> subset(static_cast<std::size_t>(p.n));
+  for (int i = p.n - p.k(); i < p.n; ++i) {
+    subset[static_cast<std::size_t>(i)] = chunks[static_cast<std::size_t>(i)];
+  }
+  auto back = rs.decode(subset);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, block);
+}
+
+TEST_P(ReedSolomonP, TooFewChunksFails) {
+  const auto p = GetParam();
+  const ReedSolomon rs(p.k(), p.n);
+  const auto chunks = rs.encode(random_bytes(500, 5));
+  std::vector<Bytes> subset(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.k() - 1; ++i) subset[static_cast<std::size_t>(i)] = chunks[static_cast<std::size_t>(i)];
+  EXPECT_FALSE(rs.decode(subset).has_value());
+}
+
+TEST_P(ReedSolomonP, SystematicPrefix) {
+  const auto p = GetParam();
+  const ReedSolomon rs(p.k(), p.n);
+  // Top K x K of the matrix is the identity: data chunks are raw stripes.
+  for (int r = 0; r < p.k(); ++r) {
+    for (int c = 0; c < p.k(); ++c) {
+      EXPECT_EQ(rs.matrix_at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST_P(ReedSolomonP, DeterministicEncode) {
+  const auto p = GetParam();
+  const ReedSolomon rs(p.k(), p.n);
+  const Bytes block = random_bytes(2000, 6);
+  EXPECT_EQ(rs.encode(block), rs.encode(block));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReedSolomonP,
+                         ::testing::Values(RsParam{4, 1}, RsParam{7, 2},
+                                           RsParam{10, 3}, RsParam{16, 5},
+                                           RsParam{31, 10}, RsParam{64, 21},
+                                           RsParam{128, 42}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "f" +
+                                  std::to_string(info.param.f);
+                         });
+
+TEST(ReedSolomon, EmptyBlock) {
+  const ReedSolomon rs(4, 10);
+  auto chunks = rs.encode({});
+  auto back = rs.decode(chunks);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ReedSolomon, OneByteBlock) {
+  const ReedSolomon rs(6, 16);
+  const Bytes block = {0x42};
+  auto back = rs.decode(rs.encode(block));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, block);
+}
+
+TEST(ReedSolomon, SizesNotMultipleOfK) {
+  const ReedSolomon rs(6, 16);
+  for (std::size_t sz : {1u, 5u, 6u, 7u, 100u, 101u, 149999u}) {
+    const Bytes block = random_bytes(sz, sz);
+    auto back = rs.decode(rs.encode(block));
+    ASSERT_TRUE(back.has_value()) << sz;
+    EXPECT_EQ(*back, block) << sz;
+  }
+}
+
+TEST(ReedSolomon, ChunkSizesEqual) {
+  const ReedSolomon rs(6, 16);
+  const auto chunks = rs.encode(random_bytes(1000, 9));
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), chunks[0].size());
+  // ceil((1000+4)/6) = 168.
+  EXPECT_EQ(chunks[0].size(), 168u);
+}
+
+TEST(ReedSolomon, RaggedChunksRejected) {
+  const ReedSolomon rs(4, 10);
+  auto chunks = rs.encode(random_bytes(100, 10));
+  chunks[2].push_back(0);  // corrupt size
+  for (std::size_t i = 5; i < chunks.size(); ++i) chunks[i].clear();
+  EXPECT_FALSE(rs.decode(chunks).has_value());
+}
+
+TEST(ReedSolomon, GarbageLengthHeaderRejected) {
+  const ReedSolomon rs(4, 10);
+  // Hand-craft chunks that decode to stripes whose length header exceeds
+  // the actual payload.
+  std::vector<Bytes> data(4, Bytes(8, 0));
+  data[0] = {0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0};  // length = 2^32-1
+  const auto chunks = rs.encode_shards(data);
+  EXPECT_FALSE(rs.decode(chunks).has_value());
+}
+
+TEST(ReedSolomon, BadParamsThrow) {
+  EXPECT_THROW(ReedSolomon(0, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(5, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(4, 256), std::invalid_argument);
+  EXPECT_NO_THROW(ReedSolomon(1, 1));
+  EXPECT_NO_THROW(ReedSolomon(85, 255));
+}
+
+TEST(ReedSolomon, EncodeShardsRejectsRagged) {
+  const ReedSolomon rs(2, 4);
+  std::vector<Bytes> bad = {Bytes(4, 1), Bytes(5, 2)};
+  EXPECT_THROW(rs.encode_shards(bad), std::invalid_argument);
+  std::vector<Bytes> wrong_count = {Bytes(4, 1)};
+  EXPECT_THROW(rs.encode_shards(wrong_count), std::invalid_argument);
+}
+
+TEST(ReedSolomon, ReconstructShardsRebuildsAll) {
+  const ReedSolomon rs(3, 9);
+  const Bytes block = random_bytes(333, 11);
+  const auto chunks = rs.encode(block);
+  std::vector<Bytes> holes = chunks;
+  holes[0].clear();
+  holes[4].clear();
+  holes[8].clear();
+  auto all = rs.reconstruct_shards(holes);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(*all, chunks);
+}
+
+}  // namespace
+}  // namespace dl

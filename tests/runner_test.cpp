@@ -1,0 +1,120 @@
+// Experiment runner: end-to-end sanity of the measurement harness that all
+// figure benches build on.
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "workload/topology.hpp"
+
+namespace dl::runner {
+namespace {
+
+ExperimentConfig small_cfg(Protocol proto) {
+  ExperimentConfig cfg;
+  cfg.protocol = proto;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.net = sim::NetworkConfig::uniform(4, 0.02, 2e6);
+  cfg.duration = 20.0;
+  cfg.warmup = 5.0;
+  cfg.max_block_bytes = 100'000;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Runner, BacklogThroughputPositive) {
+  for (Protocol proto : {Protocol::DL, Protocol::HB, Protocol::HBLink, Protocol::DLCoupled}) {
+    const auto res = run_experiment(small_cfg(proto));
+    EXPECT_GT(res.aggregate_throughput_bps, 100'000.0) << to_string(proto);
+    for (const auto& node : res.nodes) {
+      EXPECT_GT(node.throughput_bps, 0.0) << to_string(proto);
+      EXPECT_GT(node.stats.delivered_epochs, 0u) << to_string(proto);
+    }
+  }
+}
+
+TEST(Runner, PoissonLoadLatencyRecorded) {
+  auto cfg = small_cfg(Protocol::DL);
+  cfg.load_bytes_per_sec = 100'000;  // well under capacity
+  const auto res = run_experiment(cfg);
+  for (const auto& node : res.nodes) {
+    ASSERT_FALSE(node.latency_local.empty());
+    ASSERT_FALSE(node.latency_all.empty());
+    // Under light load latency should be sub-5s and above one RTT-ish.
+    EXPECT_LT(node.latency_local.quantile(0.5), 5.0);
+    EXPECT_GT(node.latency_local.quantile(0.5), 0.01);
+    // All-tx samples include every node's txs.
+    EXPECT_GT(node.latency_all.count(), node.latency_local.count());
+  }
+}
+
+TEST(Runner, DispersalFractionSmallForDl) {
+  auto cfg = small_cfg(Protocol::DL);
+  const auto res = run_experiment(cfg);
+  // Dispersal (high-priority) traffic must be a minority share: the bulk is
+  // retrieval. (Paper reports 1/20-1/10 at larger scale; at N=4 the coding
+  // overhead is larger, so just require < 50%.)
+  EXPECT_GT(res.mean_dispersal_fraction, 0.0);
+  EXPECT_LT(res.mean_dispersal_fraction, 0.5);
+}
+
+TEST(Runner, CrashedNodesExcluded) {
+  auto cfg = small_cfg(Protocol::DL);
+  cfg.crashed = {3};
+  const auto res = run_experiment(cfg);
+  EXPECT_EQ(res.nodes[3].throughput_bps, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(res.nodes[static_cast<std::size_t>(i)].throughput_bps, 0.0);
+  }
+}
+
+TEST(Runner, TimeSeriesMonotone) {
+  const auto res = run_experiment(small_cfg(Protocol::DL));
+  for (const auto& node : res.nodes) {
+    double prev = -1;
+    for (const auto& [t, v] : node.confirmed.points()) {
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+    EXPECT_GE(node.confirmed.points().size(), 20u);
+  }
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const auto a = run_experiment(small_cfg(Protocol::DL));
+  const auto b = run_experiment(small_cfg(Protocol::DL));
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_DOUBLE_EQ(a.aggregate_throughput_bps, b.aggregate_throughput_bps);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].stats.delivered_blocks, b.nodes[i].stats.delivered_blocks);
+    EXPECT_EQ(a.nodes[i].egress_low, b.nodes[i].egress_low);
+  }
+}
+
+TEST(Runner, GeoTopologyRuns) {
+  ExperimentConfig cfg;
+  cfg.protocol = Protocol::DL;
+  cfg.n = 16;
+  cfg.f = 5;
+  // Scale bandwidth down hard to keep this test fast.
+  cfg.net = workload::Topology::aws_geo16().network(30.0, 0.05);
+  cfg.duration = 20.0;
+  cfg.warmup = 5.0;
+  cfg.max_block_bytes = 60'000;
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.aggregate_throughput_bps, 0.0);
+  // The heavily-downscaled bandwidth means the slowest sites may not confirm
+  // anything inside the short measurement window; most sites must.
+  int positive = 0;
+  for (const auto& node : res.nodes) positive += node.throughput_bps > 0 ? 1 : 0;
+  EXPECT_GE(positive, 12);
+}
+
+TEST(Runner, ProtocolNames) {
+  EXPECT_EQ(to_string(Protocol::DL), "DL");
+  EXPECT_EQ(to_string(Protocol::DLCoupled), "DL-Coupled");
+  EXPECT_EQ(to_string(Protocol::HB), "HB");
+  EXPECT_EQ(to_string(Protocol::HBLink), "HB-Link");
+}
+
+}  // namespace
+}  // namespace dl::runner

@@ -1,0 +1,88 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors, plus incremental-update
+// equivalence and Hash utility behaviour.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dl {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256(bytes_of("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256(bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  const Bytes m(1000000, 'a');
+  EXPECT_EQ(sha256(m).hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = random_bytes(10000, 7);
+  // Split at awkward boundaries relative to the 64-byte block size.
+  for (std::size_t cut : {1u, 55u, 63u, 64u, 65u, 128u, 1000u, 9999u}) {
+    Sha256 h;
+    h.update(ByteView(data.data(), cut));
+    h.update(ByteView(data.data() + cut, data.size() - cut));
+    EXPECT_EQ(h.finalize(), sha256(data)) << "cut=" << cut;
+  }
+}
+
+TEST(Sha256, ManySmallUpdates) {
+  const Bytes data = random_bytes(777, 9);
+  Sha256 h;
+  for (std::uint8_t b : data) h.update(ByteView(&b, 1));
+  EXPECT_EQ(h.finalize(), sha256(data));
+}
+
+TEST(Sha256, LengthSensitivity) {
+  // Messages around block-size boundaries hash distinctly.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const Bytes a(n, 0x61);
+    const Bytes b(n + 1, 0x61);
+    EXPECT_NE(sha256(a), sha256(b)) << n;
+  }
+}
+
+TEST(Sha256, PairHash) {
+  const Hash a = sha256(bytes_of("a"));
+  const Hash b = sha256(bytes_of("b"));
+  Bytes cat;
+  append(cat, a.view());
+  append(cat, b.view());
+  EXPECT_EQ(sha256_pair(a, b), sha256(cat));
+  EXPECT_NE(sha256_pair(a, b), sha256_pair(b, a));
+}
+
+TEST(Hash, ComparisonAndZero) {
+  Hash z;
+  EXPECT_TRUE(z.is_zero());
+  const Hash a = sha256(bytes_of("x"));
+  EXPECT_FALSE(a.is_zero());
+  EXPECT_EQ(a, sha256(bytes_of("x")));
+  EXPECT_NE(a, sha256(bytes_of("y")));
+  EXPECT_EQ(a.hex().size(), 64u);
+}
+
+TEST(Hash, HasherUsableInMaps) {
+  HashHasher hh;
+  const Hash a = sha256(bytes_of("x"));
+  const Hash b = sha256(bytes_of("y"));
+  EXPECT_NE(hh(a), hh(b));  // overwhelmingly likely
+  EXPECT_EQ(hh(a), hh(a));
+}
+
+}  // namespace
+}  // namespace dl

@@ -1,0 +1,57 @@
+// Bandwidth traces: rate lookup, change points, clamping.
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace dl::sim {
+namespace {
+
+TEST(Trace, ConstantRate) {
+  const Trace t = Trace::constant(1e6);
+  EXPECT_DOUBLE_EQ(t.rate_at(0), 1e6);
+  EXPECT_DOUBLE_EQ(t.rate_at(1234.5), 1e6);
+  EXPECT_EQ(t.next_change_after(0), kInfinity);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 1e6);
+}
+
+TEST(Trace, PiecewiseLookup) {
+  const Trace t({10.0, 20.0, 30.0}, 1.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(0.999), 10.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(2.5), 30.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(100.0), 30.0);  // last value holds
+}
+
+TEST(Trace, NextChangeSkipsEqualSteps) {
+  const Trace t({10.0, 10.0, 20.0, 20.0, 5.0}, 2.0);
+  EXPECT_DOUBLE_EQ(t.next_change_after(0.0), 4.0);   // 10 -> 20 at t=4
+  EXPECT_DOUBLE_EQ(t.next_change_after(4.0), 8.0);   // 20 -> 5 at t=8
+  EXPECT_EQ(t.next_change_after(8.0), kInfinity);
+  EXPECT_EQ(t.next_change_after(100.0), kInfinity);
+}
+
+TEST(Trace, NegativeTimeTreatedAsZero) {
+  const Trace t({10.0, 20.0}, 1.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(-5.0), 10.0);
+}
+
+TEST(Trace, RatesClampedToMinimum) {
+  const Trace t({0.0, -5.0, 100.0}, 1.0);
+  EXPECT_GE(t.rate_at(0.0), 1.0);
+  EXPECT_GE(t.rate_at(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(2.5), 100.0);
+}
+
+TEST(Trace, BadConstruction) {
+  EXPECT_THROW(Trace({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Trace({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Trace, MeanRate) {
+  const Trace t({10.0, 20.0, 30.0}, 1.0);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 20.0);
+}
+
+}  // namespace
+}  // namespace dl::sim

@@ -1,0 +1,223 @@
+// Workload generators and topologies: Poisson arrivals, Gauss-Markov traces,
+// geo topologies (delay symmetry, plausibility), and metrics utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "workload/gauss_markov.hpp"
+#include "workload/topology.hpp"
+#include "workload/txgen.hpp"
+
+namespace dl::workload {
+namespace {
+
+TEST(PoissonTxGen, MeanRateApproximatesLoad) {
+  sim::EventQueue eq;
+  std::uint64_t bytes = 0;
+  TxGenParams p;
+  p.rate_bytes_per_sec = 1e6;
+  p.tx_bytes = 250;
+  p.seed = 3;
+  PoissonTxGen gen(p, eq, [&bytes](Bytes payload) { bytes += payload.size(); });
+  eq.at(0, [&gen] { gen.start(); });
+  eq.run_until(100.0);
+  // 100 s at 1 MB/s => ~100 MB +- a few percent.
+  EXPECT_NEAR(static_cast<double>(bytes), 100e6, 5e6);
+  EXPECT_NEAR(static_cast<double>(gen.generated()), 400000.0, 20000.0);
+}
+
+TEST(PoissonTxGen, StopsAtStopTime) {
+  sim::EventQueue eq;
+  int count = 0;
+  TxGenParams p;
+  p.rate_bytes_per_sec = 1e6;
+  p.tx_bytes = 1000;
+  p.stop_time = 1.0;
+  PoissonTxGen gen(p, eq, [&count](Bytes) { ++count; });
+  eq.at(0, [&gen] { gen.start(); });
+  eq.run_until(100.0);
+  EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(PoissonTxGen, InterArrivalsExponential) {
+  sim::EventQueue eq;
+  std::vector<double> times;
+  TxGenParams p;
+  p.rate_bytes_per_sec = 1e5;
+  p.tx_bytes = 100;  // 1000 tx/s
+  PoissonTxGen gen(p, eq, [&times, &eq](Bytes) { times.push_back(eq.now()); });
+  eq.at(0, [&gen] { gen.start(); });
+  eq.run_until(20.0);
+  ASSERT_GT(times.size(), 1000u);
+  // Coefficient of variation of exponential inter-arrivals is 1.
+  double sum = 0, sq = 0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double d = times[i] - times[i - 1];
+    sum += d;
+    sq += d * d;
+  }
+  const double nsamp = static_cast<double>(times.size() - 1);
+  const double mean = sum / nsamp;
+  const double var = sq / nsamp - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.1);
+}
+
+TEST(PoissonTxGen, BadParamsThrow) {
+  sim::EventQueue eq;
+  TxGenParams p;
+  p.tx_bytes = 0;
+  EXPECT_THROW(PoissonTxGen(p, eq, [](Bytes) {}), std::invalid_argument);
+}
+
+TEST(GaussMarkov, StationaryMoments) {
+  GaussMarkovParams p;
+  p.mean_bytes_per_sec = 10e6;
+  p.stddev_bytes_per_sec = 5e6;
+  p.correlation = 0.98;
+  const sim::Trace t = gauss_markov_trace(p, 20000.0, 42);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = t.rate_at(i + 0.5);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  // Clamping at the floor biases the mean slightly upward.
+  EXPECT_NEAR(mean, 10e6, 1.5e6);
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(stddev, 5e6, 1.5e6);
+}
+
+TEST(GaussMarkov, HighCorrelationMeansSlowDrift) {
+  GaussMarkovParams p;
+  p.correlation = 0.98;
+  const sim::Trace t = gauss_markov_trace(p, 1000.0, 7);
+  // Adjacent samples should be close relative to sigma.
+  double max_jump = 0;
+  for (int i = 0; i < 999; ++i) {
+    max_jump = std::max(max_jump, std::abs(t.rate_at(i + 0.5) - t.rate_at(i + 1.5)));
+  }
+  EXPECT_LT(max_jump, 5e6);  // << 3*sigma jumps of an uncorrelated series
+}
+
+TEST(GaussMarkov, Deterministic) {
+  GaussMarkovParams p;
+  const sim::Trace a = gauss_markov_trace(p, 100.0, 9);
+  const sim::Trace b = gauss_markov_trace(p, 100.0, 9);
+  const sim::Trace c = gauss_markov_trace(p, 100.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.rate_at(i + 0.5), b.rate_at(i + 0.5));
+  }
+  bool differs = false;
+  for (int i = 0; i < 100 && !differs; ++i) {
+    differs = a.rate_at(i + 0.5) != c.rate_at(i + 0.5);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GaussMarkov, FloorRespected) {
+  GaussMarkovParams p;
+  p.mean_bytes_per_sec = 1e5;  // mean at the floor: heavy clamping
+  p.stddev_bytes_per_sec = 1e6;
+  p.floor_bytes_per_sec = 1e5;
+  const sim::Trace t = gauss_markov_trace(p, 1000.0, 11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(t.rate_at(i + 0.5), 1e5);
+}
+
+TEST(Topology, Aws16Shape) {
+  const Topology topo = Topology::aws_geo16();
+  EXPECT_EQ(topo.size(), 16);
+  const auto cfg = topo.network();
+  EXPECT_EQ(cfg.n, 16);
+  // Delay symmetry and plausibility.
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      if (i == j) continue;
+      const double d = cfg.one_way_delay[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      EXPECT_DOUBLE_EQ(d, cfg.one_way_delay[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]);
+      EXPECT_GT(d, 0.003);
+      EXPECT_LT(d, 0.200);
+    }
+  }
+}
+
+TEST(Topology, KnownDistancesSane) {
+  const Topology topo = Topology::aws_geo16();
+  auto find = [&](const std::string& name) {
+    for (const City& c : topo.cities) {
+      if (c.name == name) return c;
+    }
+    throw std::runtime_error("city not found: " + name);
+  };
+  // Virginia <-> Ireland: ~5500 km great-circle -> ~135 ms RTT in our model.
+  const double va_ie = one_way_delay_s(find("virginia"), find("ireland"));
+  EXPECT_GT(va_ie, 0.025);
+  EXPECT_LT(va_ie, 0.060);
+  // Tokyo <-> Sydney longer than London <-> Paris.
+  EXPECT_GT(one_way_delay_s(find("tokyo"), find("sydney")),
+            one_way_delay_s(find("london"), find("paris")));
+}
+
+TEST(Topology, BandwidthScale) {
+  const Topology topo = Topology::vultr15();
+  EXPECT_EQ(topo.size(), 15);
+  const auto half = topo.network(30.0, 0.5);
+  const auto full = topo.network(30.0, 1.0);
+  EXPECT_DOUBLE_EQ(half.egress[0].rate_at(0) * 2, full.egress[0].rate_at(0));
+}
+
+}  // namespace
+}  // namespace dl::workload
+
+namespace dl::metrics {
+namespace {
+
+TEST(Percentile, BasicStats) {
+  Percentile p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_EQ(p.count(), 100u);
+  EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(p.min(), 1);
+  EXPECT_DOUBLE_EQ(p.max(), 100);
+  EXPECT_NEAR(p.quantile(0.5), 50, 2);
+  EXPECT_NEAR(p.quantile(0.95), 95, 2);
+  EXPECT_NEAR(p.quantile(0.0), 1, 1);
+  EXPECT_NEAR(p.quantile(1.0), 100, 1);
+}
+
+TEST(Percentile, EmptyThrowsOnQuantile) {
+  Percentile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_THROW(p.quantile(0.5), std::logic_error);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+}
+
+TEST(Percentile, ReservoirKeepsDistribution) {
+  Percentile p(1000);  // reservoir much smaller than stream
+  for (int i = 0; i < 100000; ++i) p.add(i % 1000);
+  EXPECT_EQ(p.count(), 100000u);
+  EXPECT_NEAR(p.quantile(0.5), 500, 60);
+}
+
+TEST(TimeSeries, RateComputation) {
+  TimeSeries ts;
+  for (int t = 0; t <= 10; ++t) ts.sample(t, t * 100.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(5.0), 500.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(5.5), 500.0);
+  EXPECT_DOUBLE_EQ(ts.rate(0, 10), 100.0);
+  EXPECT_DOUBLE_EQ(ts.rate(2, 7), 100.0);
+  EXPECT_DOUBLE_EQ(ts.rate(5, 5), 0.0);
+}
+
+TEST(TimeSeries, EmptyAndBeforeFirst) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 0.0);
+  ts.sample(5.0, 42.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(5.0), 42.0);
+}
+
+}  // namespace
+}  // namespace dl::metrics
