@@ -7,7 +7,6 @@
 // bandwidth waste — DL > DL-NoLink and HB-Link > HB — and dropped counts go
 // to ~zero with linking.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 
 using namespace dl;
 using namespace dl::runner;
@@ -15,83 +14,51 @@ using namespace dl::runner;
 int main() {
   bench::header("Ablation: inter-node linking", "linking on/off, dropped-block waste");
   const double duration = bench::full_scale() ? 90.0 : 45.0;
-  const int n = 16, f = 5;
 
-  auto make_net = [&] {
-    // Short RTT + very slow uplinks at a third of the sites: their blocks
-    // regularly miss the epoch's BA window (the drop scenario of §4.3).
-    sim::NetworkConfig net = sim::NetworkConfig::uniform(n, 0.05, 1.2e6);
-    // Staggered slow uplinks: the slowest proposers consistently miss the
-    // BA window (uniformly-slow nodes would all finish together and none
-    // would be dropped).
-    int k = 0;
-    for (int i = 0; i < n; i += 3, ++k) {
-      const double bw = (0.08 + 0.05 * k) * 1e6;
-      net.egress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
-      net.ingress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
-    }
-    return net;
-  };
+  Sweep sweep;
+  sweep.base.family = "abl_linking";
+  sweep.base.n = 16;
+  sweep.base.f = 5;
+  // Short RTT + staggered very slow uplinks at a third of the sites: the
+  // slowest proposers consistently miss the epoch's BA window (the drop
+  // scenario of §4.3; uniformly-slow nodes would all finish together and
+  // none would be dropped).
+  TopologySpec topo;
+  topo.kind = TopologySpec::Kind::SlowSubset;
+  topo.delay_s = 0.05;
+  topo.rate_bps = 1.2e6;
+  topo.slow_stride = 3;
+  topo.slow_rate_bps = 0.08e6;
+  topo.slow_rate_step_bps = 0.05e6;
+  sweep.base.topo = topo;
+  sweep.base.duration = duration;
+  sweep.base.warmup = duration / 3;
+  sweep.base.max_block_bytes = 150'000;
+  sweep.base.seed = 79;
+  sweep.variants = {
+      {"DL", [](ScenarioSpec& s) { s.protocol = Protocol::DL; }},
+      {"DL-NoLink",
+       [](ScenarioSpec& s) {
+         s.protocol = Protocol::DL;
+         s.inter_node_linking = false;
+         s.repropose_dropped = true;  // without linking, drops must re-propose
+       }},
+      {"HB-Link", [](ScenarioSpec& s) { s.protocol = Protocol::HBLink; }},
+      {"HB", [](ScenarioSpec& s) { s.protocol = Protocol::HB; }}};
+  const auto results = bench::run_sweep("abl_linking", sweep.expand());
 
-  struct Variant {
-    const char* name;
-    bool lazy;     // vote on dispersal (DL) vs after download (HB)
-    bool linking;
-  };
   bench::row({"variant", "agg MB/s", "dropped", "linked-delivered", "reproposed-tx"}, 17);
-  for (const Variant& v : {Variant{"DL", true, true}, Variant{"DL-NoLink", true, false},
-                           Variant{"HB-Link", false, true}, Variant{"HB", false, false}}) {
-    ExperimentConfig cfg;
-    cfg.protocol = v.lazy ? (v.linking ? Protocol::DL : Protocol::DL)
-                          : (v.linking ? Protocol::HBLink : Protocol::HB);
-    cfg.n = n;
-    cfg.f = f;
-    cfg.net = make_net();
-    cfg.duration = duration;
-    cfg.warmup = duration / 3;
-    cfg.max_block_bytes = 150'000;
-    cfg.seed = 79;
-
-    // DL-NoLink is not one of the runner presets: build it via a custom run.
-    ExperimentResult res;
-    if (v.lazy && !v.linking) {
-      // Run manually with a tweaked NodeConfig.
-      sim::Simulator sim(cfg.net);
-      std::vector<std::unique_ptr<core::DlNode>> nodes;
-      for (int i = 0; i < n; ++i) {
-        auto nc = core::NodeConfig::dispersed_ledger(n, f, i);
-        nc.inter_node_linking = false;
-        nc.repropose_dropped = true;  // without linking, drops must re-propose
-        nc.max_block_bytes = cfg.max_block_bytes;
-        nc.backlog_tx_bytes = 250;
-        nodes.push_back(std::make_unique<core::DlNode>(nc, sim.queue(), sim.network()));
-        sim.attach(i, nodes.back().get());
-      }
-      sim.run_until(cfg.duration);
-      res.nodes.resize(static_cast<std::size_t>(n));
-      for (int i = 0; i < n; ++i) {
-        auto& nr = res.nodes[static_cast<std::size_t>(i)];
-        nr.stats = nodes[static_cast<std::size_t>(i)]->stats();
-        nr.throughput_bps =
-            static_cast<double>(nr.stats.delivered_payload_bytes) / cfg.duration;
-        res.aggregate_throughput_bps += nr.throughput_bps;
-      }
-    } else {
-      res = run_experiment(cfg);
-    }
-
+  for (const auto& r : results) {
     std::uint64_t dropped = 0, linked = 0, reproposed = 0;
-    for (const auto& node : res.nodes) {
+    for (const auto& node : r.result.nodes) {
       dropped += node.stats.own_blocks_dropped;
       linked += node.stats.delivered_linked_blocks;
       reproposed += node.stats.reproposed_tx;
     }
-    bench::row({v.name, bench::fmt_mb(res.aggregate_throughput_bps),
+    bench::row({r.spec.variant, bench::fmt_mb(r.result.aggregate_throughput_bps),
                 std::to_string(dropped), std::to_string(linked),
                 std::to_string(reproposed)},
                17);
-    std::printf(".");
-    std::fflush(stdout);
   }
   std::printf("\n(expected: linking variants deliver dropped blocks later instead of\n"
               " re-broadcasting them — higher goodput, reproposed-tx ~ 0)\n");

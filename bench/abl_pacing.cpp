@@ -5,7 +5,6 @@
 // cost eats bandwidth (low throughput); very coarse pacing (1 s) batches
 // well but inflates latency. The paper's 100 ms / 150 KB sits at the knee.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 
 using namespace dl;
 using namespace dl::runner;
@@ -13,31 +12,37 @@ using namespace dl::runner;
 int main() {
   bench::header("Ablation: proposal pacing (Nagle)", "delay/size thresholds vs throughput+latency");
   const double duration = bench::full_scale() ? 90.0 : 45.0;
-  const int n = 16, f = 5;
 
+  Sweep sweep;
+  sweep.base.family = "abl_pacing";
+  sweep.base.n = 16;
+  sweep.base.f = 5;
+  sweep.base.topo = TopologySpec::uniform(0.1, 2e6);
+  sweep.base.duration = duration;
+  sweep.base.warmup = duration / 3;
+  sweep.base.load_bytes_per_sec = 15e3;  // light Poisson load: pacing governs
+  sweep.base.max_block_bytes = 1'000'000;
+  sweep.base.seed = 78;
   struct P {
     double delay;
     std::size_t size;
   };
+  for (const P& p : {P{0.005, 5'000}, P{1.000, 150'000}, P{3.000, 300'000},
+                     P{6.000, 600'000}}) {
+    sweep.variants.push_back({"delay=" + bench::fmt(p.delay, 3) + "s",
+                              [p](ScenarioSpec& s) {
+                                s.propose_delay = p.delay;
+                                s.propose_size = p.size;
+                              }});
+  }
+  const auto results = bench::run_sweep("abl_pacing", sweep.expand());
+
   bench::row({"delay", "size-thresh", "agg MB/s", "p50 latency", "mean block KB"}, 15);
-  for (const P& p : {P{0.005, 5'000}, P{1.000, 150'000}, P{3.000, 300'000}, P{6.000, 600'000}}) {
-    ExperimentConfig cfg;
-    cfg.protocol = Protocol::DL;
-    cfg.n = n;
-    cfg.f = f;
-    cfg.net = sim::NetworkConfig::uniform(n, 0.1, 2e6);
-    cfg.duration = duration;
-    cfg.warmup = duration / 3;
-    cfg.load_bytes_per_sec = 15e3;  // light Poisson load: pacing governs
-    cfg.propose_delay = p.delay;
-    cfg.propose_size = p.size;
-    cfg.max_block_bytes = 1'000'000;
-    cfg.seed = 78;
-    const auto res = run_experiment(cfg);
+  for (const auto& r : results) {
     double lat = 0;
     int cnt = 0;
     std::uint64_t blocks = 0, payload = 0;
-    for (const auto& node : res.nodes) {
+    for (const auto& node : r.result.nodes) {
       if (!node.latency_local.empty()) {
         lat += node.latency_local.quantile(0.5);
         ++cnt;
@@ -45,8 +50,9 @@ int main() {
       blocks += node.stats.proposed_blocks;
       payload += node.stats.delivered_payload_bytes;
     }
-    bench::row({bench::fmt(p.delay, 3) + "s", std::to_string(p.size / 1000) + "KB",
-                bench::fmt_mb(res.aggregate_throughput_bps),
+    bench::row({bench::fmt(r.spec.propose_delay, 3) + "s",
+                std::to_string(r.spec.propose_size / 1000) + "KB",
+                bench::fmt_mb(r.result.aggregate_throughput_bps),
                 bench::fmt(cnt ? lat / cnt : 0, 2) + "s",
                 bench::fmt(blocks ? static_cast<double>(payload) / 16 / blocks / 1000 : 0, 1)},
                15);

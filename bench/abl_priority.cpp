@@ -10,7 +10,6 @@
 //   - system production (bytes committed into the ledger per second,
 //     counted at a fast node) — higher when slow nodes keep proposing.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 
 using namespace dl;
 using namespace dl::runner;
@@ -18,40 +17,43 @@ using namespace dl::runner;
 int main() {
   bench::header("Ablation: priority weight T", "dispersal participation under retrieval backlog");
   const double duration = bench::full_scale() ? 90.0 : 45.0;
-  const int n = 16, f = 5;
+  const int n = 16;
+
+  Sweep sweep;
+  sweep.base.family = "abl_priority";
+  sweep.base.n = n;
+  sweep.base.f = 5;
+  sweep.base.duration = duration;
+  sweep.base.warmup = duration / 3;
+  sweep.base.max_block_bytes = 150'000;
+  sweep.base.seed = 77;
+  for (double t_weight : {1.0, 5.0, 30.0}) {
+    // Half the nodes slow: deep retrieval backlog, dispersal must compete.
+    TopologySpec topo;
+    topo.kind = TopologySpec::Kind::SlowSubset;
+    topo.delay_s = 0.1;
+    topo.rate_bps = 1.5e6;
+    topo.slow_stride = 2;
+    topo.slow_rate_bps = 0.4e6;
+    topo.weight_high = t_weight;
+    sweep.topologies.push_back(topo);
+  }
+  const auto results = bench::run_sweep("abl_priority", sweep.expand());
 
   bench::row({"T", "system-epochs", "produced MB/s", "fast-node MB/s"}, 16);
-  for (double t_weight : {1.0, 5.0, 30.0}) {
-    sim::NetworkConfig net = sim::NetworkConfig::uniform(n, 0.1, 1.5e6);
-    // Half the nodes slow: deep retrieval backlog, dispersal must compete.
-    for (int i = 0; i < n; i += 2) {
-      net.egress[static_cast<std::size_t>(i)] = sim::Trace::constant(0.4e6);
-      net.ingress[static_cast<std::size_t>(i)] = sim::Trace::constant(0.4e6);
-    }
-    net.weight_high = t_weight;
-    ExperimentConfig cfg;
-    cfg.protocol = Protocol::DL;
-    cfg.n = n;
-    cfg.f = f;
-    cfg.net = std::move(net);
-    cfg.duration = duration;
-    cfg.warmup = duration / 3;
-    cfg.max_block_bytes = 150'000;
-    cfg.seed = 77;
-    const auto res = run_experiment(cfg);
+  for (const auto& r : results) {
     // Epoch frontier (equal across nodes: slow nodes gate BA when more than
     // f nodes are slow) and produced ledger data.
     double frontier = 0, produced = 0, fast_tp = 0;
     for (int i = 0; i < n; ++i) {
-      const auto& st = res.nodes[static_cast<std::size_t>(i)].stats;
-      frontier = std::max(
-          frontier, static_cast<double>(st.current_dispersal_epoch));
+      const auto& st = r.result.nodes[static_cast<std::size_t>(i)].stats;
+      frontier = std::max(frontier, static_cast<double>(st.current_dispersal_epoch));
       produced += static_cast<double>(st.proposed_blocks) * 150'000 / duration;
       if (i % 2 == 1) {
-        fast_tp += res.nodes[static_cast<std::size_t>(i)].throughput_bps * 2.0 / n;
+        fast_tp += r.result.nodes[static_cast<std::size_t>(i)].throughput_bps * 2.0 / n;
       }
     }
-    bench::row({bench::fmt(t_weight, 0), bench::fmt(frontier, 0),
+    bench::row({bench::fmt(r.spec.topo.weight_high, 0), bench::fmt(frontier, 0),
                 bench::fmt_mb(produced), bench::fmt_mb(fast_tp)},
                16);
   }

@@ -6,21 +6,75 @@
 // who wins, by what factor, where crossovers are — is the reproduction
 // target. EXPERIMENTS.md records paper-vs-measured for each figure.
 //
-// DL_BENCH_SCALE=full   runs closer-to-paper durations/sizes (slower).
+// DL_BENCH_SCALE=full     runs closer-to-paper durations/sizes (slower).
 // Default ("quick") keeps every bench within tens of seconds.
+// DL_BENCH_WORKERS=K      sweep worker threads (default: hardware concurrency).
+// DL_BENCH_OUT=dir        where BENCH_*.json / BENCH_*.csv land (default ".").
+//
+// Every figure bench declares its scenarios as a runner::Sweep table and
+// calls run_sweep(), which runs them in parallel on a SweepRunner and emits
+// the machine-readable result files alongside the printed tables. See
+// docs/BENCH.md for the scenario-spec schema.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "runner/report.hpp"
+#include "runner/scenario.hpp"
 
 namespace dl::bench {
 
 inline bool full_scale() {
   const char* env = std::getenv("DL_BENCH_SCALE");
   return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+inline int env_workers() {
+  const char* env = std::getenv("DL_BENCH_WORKERS");
+  if (env == nullptr) return 0;  // 0 => hardware concurrency
+  const int v = std::atoi(env);
+  return v > 0 ? v : 0;
+}
+
+inline std::string out_dir() {
+  const char* env = std::getenv("DL_BENCH_OUT");
+  return env != nullptr && *env != '\0' ? env : ".";
+}
+
+// Runs `specs` on the parallel scenario engine (progress dots to stdout) and
+// writes BENCH_<name>.json + BENCH_<name>.csv. Results come back in spec
+// order regardless of worker count.
+inline std::vector<runner::ScenarioResult> run_sweep(
+    const std::string& name, const std::vector<runner::ScenarioSpec>& specs,
+    const runner::ReportOptions& opts = {}) {
+  runner::SweepRunner pool(env_workers());
+  pool.set_progress([](const runner::ScenarioSpec&, std::size_t, std::size_t) {
+    std::printf(".");
+    std::fflush(stdout);
+  });
+  std::printf("[%zu scenarios on %d workers] ", specs.size(), pool.workers());
+  std::fflush(stdout);
+  auto results = pool.run(specs);
+  std::printf("\n");
+
+  const std::string json_path = out_dir() + "/BENCH_" + name + ".json";
+  std::ofstream json(json_path);
+  runner::write_json(json, name, results, opts);
+  const std::string csv_path = out_dir() + "/BENCH_" + name + ".csv";
+  std::ofstream csv(csv_path);
+  runner::write_csv(csv, results);
+  if (!json || !csv) {
+    std::fprintf(stderr, "WARNING: failed to write %s / %s (is DL_BENCH_OUT a writable directory?)\n",
+                 json_path.c_str(), csv_path.c_str());
+  } else {
+    std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+  }
+  return results;
 }
 
 inline void header(const std::string& fig, const std::string& what) {

@@ -7,7 +7,6 @@
 // The deployment is bandwidth-scaled (10x down) so the bench finishes in
 // seconds; ratios, not absolute MB/s, are the reproduction target.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 #include "workload/topology.hpp"
 
 using namespace dl;
@@ -20,46 +19,47 @@ int main() {
   const double duration = full ? 120.0 : 60.0;
   const auto topo = workload::Topology::aws_geo16();
 
-  const std::vector<Protocol> protos = {Protocol::HB, Protocol::HBLink,
-                                        Protocol::DLCoupled, Protocol::DL};
-  std::vector<ExperimentResult> results;
-  for (Protocol proto : protos) {
-    ExperimentConfig cfg;
-    cfg.protocol = proto;
-    cfg.n = topo.size();
-    cfg.f = (topo.size() - 1) / 3;
-    cfg.seed = 8;
-    cfg.net = topo.network_jittered(30.0, scale, 0.35, duration, cfg.seed);
-    cfg.duration = duration;
-    cfg.warmup = duration / 4;
-    if (proto == Protocol::DL || proto == Protocol::DLCoupled) {
-      cfg.fall_behind_stop = 8;  // 4.5: slow sites pause proposing, catch up
+  Sweep sweep;
+  sweep.base.family = "fig08";
+  sweep.base.n = topo.size();
+  sweep.base.topo = TopologySpec::geo16(scale, 0.35);
+  sweep.base.duration = duration;
+  sweep.base.warmup = duration / 4;
+  sweep.base.max_block_bytes = full ? 400'000 : 150'000;
+  sweep.base.seed = 8;
+  sweep.protocols = {Protocol::HB, Protocol::HBLink, Protocol::DLCoupled,
+                     Protocol::DL};
+
+  auto specs = sweep.expand();
+  for (auto& s : specs) {
+    // 4.5: slow sites pause proposing, catch up (DL variants only).
+    if (s.protocol == Protocol::DL || s.protocol == Protocol::DLCoupled) {
+      s.fall_behind_stop = 8;
     }
-    cfg.max_block_bytes = full ? 400'000 : 150'000;
-    results.push_back(run_experiment(cfg));
-    std::printf(".");
-    std::fflush(stdout);
   }
-  std::printf("\n\nPer-server confirmed throughput (MB/s):\n");
+  const auto results = bench::run_sweep("fig08", specs);
+
+  std::printf("\nPer-server confirmed throughput (MB/s):\n");
   bench::row({"server", "HB", "HB-Link", "DL-Coupled", "DL"});
   for (int i = 0; i < topo.size(); ++i) {
     std::vector<std::string> cells = {topo.cities[static_cast<std::size_t>(i)].name};
     for (const auto& res : results) {
-      cells.push_back(bench::fmt_mb(res.nodes[static_cast<std::size_t>(i)].throughput_bps));
+      cells.push_back(
+          bench::fmt_mb(res.result.nodes[static_cast<std::size_t>(i)].throughput_bps));
     }
     bench::row(cells, 12);
   }
   std::printf("\nAggregate (MB/s):\n");
   bench::row({"HB", "HB-Link", "DL-Coupled", "DL"});
-  bench::row({bench::fmt_mb(results[0].aggregate_throughput_bps),
-              bench::fmt_mb(results[1].aggregate_throughput_bps),
-              bench::fmt_mb(results[2].aggregate_throughput_bps),
-              bench::fmt_mb(results[3].aggregate_throughput_bps)});
+  bench::row({bench::fmt_mb(results[0].result.aggregate_throughput_bps),
+              bench::fmt_mb(results[1].result.aggregate_throughput_bps),
+              bench::fmt_mb(results[2].result.aggregate_throughput_bps),
+              bench::fmt_mb(results[3].result.aggregate_throughput_bps)});
 
-  const double hb = results[0].aggregate_throughput_bps;
-  const double hbl = results[1].aggregate_throughput_bps;
-  const double dlc = results[2].aggregate_throughput_bps;
-  const double dl = results[3].aggregate_throughput_bps;
+  const double hb = results[0].result.aggregate_throughput_bps;
+  const double hbl = results[1].result.aggregate_throughput_bps;
+  const double dlc = results[2].result.aggregate_throughput_bps;
+  const double dl = results[3].result.aggregate_throughput_bps;
   std::printf("\nHeadline ratios (paper values in parentheses):\n");
   std::printf("  HB-Link / HB       = %.2f  (1.45)\n", hbl / hb);
   std::printf("  DL / HB-Link       = %.2f  (1.41)\n", dl / hbl);

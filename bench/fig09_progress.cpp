@@ -6,7 +6,6 @@
 // has its own slope proportional to its bandwidth, and every line ends
 // higher than its HB-Link counterpart.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 #include "workload/topology.hpp"
 
 using namespace dl;
@@ -19,35 +18,37 @@ int main() {
   const double duration = full ? 120.0 : 60.0;
   const auto topo = workload::Topology::aws_geo16();
 
-  for (Protocol proto : {Protocol::DL, Protocol::HBLink}) {
-    ExperimentConfig cfg;
-    cfg.protocol = proto;
-    cfg.n = topo.size();
-    cfg.f = (topo.size() - 1) / 3;
-    cfg.seed = 9;
-    cfg.net = topo.network_jittered(30.0, scale, 0.35, duration, cfg.seed);
-    cfg.duration = duration;
-    cfg.warmup = 0;
-    cfg.sample_interval = duration / 12;
-    cfg.max_block_bytes = full ? 400'000 : 150'000;
-    const auto res = run_experiment(cfg);
+  Sweep sweep;
+  sweep.base.family = "fig09";
+  sweep.base.n = topo.size();
+  sweep.base.topo = TopologySpec::geo16(scale, 0.35);
+  sweep.base.duration = duration;
+  sweep.base.warmup = 0;
+  sweep.base.sample_interval = duration / 12;
+  sweep.base.max_block_bytes = full ? 400'000 : 150'000;
+  sweep.base.seed = 9;
+  sweep.protocols = {Protocol::DL, Protocol::HBLink};
+  const auto results = bench::run_sweep("fig09", sweep.expand());
 
+  for (const auto& r : results) {
     std::printf("\n%s — cumulative confirmed MB per server (columns = time):\n",
-                to_string(proto).c_str());
+                to_string(r.spec.protocol).c_str());
     std::vector<std::string> head = {"server"};
     for (int s = 1; s <= 12; ++s) {
-      head.push_back("t=" + bench::fmt(s * cfg.sample_interval, 0) + "s");
+      head.push_back("t=" + bench::fmt(s * r.spec.sample_interval, 0) + "s");
     }
     bench::row(head, 9);
     double min_final = 1e18, max_final = 0;
     for (int i = 0; i < topo.size(); ++i) {
-      std::vector<std::string> cells = {topo.cities[static_cast<std::size_t>(i)].name.substr(0, 8)};
+      const auto& node = r.result.nodes[static_cast<std::size_t>(i)];
+      std::vector<std::string> cells = {
+          topo.cities[static_cast<std::size_t>(i)].name.substr(0, 8)};
       for (int s = 1; s <= 12; ++s) {
-        cells.push_back(bench::fmt(
-            res.nodes[static_cast<std::size_t>(i)].confirmed.value_at(s * cfg.sample_interval) / 1e6, 1));
+        cells.push_back(
+            bench::fmt(node.confirmed.value_at(s * r.spec.sample_interval) / 1e6, 1));
       }
       bench::row(cells, 9);
-      const double fin = res.nodes[static_cast<std::size_t>(i)].confirmed.value_at(duration);
+      const double fin = node.confirmed.value_at(duration);
       min_final = std::min(min_final, fin);
       max_final = std::max(max_final, fin);
     }

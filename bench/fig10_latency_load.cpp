@@ -6,7 +6,6 @@
 // size inflates in lockstep); DL's stays nearly flat until saturation, and
 // the limited site's tail blows up much earlier under HB.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 #include "workload/topology.hpp"
 
 using namespace dl;
@@ -15,43 +14,42 @@ using namespace dl::runner;
 int main() {
   bench::header("Figure 10", "latency vs offered load (local transactions)");
   const bool full = bench::full_scale();
-  const double scale = 0.15;
   const double duration = full ? 120.0 : 60.0;
   const auto topo = workload::Topology::aws_geo16();
-  int ohio = 1, mumbai = 11;
+  const int ohio = 1, mumbai = 11;
 
   // Offered load per node, bytes/s (the geo capacity at this scale is a few
   // hundred KB/s per node aggregate-wise).
-  const std::vector<double> loads = full
-      ? std::vector<double>{10e3, 25e3, 40e3, 60e3, 80e3, 120e3}
-      : std::vector<double>{10e3, 25e3, 40e3, 60e3, 80e3};
+  Sweep sweep;
+  sweep.base.family = "fig10";
+  sweep.base.n = topo.size();
+  sweep.base.topo = TopologySpec::geo16(0.15);
+  sweep.base.duration = duration;
+  sweep.base.warmup = duration / 3;
+  sweep.base.tx_bytes = 250;
+  sweep.base.max_block_bytes = 300'000;
+  sweep.base.seed = 10;
+  sweep.protocols = {Protocol::DL, Protocol::HB};
+  sweep.loads = full ? std::vector<double>{10e3, 25e3, 40e3, 60e3, 80e3, 120e3}
+                     : std::vector<double>{10e3, 25e3, 40e3, 60e3, 80e3};
+  const auto results = bench::run_sweep("fig10", sweep.expand());
 
-  for (Protocol proto : {Protocol::DL, Protocol::HB}) {
-    std::printf("\n%s:\n", to_string(proto).c_str());
+  const std::size_t per_proto = sweep.loads.size();
+  for (std::size_t p = 0; p < sweep.protocols.size(); ++p) {
+    std::printf("\n%s:\n", to_string(sweep.protocols[p]).c_str());
     bench::row({"load/node", "ohio p50", "ohio p5", "ohio p95", "mumbai p50",
                 "mumbai p5", "mumbai p95", "agg MB/s"},
                12);
-    for (double load : loads) {
-      ExperimentConfig cfg;
-      cfg.protocol = proto;
-      cfg.n = topo.size();
-      cfg.f = (topo.size() - 1) / 3;
-      cfg.net = topo.network(30.0, scale);
-      cfg.duration = duration;
-      cfg.warmup = duration / 3;
-      cfg.load_bytes_per_sec = load;
-      cfg.tx_bytes = 250;
-      cfg.max_block_bytes = 300'000;
-      cfg.seed = 10;
-      const auto res = run_experiment(cfg);
+    for (std::size_t l = 0; l < per_proto; ++l) {
+      const auto& r = results[p * per_proto + l];
       auto cell = [&](int node, double q) {
-        const auto& lat = res.nodes[static_cast<std::size_t>(node)].latency_local;
+        const auto& lat = r.result.nodes[static_cast<std::size_t>(node)].latency_local;
         return lat.empty() ? std::string("-") : bench::fmt(lat.quantile(q), 2);
       };
-      bench::row({bench::fmt(load / 1e3, 0) + "KB/s", cell(ohio, 0.5), cell(ohio, 0.05),
-                  cell(ohio, 0.95), cell(mumbai, 0.5), cell(mumbai, 0.05),
-                  cell(mumbai, 0.95),
-                  bench::fmt_mb(res.aggregate_throughput_bps)},
+      bench::row({bench::fmt(r.spec.load_bytes_per_sec / 1e3, 0) + "KB/s",
+                  cell(ohio, 0.5), cell(ohio, 0.05), cell(ohio, 0.95),
+                  cell(mumbai, 0.5), cell(mumbai, 0.05), cell(mumbai, 0.95),
+                  bench::fmt_mb(r.result.aggregate_throughput_bps)},
                  12);
     }
   }

@@ -8,8 +8,6 @@
 //     §6.3, the decode-cancellation optimization is disabled here for an
 //     apples-to-apples fixed-vs-variable comparison.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
-#include "workload/gauss_markov.hpp"
 
 using namespace dl;
 using namespace dl::runner;
@@ -17,42 +15,40 @@ using namespace dl::runner;
 namespace {
 
 constexpr int kN = 16;
-constexpr int kF = 5;
 
-ExperimentConfig base_cfg(Protocol proto, sim::NetworkConfig net, double duration) {
-  ExperimentConfig cfg;
-  cfg.protocol = proto;
-  cfg.n = kN;
-  cfg.f = kF;
-  cfg.net = std::move(net);
-  cfg.duration = duration;
-  cfg.warmup = duration / 4;
-  cfg.max_block_bytes = 150'000;
-  cfg.seed = 11;
-  return cfg;
+ScenarioSpec base_spec(double duration) {
+  ScenarioSpec spec;
+  spec.family = "fig11";
+  spec.n = kN;
+  spec.duration = duration;
+  spec.warmup = duration / 4;
+  spec.max_block_bytes = 150'000;
+  spec.seed = 11;
+  return spec;
 }
 
 void spatial(double duration) {
   std::printf("\n(a) Spatial variation: bw_i = 1.0 + 0.05*i MB/s (paper/10)\n");
-  sim::NetworkConfig net = sim::NetworkConfig::uniform(kN, 0.1, 1e6);
-  for (int i = 0; i < kN; ++i) {
-    const double bw = 1e6 + 0.05e6 * i;
-    net.egress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
-    net.ingress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
-  }
-  std::vector<ExperimentResult> results;
-  for (Protocol proto : {Protocol::HB, Protocol::HBLink, Protocol::DL}) {
-    results.push_back(run_experiment(base_cfg(proto, net, duration)));
-    std::printf(".");
-    std::fflush(stdout);
-  }
-  std::printf("\n");
+  Sweep sweep;
+  sweep.base = base_spec(duration);
+  sweep.base.variant = "spatial";
+  TopologySpec ramp;
+  ramp.kind = TopologySpec::Kind::SpatialRamp;
+  ramp.delay_s = 0.1;
+  ramp.rate_bps = 1e6;
+  ramp.ramp_step_bps = 0.05e6;
+  sweep.base.topo = ramp;
+  sweep.protocols = {Protocol::HB, Protocol::HBLink, Protocol::DL};
+  const auto results = bench::run_sweep("fig11a", sweep.expand());
+
   bench::row({"node", "bw(MB/s)", "HB", "HB-Link", "DL"});
   for (int i = 0; i < kN; ++i) {
-    bench::row({std::to_string(i), bench::fmt(1.0 + 0.05 * i, 2),
-                bench::fmt_mb(results[0].nodes[static_cast<std::size_t>(i)].throughput_bps),
-                bench::fmt_mb(results[1].nodes[static_cast<std::size_t>(i)].throughput_bps),
-                bench::fmt_mb(results[2].nodes[static_cast<std::size_t>(i)].throughput_bps)});
+    std::vector<std::string> cells = {std::to_string(i), bench::fmt(1.0 + 0.05 * i, 2)};
+    for (const auto& r : results) {
+      cells.push_back(
+          bench::fmt_mb(r.result.nodes[static_cast<std::size_t>(i)].throughput_bps));
+    }
+    bench::row(cells);
   }
   // Shape metric: correlation of per-node throughput with own bandwidth.
   auto slope = [&](const ExperimentResult& r) {
@@ -61,39 +57,30 @@ void spatial(double duration) {
     return t0 > 0 ? t15 / t0 : 0.0;
   };
   std::printf("\nfastest/slowest node throughput: HB=%.2f HB-Link=%.2f DL=%.2f\n",
-              slope(results[0]), slope(results[1]), slope(results[2]));
+              slope(results[0].result), slope(results[1].result),
+              slope(results[2].result));
   std::printf("(paper: ~1.0 for HB variants — capped; >1 and ~bw-proportional for DL)\n");
 }
 
 void temporal(double duration) {
   std::printf("\n(b) Temporal variation: Gauss-Markov(b=1 MB/s, sigma=0.5, alpha=0.98)\n");
+  Sweep sweep;
+  sweep.base = base_spec(duration);
+  sweep.base.variant = "temporal";
+  sweep.base.cancel_on_decode = false;  // §6.3: disabled for a fair comparison
+  sweep.protocols = {Protocol::HB, Protocol::HBLink, Protocol::DL};
+  TopologySpec fixed = TopologySpec::uniform(0.1, 1e6);
+  TopologySpec varying = fixed;
+  varying.sigma_frac = 0.5;
+  sweep.topologies = {fixed, varying};
+  const auto results = bench::run_sweep("fig11b", sweep.expand());
+
   bench::row({"protocol", "fixed(MB/s)", "varying(MB/s)", "ratio"});
-  for (Protocol proto : {Protocol::HB, Protocol::HBLink, Protocol::DL}) {
-    double tp[2];
-    for (int variable = 0; variable <= 1; ++variable) {
-      sim::NetworkConfig net = sim::NetworkConfig::uniform(kN, 0.1, 1e6);
-      if (variable == 1) {
-        workload::GaussMarkovParams gm;
-        gm.mean_bytes_per_sec = 1e6;
-        gm.stddev_bytes_per_sec = 0.5e6;
-        gm.correlation = 0.98;
-        gm.floor_bytes_per_sec = 50e3;
-        for (int i = 0; i < kN; ++i) {
-          net.egress[static_cast<std::size_t>(i)] = workload::gauss_markov_trace(
-              gm, duration, 100 + static_cast<std::uint64_t>(i));
-          net.ingress[static_cast<std::size_t>(i)] = workload::gauss_markov_trace(
-              gm, duration, 200 + static_cast<std::uint64_t>(i));
-        }
-      }
-      auto cfg = base_cfg(proto, std::move(net), duration);
-      cfg.cancel_on_decode = false;  // §6.3: disabled for a fair comparison
-      tp[variable] = run_experiment(cfg).aggregate_throughput_bps;
-      std::printf(".");
-      std::fflush(stdout);
-    }
-    std::printf("\r");
-    bench::row({to_string(proto), bench::fmt_mb(tp[0]), bench::fmt_mb(tp[1]),
-                bench::fmt(tp[1] / tp[0], 2)});
+  for (std::size_t p = 0; p < sweep.protocols.size(); ++p) {
+    const double tp_fixed = results[2 * p].result.aggregate_throughput_bps;
+    const double tp_var = results[2 * p + 1].result.aggregate_throughput_bps;
+    bench::row({to_string(sweep.protocols[p]), bench::fmt_mb(tp_fixed),
+                bench::fmt_mb(tp_var), bench::fmt(tp_var / tp_fixed, 2)});
   }
   std::printf("(paper: HB ~0.80, HB-Link ~0.75, DL ~1.0)\n");
 }

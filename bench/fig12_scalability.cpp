@@ -9,7 +9,6 @@
 // N=128 point simulates ~20M protocol messages per epoch — the quick run
 // measures fewer epochs there.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 
 using namespace dl;
 using namespace dl::runner;
@@ -23,31 +22,38 @@ int main() {
                                    : std::vector<int>{16, 32};
   const std::vector<std::size_t> block_sizes = {50'000, 100'000};
 
-  bench::row({"N", "block=50KB (MB/s)", "block=100KB (MB/s)"}, 20);
-  for (int n : ns) {
-    std::vector<std::string> cells = {std::to_string(n)};
-    for (std::size_t block : block_sizes) {
-      ExperimentConfig cfg;
-      cfg.protocol = Protocol::DL;
-      cfg.n = n;
-      cfg.f = (n - 1) / 3;
-      cfg.net = sim::NetworkConfig::uniform(n, 0.1, 3e6);
-      cfg.fall_behind_stop = 4;  // steady state (see fig13)
-      // Keep the measured window at a handful of epochs at every scale:
-      // per-epoch data grows with N (N blocks/epoch).
-      const double epoch_est = static_cast<double>(n) * static_cast<double>(block) / 3e6;
-      cfg.duration = full ? std::max(60.0, 8 * epoch_est) : std::max(30.0, 5 * epoch_est);
-      cfg.warmup = cfg.duration / 3;
-      cfg.max_block_bytes = block;
-      cfg.propose_size = block / 2;
-      cfg.seed = 12;
-      const auto res = run_experiment(cfg);
-      cells.push_back(bench::fmt_mb(res.aggregate_throughput_bps / n) + "/node x" +
-                      std::to_string(n));
-      std::printf(".");
-      std::fflush(stdout);
+  Sweep sweep;
+  sweep.base.family = "fig12";
+  sweep.base.topo = TopologySpec::uniform(0.1, 3e6);
+  sweep.base.fall_behind_stop = 4;  // steady state (see fig13)
+  sweep.base.seed = 12;
+  for (std::size_t block : block_sizes) {
+    sweep.variants.push_back({"block=" + std::to_string(block / 1000) + "KB",
+                              [block](ScenarioSpec& s) {
+                                s.max_block_bytes = block;
+                                s.propose_size = block / 2;
+                              }});
+  }
+  sweep.ns = ns;
+  auto specs = sweep.expand();
+  for (auto& s : specs) {
+    // Keep the measured window at a handful of epochs at every scale:
+    // per-epoch data grows with N (N blocks/epoch).
+    const double epoch_est =
+        static_cast<double>(s.n) * static_cast<double>(s.max_block_bytes) / 3e6;
+    s.duration = full ? std::max(60.0, 8 * epoch_est) : std::max(30.0, 5 * epoch_est);
+    s.warmup = s.duration / 3;
+  }
+  const auto results = bench::run_sweep("fig12", specs);
+
+  bench::row({"N", "block=50KB (MB/s)", "block=100KB (MB/s)"}, 26);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    std::vector<std::string> cells = {std::to_string(ns[i])};
+    for (std::size_t b = 0; b < block_sizes.size(); ++b) {
+      const auto& r = results[b * ns.size() + i];
+      cells.push_back(bench::fmt_mb(r.result.aggregate_throughput_bps / r.spec.n) +
+                      "/node x" + std::to_string(r.spec.n));
     }
-    std::printf("\r");
     bench::row(cells, 26);
   }
   std::printf("\n(paper shape: mild decline from N=16 to N=128; larger blocks higher)\n");

@@ -6,7 +6,6 @@
 // points land in the 1/20-1/10 band. This is the metric that says how cheap
 // it is for a slow node to keep participating in dispersal.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 
 using namespace dl;
 using namespace dl::runner;
@@ -22,33 +21,40 @@ int main() {
       full ? std::vector<std::size_t>{50'000, 100'000, 200'000, 400'000}
            : std::vector<std::size_t>{50'000, 100'000, 200'000};
 
+  Sweep sweep;
+  sweep.base.family = "fig13";
+  sweep.base.topo = TopologySpec::uniform(0.1, 3e6);
+  // Steady state: throttle production with the fall-behind policy (P=4, the
+  // 4.5 mechanism), so traffic fractions are measured in a sustainable
+  // regime rather than during unbounded fall-behind.
+  sweep.base.fall_behind_stop = 4;
+  sweep.base.seed = 13;
+  for (std::size_t block : blocks) {
+    sweep.variants.push_back({"block=" + std::to_string(block / 1000) + "KB",
+                              [block](ScenarioSpec& s) {
+                                s.max_block_bytes = block;
+                                s.propose_size = block / 2;
+                              }});
+  }
+  sweep.ns = ns;
+  auto specs = sweep.expand();
+  for (auto& s : specs) {
+    const double epoch_est =
+        static_cast<double>(s.n) * static_cast<double>(s.max_block_bytes) / 3e6;
+    s.duration = std::max(full ? 60.0 : 30.0, 5.0 * epoch_est);
+    s.warmup = s.duration / 3;
+  }
+  const auto results = bench::run_sweep("fig13", specs);
+
   std::vector<std::string> head = {"N \\ block"};
   for (auto b : blocks) head.push_back(std::to_string(b / 1000) + "KB");
   bench::row(head, 12);
-  for (int n : ns) {
-    std::vector<std::string> cells = {std::to_string(n)};
-    for (std::size_t block : blocks) {
-      ExperimentConfig cfg;
-      cfg.protocol = Protocol::DL;
-      cfg.n = n;
-      cfg.f = (n - 1) / 3;
-      cfg.net = sim::NetworkConfig::uniform(n, 0.1, 3e6);
-      // Steady state: throttle production with the fall-behind policy
-      // (P=4, the 4.5 mechanism), so traffic fractions are measured in a
-      // sustainable regime rather than during unbounded fall-behind.
-      cfg.fall_behind_stop = 4;
-      const double epoch_est = static_cast<double>(n) * static_cast<double>(block) / 3e6;
-      cfg.duration = std::max(full ? 60.0 : 30.0, 5.0 * epoch_est);
-      cfg.warmup = cfg.duration / 3;
-      cfg.max_block_bytes = block;
-      cfg.propose_size = block / 2;
-      cfg.seed = 13;
-      const auto res = run_experiment(cfg);
-      cells.push_back(bench::fmt(res.mean_dispersal_fraction, 3));
-      std::printf(".");
-      std::fflush(stdout);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    std::vector<std::string> cells = {std::to_string(ns[i])};
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      cells.push_back(
+          bench::fmt(results[b * ns.size() + i].result.mean_dispersal_fraction, 3));
     }
-    std::printf("\r");
     bench::row(cells, 12);
   }
   std::printf("\n(paper shape: decreasing in both N and block size; 1/(N-2f) floor)\n");

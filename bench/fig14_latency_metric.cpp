@@ -7,7 +7,6 @@
 // transactions lowers the overloaded servers' medians (they confirm other
 // sites' transactions) while inflating the tail at non-overloaded servers.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 #include "workload/topology.hpp"
 
 using namespace dl;
@@ -19,26 +18,32 @@ int main() {
   const double duration = full ? 90.0 : 45.0;
   const auto topo = workload::Topology::aws_geo16();
 
-  struct Setup {
-    Protocol proto;
-    double load;  // near capacity for that protocol at scale 0.1
-  };
-  for (const Setup& s : {Setup{Protocol::DL, 110e3}, Setup{Protocol::HB, 60e3}}) {
-    ExperimentConfig cfg;
-    cfg.protocol = s.proto;
-    cfg.n = topo.size();
-    cfg.f = (topo.size() - 1) / 3;
-    cfg.net = topo.network(30.0, 0.10);
-    cfg.duration = duration;
-    cfg.warmup = duration / 3;
-    cfg.load_bytes_per_sec = s.load;
-    cfg.max_block_bytes = 300'000;
-    cfg.seed = 14;
-    const auto res = run_experiment(cfg);
-    std::printf("\n%s at %.0f KB/s per node:\n", to_string(s.proto).c_str(), s.load / 1e3);
+  Sweep sweep;
+  sweep.base.family = "fig14";
+  sweep.base.n = topo.size();
+  sweep.base.topo = TopologySpec::geo16(0.10);
+  sweep.base.duration = duration;
+  sweep.base.warmup = duration / 3;
+  sweep.base.max_block_bytes = 300'000;
+  sweep.base.seed = 14;
+  // Each protocol runs near its own capacity at scale 0.1.
+  sweep.variants = {{"DL@110KB/s",
+                     [](ScenarioSpec& s) {
+                       s.protocol = Protocol::DL;
+                       s.load_bytes_per_sec = 110e3;
+                     }},
+                    {"HB@60KB/s", [](ScenarioSpec& s) {
+                       s.protocol = Protocol::HB;
+                       s.load_bytes_per_sec = 60e3;
+                     }}};
+  const auto results = bench::run_sweep("fig14", sweep.expand());
+
+  for (const auto& r : results) {
+    std::printf("\n%s at %.0f KB/s per node:\n", to_string(r.spec.protocol).c_str(),
+                r.spec.load_bytes_per_sec / 1e3);
     bench::row({"server", "local p50", "local p95", "all p50", "all p95"}, 12);
     for (int i = 0; i < topo.size(); ++i) {
-      const auto& node = res.nodes[static_cast<std::size_t>(i)];
+      const auto& node = r.result.nodes[static_cast<std::size_t>(i)];
       auto q = [](const metrics::Percentile& p, double quant) {
         return p.empty() ? std::string("-") : bench::fmt(p.quantile(quant), 2);
       };

@@ -3,7 +3,6 @@
 //
 // Paper shape: DL improves throughput by at least 50% over HB at every site.
 #include "bench_util.hpp"
-#include "runner/experiment.hpp"
 #include "workload/topology.hpp"
 
 using namespace dl;
@@ -16,37 +15,39 @@ int main() {
   const double duration = full ? 120.0 : 60.0;
   const auto topo = workload::Topology::vultr15();
 
-  const std::vector<Protocol> protos = {Protocol::HB, Protocol::HBLink, Protocol::DL};
-  std::vector<ExperimentResult> results;
-  for (Protocol proto : protos) {
-    ExperimentConfig cfg;
-    cfg.protocol = proto;
-    cfg.n = topo.size();
-    cfg.f = (topo.size() - 1) / 3;
-    cfg.seed = 15;
-    cfg.net = topo.network_jittered(30.0, scale, 0.35, duration, cfg.seed);
-    cfg.duration = duration;
-    cfg.warmup = duration / 4;
-    if (proto == Protocol::DL || proto == Protocol::DLCoupled) {
-      cfg.fall_behind_stop = 8;  // 4.5: slow sites pause proposing, catch up
+  Sweep sweep;
+  sweep.base.family = "fig15";
+  sweep.base.n = topo.size();
+  sweep.base.topo = TopologySpec::vultr15(scale, 0.35);
+  sweep.base.duration = duration;
+  sweep.base.warmup = duration / 4;
+  sweep.base.max_block_bytes = full ? 400'000 : 150'000;
+  sweep.base.seed = 15;
+  sweep.protocols = {Protocol::HB, Protocol::HBLink, Protocol::DL};
+  auto specs = sweep.expand();
+  for (auto& s : specs) {
+    // 4.5: slow sites pause proposing, catch up (DL variants only).
+    if (s.protocol == Protocol::DL || s.protocol == Protocol::DLCoupled) {
+      s.fall_behind_stop = 8;
     }
-    cfg.max_block_bytes = full ? 400'000 : 150'000;
-    results.push_back(run_experiment(cfg));
-    std::printf(".");
-    std::fflush(stdout);
   }
-  std::printf("\n\nPer-server confirmed throughput (MB/s):\n");
+  const auto results = bench::run_sweep("fig15", specs);
+
+  std::printf("\nPer-server confirmed throughput (MB/s):\n");
   bench::row({"server", "HB", "HB-Link", "DL"});
   for (int i = 0; i < topo.size(); ++i) {
-    bench::row({topo.cities[static_cast<std::size_t>(i)].name,
-                bench::fmt_mb(results[0].nodes[static_cast<std::size_t>(i)].throughput_bps),
-                bench::fmt_mb(results[1].nodes[static_cast<std::size_t>(i)].throughput_bps),
-                bench::fmt_mb(results[2].nodes[static_cast<std::size_t>(i)].throughput_bps)});
+    std::vector<std::string> cells = {topo.cities[static_cast<std::size_t>(i)].name};
+    for (const auto& r : results) {
+      cells.push_back(
+          bench::fmt_mb(r.result.nodes[static_cast<std::size_t>(i)].throughput_bps));
+    }
+    bench::row(cells);
   }
   std::printf("\nAggregate: HB=%s  HB-Link=%s  DL=%s (MB/s);  DL/HB = %.2f (paper: >= 1.5)\n",
-              bench::fmt_mb(results[0].aggregate_throughput_bps).c_str(),
-              bench::fmt_mb(results[1].aggregate_throughput_bps).c_str(),
-              bench::fmt_mb(results[2].aggregate_throughput_bps).c_str(),
-              results[2].aggregate_throughput_bps / results[0].aggregate_throughput_bps);
+              bench::fmt_mb(results[0].result.aggregate_throughput_bps).c_str(),
+              bench::fmt_mb(results[1].result.aggregate_throughput_bps).c_str(),
+              bench::fmt_mb(results[2].result.aggregate_throughput_bps).c_str(),
+              results[2].result.aggregate_throughput_bps /
+                  results[0].result.aggregate_throughput_bps);
   return 0;
 }

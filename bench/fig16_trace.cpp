@@ -1,6 +1,9 @@
 // Figure 16 (Appendix A.3): an example synthetic bandwidth trace from the
 // Gauss-Markov process used in the temporal-variation experiment, rendered
-// as an ASCII sparkline plus the sampled values.
+// as an ASCII sparkline plus the sampled values. Also emitted as
+// BENCH_fig16.json (the one bench with no experiment sweep behind it).
+#include <fstream>
+
 #include "bench_util.hpp"
 #include "workload/gauss_markov.hpp"
 
@@ -32,5 +35,23 @@ int main() {
   std::printf("\nSampled values (every 10 s, MB/s): ");
   for (int t = 0; t <= 300; t += 10) std::printf("%.1f ", trace.rate_at(t + 0.5) / 1e6);
   std::printf("\nmean over trace = %.2f MB/s (target 10)\n", trace.mean_rate() / 1e6);
+
+  const std::string path = bench::out_dir() + "/BENCH_fig16.json";
+  std::ofstream os(path);
+  runner::JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").value("fig16");
+  w.key("schema").value("dl-sweep-v1");
+  w.key("mean_bytes_per_sec").value(p.mean_bytes_per_sec);
+  w.key("stddev_bytes_per_sec").value(p.stddev_bytes_per_sec);
+  w.key("correlation").value(p.correlation);
+  w.key("rate_series").begin_array();
+  for (int t = 0; t <= 300; ++t) {
+    w.begin_array().value(static_cast<double>(t)).value(trace.rate_at(t + 0.5)).end_array();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Formatting gate for the scenario-engine PR surface. Scoped to the files
+# that PR touched (per-PR opt-in, so legacy files aren't churned wholesale);
+# grow this list as more of the tree is brought under clang-format.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILES=(
+  src/runner/scenario.hpp
+  src/runner/scenario.cpp
+  src/runner/report.hpp
+  src/runner/report.cpp
+  tests/scenario_test.cpp
+)
+
+clang-format --version
+clang-format --dry-run --Werror "${FILES[@]}"
+echo "format OK (${#FILES[@]} files)"

@@ -35,6 +35,20 @@ void Percentile::add(double v) {
   }
 }
 
+void Percentile::merge(const Percentile& other) {
+  if (other.total_ == 0) return;
+  double retained_sum = 0;
+  for (double v : other.samples_) {
+    add(v);
+    retained_sum += v;
+  }
+  // add() only saw other's retained subsample; restore the exact aggregates.
+  total_ += other.total_ - other.samples_.size();
+  sum_ += other.sum_ - retained_sum;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double Percentile::mean() const {
   return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
 }

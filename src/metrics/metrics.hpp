@@ -17,6 +17,12 @@ class Percentile {
 
   void add(double v);
 
+  // Folds another tracker into this one (cross-seed / cross-node
+  // aggregation). count/mean/min/max stay exact; quantiles are computed over
+  // the union of the two retained sample sets, which is an approximation
+  // only if `other` overflowed its reservoir.
+  void merge(const Percentile& other);
+
   std::size_t count() const { return total_; }
   bool empty() const { return total_ == 0; }
   double mean() const;

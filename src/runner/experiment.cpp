@@ -39,6 +39,8 @@ core::NodeConfig make_node_config(const ExperimentConfig& cfg, int self) {
   nc.propose_delay = cfg.propose_delay;
   nc.fall_behind_stop = cfg.fall_behind_stop;
   nc.cancel_on_decode = cfg.cancel_on_decode;
+  if (!cfg.inter_node_linking) nc.inter_node_linking = false;
+  if (cfg.repropose_dropped) nc.repropose_dropped = true;
   if (cfg.load_bytes_per_sec <= 0) nc.backlog_tx_bytes = cfg.tx_bytes;
   if (std::find(cfg.bad_dispersers.begin(), cfg.bad_dispersers.end(), self) !=
       cfg.bad_dispersers.end()) {
@@ -91,6 +93,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       tp.tx_bytes = cfg.tx_bytes;
       tp.seed = cfg.seed * 1000 + static_cast<std::uint64_t>(i);
       tp.stop_time = cfg.duration;
+      tp.burst_period = cfg.burst_period;
+      tp.burst_duty = cfg.burst_duty;
       gens.push_back(std::make_unique<workload::PoissonTxGen>(
           tp, sim.queue(), [raw](Bytes payload) { raw->submit(std::move(payload)); }));
       sim.queue().at(0, [g = gens.back().get()] { g->start(); });

@@ -33,6 +33,10 @@ struct ExperimentConfig {
   // Workload: offered load per node (Poisson). 0 => infinite backlog.
   double load_bytes_per_sec = 0;
   std::size_t tx_bytes = 250;
+  // Bursty on/off modulation: when burst_period > 0, generators only submit
+  // during the first burst_duty fraction of each period.
+  double burst_period = 0;
+  double burst_duty = 1.0;
 
   // Node knobs (forwarded into NodeConfig).
   std::size_t max_block_bytes = 2'000'000;
@@ -40,6 +44,9 @@ struct ExperimentConfig {
   double propose_delay = 0.100;
   int fall_behind_stop = 0;
   bool cancel_on_decode = true;
+  // Protocol-shape overrides on top of the preset (DL-NoLink ablation).
+  bool inter_node_linking = true;
+  bool repropose_dropped = false;
   std::uint64_t seed = 1;
 
   // Failure injection: indices of crashed (silent) nodes and of Byzantine

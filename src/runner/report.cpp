@@ -1,0 +1,239 @@
+#include "runner/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dl::runner {
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separate();
+  os_ << '"' << escape(k) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separate();
+  os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  os_ << format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_.back()) os_ << ',';
+  needs_comma_.back() = true;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+void emit_percentile(JsonWriter& w, const metrics::Percentile& p) {
+  w.begin_object();
+  w.key("count").value(static_cast<std::uint64_t>(p.count()));
+  if (!p.empty()) {
+    w.key("mean").value(p.mean());
+    w.key("min").value(p.min());
+    w.key("max").value(p.max());
+    w.key("p5").value(p.quantile(0.05));
+    w.key("p50").value(p.quantile(0.50));
+    w.key("p95").value(p.quantile(0.95));
+    w.key("p99").value(p.quantile(0.99));
+  }
+  w.end_object();
+}
+
+void emit_spec(JsonWriter& w, const ScenarioSpec& spec) {
+  w.key("name").value(spec.name());
+  w.key("family").value(spec.family);
+  if (!spec.variant.empty()) w.key("variant").value(spec.variant);
+  w.key("protocol").value(to_string(spec.protocol));
+  w.key("n").value(spec.n);
+  w.key("f").value(spec.effective_f());
+  w.key("topology").value(spec.topo.to_string());
+  w.key("duration").value(spec.duration);
+  w.key("warmup").value(spec.warmup);
+  w.key("load_bytes_per_sec").value(spec.load_bytes_per_sec);
+  w.key("tx_bytes").value(static_cast<std::uint64_t>(spec.tx_bytes));
+  if (spec.burst_period > 0) {
+    w.key("burst_period").value(spec.burst_period);
+    w.key("burst_duty").value(spec.burst_duty);
+  }
+  w.key("max_block_bytes").value(static_cast<std::uint64_t>(spec.max_block_bytes));
+  w.key("propose_size").value(static_cast<std::uint64_t>(spec.propose_size));
+  w.key("propose_delay").value(spec.propose_delay);
+  w.key("fall_behind_stop").value(spec.fall_behind_stop);
+  w.key("cancel_on_decode").value(spec.cancel_on_decode);
+  w.key("inter_node_linking").value(spec.inter_node_linking);
+  w.key("repropose_dropped").value(spec.repropose_dropped);
+  w.key("seed").value(spec.seed);
+}
+
+void emit_node(JsonWriter& w, const NodeResult& node, const ReportOptions& opts) {
+  w.begin_object();
+  w.key("throughput_bps").value(node.throughput_bps);
+  w.key("latency_local");
+  emit_percentile(w, node.latency_local);
+  w.key("latency_all");
+  emit_percentile(w, node.latency_all);
+  w.key("egress_high").value(node.egress_high);
+  w.key("egress_low").value(node.egress_low);
+  w.key("ingress_high").value(node.ingress_high);
+  w.key("ingress_low").value(node.ingress_low);
+  w.key("delivered_blocks").value(node.delivered_blocks);
+  w.key("delivered_epochs").value(node.stats.delivered_epochs);
+  w.key("proposed_blocks").value(node.stats.proposed_blocks);
+  w.key("own_blocks_dropped").value(node.stats.own_blocks_dropped);
+  w.key("reproposed_tx").value(node.stats.reproposed_tx);
+  if (opts.include_time_series) {
+    w.key("confirmed_bytes_series").begin_array();
+    for (const auto& [t, v] : node.confirmed.points()) {
+      w.begin_array().value(t).value(v).end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const std::string& bench_name,
+                const std::vector<ScenarioResult>& results,
+                const ReportOptions& opts) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").value(bench_name);
+  w.key("schema").value("dl-sweep-v1");
+  w.key("scenarios").begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    emit_spec(w, r.spec);
+    w.key("aggregate_throughput_bps").value(r.result.aggregate_throughput_bps);
+    w.key("mean_dispersal_fraction").value(r.result.mean_dispersal_fraction);
+    if (opts.include_nodes) {
+      w.key("nodes").begin_array();
+      for (const auto& node : r.result.nodes) emit_node(w, node, opts);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string json_string(const std::string& bench_name,
+                        const std::vector<ScenarioResult>& results,
+                        const ReportOptions& opts) {
+  std::ostringstream os;
+  write_json(os, bench_name, results, opts);
+  return os.str();
+}
+
+void write_csv(std::ostream& os, const std::vector<ScenarioResult>& results) {
+  os << "family,variant,protocol,n,f,topology,load_bytes_per_sec,seed,"
+        "aggregate_throughput_bps,mean_dispersal_fraction,"
+        "latency_local_p50,latency_local_p95\n";
+  for (const auto& r : results) {
+    metrics::Percentile lat;
+    for (const auto& node : r.result.nodes) lat.merge(node.latency_local);
+    os << r.spec.family << ',' << r.spec.variant << ',' << to_string(r.spec.protocol)
+       << ',' << r.spec.n << ',' << r.spec.effective_f() << ",\""
+       << r.spec.topo.to_string() << "\","
+       << JsonWriter::format_double(r.spec.load_bytes_per_sec) << ',' << r.spec.seed
+       << ',' << JsonWriter::format_double(r.result.aggregate_throughput_bps) << ','
+       << JsonWriter::format_double(r.result.mean_dispersal_fraction) << ','
+       << (lat.empty() ? "" : JsonWriter::format_double(lat.quantile(0.5))) << ','
+       << (lat.empty() ? "" : JsonWriter::format_double(lat.quantile(0.95))) << '\n';
+  }
+}
+
+}  // namespace dl::runner

@@ -1,0 +1,70 @@
+// Structured result emission for the scenario engine: a small streaming JSON
+// writer plus BENCH_*.json / CSV serializers for sweep results.
+//
+// Output is deterministic: doubles print via "%.17g" (round-trip exact), key
+// order is fixed, and results arrive already ordered by spec index — so the
+// same sweep with the same seeds yields byte-identical files regardless of
+// how many worker threads ran it.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+
+namespace dl::runner {
+
+// Minimal streaming JSON emitter. The caller is responsible for well-formed
+// nesting; the writer handles commas, string escaping, and number formatting.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  static std::string escape(const std::string& s);
+  static std::string format_double(double v);
+
+ private:
+  void separate();
+
+  std::ostream& os_;
+  // One entry per open scope: whether a value has already been written.
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+};
+
+struct ReportOptions {
+  // Include the per-node confirmed-bytes time series (needed for the
+  // progress-over-time figures; off for large sweeps where only aggregates
+  // matter).
+  bool include_time_series = true;
+  // Include per-node rows (throughput, latency quantiles, traffic split).
+  bool include_nodes = true;
+};
+
+// Serializes sweep results: {"bench": ..., "scenarios": [...]}.
+void write_json(std::ostream& os, const std::string& bench_name,
+                const std::vector<ScenarioResult>& results,
+                const ReportOptions& opts = {});
+
+std::string json_string(const std::string& bench_name,
+                        const std::vector<ScenarioResult>& results,
+                        const ReportOptions& opts = {});
+
+// One CSV row per scenario (aggregates only).
+void write_csv(std::ostream& os, const std::vector<ScenarioResult>& results);
+
+}  // namespace dl::runner

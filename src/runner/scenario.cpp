@@ -1,0 +1,389 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "workload/gauss_markov.hpp"
+#include "workload/topology.hpp"
+
+namespace dl::runner {
+
+namespace {
+
+// splitmix64: decorrelates per-node trace seeds from the spec seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+void apply_gauss_markov_jitter(sim::NetworkConfig& net, double sigma_frac,
+                               double duration, std::uint64_t seed) {
+  for (int i = 0; i < net.n; ++i) {
+    for (int dir = 0; dir < 2; ++dir) {
+      auto& trace = dir == 0 ? net.egress[static_cast<std::size_t>(i)]
+                             : net.ingress[static_cast<std::size_t>(i)];
+      workload::GaussMarkovParams gm;
+      gm.mean_bytes_per_sec = trace.mean_rate();
+      gm.stddev_bytes_per_sec = sigma_frac * gm.mean_bytes_per_sec;
+      gm.floor_bytes_per_sec = std::max(50e3, 0.02 * gm.mean_bytes_per_sec);
+      const std::uint64_t trace_seed =
+          mix64(seed ^ mix64(static_cast<std::uint64_t>(i) * 2 +
+                             static_cast<std::uint64_t>(dir)));
+      trace = workload::gauss_markov_trace(gm, duration, trace_seed);
+    }
+  }
+}
+
+}  // namespace
+
+TopologySpec TopologySpec::uniform(double delay_s, double rate_bps) {
+  TopologySpec t;
+  t.kind = Kind::Uniform;
+  t.delay_s = delay_s;
+  t.rate_bps = rate_bps;
+  return t;
+}
+
+TopologySpec TopologySpec::geo16(double bw_scale, double sigma_frac) {
+  TopologySpec t;
+  t.kind = Kind::Geo16;
+  t.bw_scale = bw_scale;
+  t.sigma_frac = sigma_frac;
+  return t;
+}
+
+TopologySpec TopologySpec::vultr15(double bw_scale, double sigma_frac) {
+  TopologySpec t;
+  t.kind = Kind::Vultr15;
+  t.bw_scale = bw_scale;
+  t.sigma_frac = sigma_frac;
+  return t;
+}
+
+std::string TopologySpec::to_string() const {
+  std::string s;
+  switch (kind) {
+    case Kind::Uniform:
+      s = "uniform(d=" + fmt("%g", delay_s) + ",bw=" + fmt("%g", rate_bps) + ")";
+      break;
+    case Kind::Geo16:
+      s = "geo16(x" + fmt("%g", bw_scale) + ")";
+      break;
+    case Kind::Vultr15:
+      s = "vultr15(x" + fmt("%g", bw_scale) + ")";
+      break;
+    case Kind::SpatialRamp:
+      s = "ramp(d=" + fmt("%g", delay_s) + ",bw=" + fmt("%g", rate_bps) + "+" +
+          fmt("%g", ramp_step_bps) + "*i)";
+      break;
+    case Kind::SlowSubset:
+      s = "slowsubset(d=" + fmt("%g", delay_s) + ",bw=" + fmt("%g", rate_bps) +
+          ",slow@" + std::to_string(slow_offset) + "+" + std::to_string(slow_stride) +
+          "k=" + fmt("%g", slow_rate_bps) + "+" + fmt("%g", slow_rate_step_bps) +
+          "*k)";
+      break;
+  }
+  if (sigma_frac > 0) s += "~gm(" + fmt("%g", sigma_frac) + ")";
+  if (weight_high != 30.0) s += " T=" + fmt("%g", weight_high);
+  return s;
+}
+
+std::string ScenarioSpec::name_without_seed() const {
+  std::string s = family;
+  if (!variant.empty()) s += "/" + variant;
+  s += "/" + runner::to_string(protocol);
+  s += " n=" + std::to_string(n) + " f=" + std::to_string(effective_f());
+  s += " " + topo.to_string();
+  if (load_bytes_per_sec > 0) {
+    s += " load=" + fmt("%g", load_bytes_per_sec);
+  } else {
+    s += " load=backlog";
+  }
+  if (burst_period > 0) {
+    s += " burst=" + fmt("%g", burst_duty) + "x" + fmt("%g", burst_period) + "s";
+  }
+  return s;
+}
+
+std::string ScenarioSpec::name() const {
+  return name_without_seed() + " seed=" + std::to_string(seed);
+}
+
+ExperimentConfig ScenarioSpec::materialize() const {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = n;
+  cfg.f = effective_f();
+  cfg.duration = duration;
+  cfg.warmup = warmup;
+  cfg.sample_interval = sample_interval;
+  cfg.load_bytes_per_sec = load_bytes_per_sec;
+  cfg.tx_bytes = tx_bytes;
+  cfg.burst_period = burst_period;
+  cfg.burst_duty = burst_duty;
+  cfg.max_block_bytes = max_block_bytes;
+  cfg.propose_size = propose_size;
+  cfg.propose_delay = propose_delay;
+  cfg.fall_behind_stop = fall_behind_stop;
+  cfg.cancel_on_decode = cancel_on_decode;
+  cfg.inter_node_linking = inter_node_linking;
+  cfg.repropose_dropped = repropose_dropped;
+  cfg.seed = seed;
+  cfg.crashed = crashed;
+  cfg.bad_dispersers = bad_dispersers;
+  cfg.v_liars = v_liars;
+
+  switch (topo.kind) {
+    case TopologySpec::Kind::Uniform:
+      cfg.net = sim::NetworkConfig::uniform(n, topo.delay_s, topo.rate_bps);
+      if (topo.sigma_frac > 0) {
+        apply_gauss_markov_jitter(cfg.net, topo.sigma_frac, duration, seed);
+      }
+      break;
+    case TopologySpec::Kind::Geo16:
+    case TopologySpec::Kind::Vultr15: {
+      const auto geo = topo.kind == TopologySpec::Kind::Geo16
+                           ? workload::Topology::aws_geo16()
+                           : workload::Topology::vultr15();
+      cfg.net = topo.sigma_frac > 0
+                    ? geo.network_jittered(topo.weight_high, topo.bw_scale,
+                                           topo.sigma_frac, duration, seed)
+                    : geo.network(topo.weight_high, topo.bw_scale);
+      break;
+    }
+    case TopologySpec::Kind::SpatialRamp:
+      cfg.net = sim::NetworkConfig::uniform(n, topo.delay_s, topo.rate_bps);
+      for (int i = 0; i < n; ++i) {
+        const double bw = topo.rate_bps + topo.ramp_step_bps * i;
+        cfg.net.egress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
+        cfg.net.ingress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
+      }
+      if (topo.sigma_frac > 0) {
+        apply_gauss_markov_jitter(cfg.net, topo.sigma_frac, duration, seed);
+      }
+      break;
+    case TopologySpec::Kind::SlowSubset:
+      cfg.net = sim::NetworkConfig::uniform(n, topo.delay_s, topo.rate_bps);
+      for (int i = topo.slow_offset, k = 0; i < n; i += topo.slow_stride, ++k) {
+        const double bw = topo.slow_rate_bps + topo.slow_rate_step_bps * k;
+        cfg.net.egress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
+        cfg.net.ingress[static_cast<std::size_t>(i)] = sim::Trace::constant(bw);
+      }
+      if (topo.sigma_frac > 0) {
+        apply_gauss_markov_jitter(cfg.net, topo.sigma_frac, duration, seed);
+      }
+      break;
+  }
+  cfg.net.weight_high = topo.weight_high;
+  return cfg;
+}
+
+std::string validate(const ScenarioSpec& spec) {
+  if (spec.n < 4) return "n must be >= 4 (BFT quorums need n >= 3f+1, f >= 1)";
+  if (spec.f >= 0 && 3 * spec.f >= spec.n) return "f too large: need n > 3f";
+  if (spec.effective_f() < 1) return "f must be >= 1";
+  if (!(spec.duration > 0)) return "duration must be > 0";
+  if (spec.warmup < 0 || spec.warmup >= spec.duration) {
+    return "warmup must be in [0, duration)";
+  }
+  if (!(spec.sample_interval > 0)) return "sample_interval must be > 0";
+  if (spec.load_bytes_per_sec < 0) return "load_bytes_per_sec must be >= 0";
+  if (spec.tx_bytes == 0) return "tx_bytes must be > 0";
+  if (spec.burst_period < 0) return "burst_period must be >= 0";
+  if (spec.burst_period > 0 && (spec.burst_duty <= 0 || spec.burst_duty > 1)) {
+    return "burst_duty must be in (0, 1]";
+  }
+  if (spec.burst_period > 0 && spec.load_bytes_per_sec <= 0) {
+    return "bursty load requires load_bytes_per_sec > 0";
+  }
+  if (spec.max_block_bytes == 0) return "max_block_bytes must be > 0";
+  if (spec.propose_size == 0) return "propose_size must be > 0";
+  if (spec.propose_delay < 0) return "propose_delay must be >= 0";
+
+  const auto& t = spec.topo;
+  if (t.kind == TopologySpec::Kind::Geo16 && spec.n != 16) {
+    return "geo16 topology requires n == 16";
+  }
+  if (t.kind == TopologySpec::Kind::Vultr15 && spec.n != 15) {
+    return "vultr15 topology requires n == 15";
+  }
+  if (t.kind == TopologySpec::Kind::Uniform ||
+      t.kind == TopologySpec::Kind::SpatialRamp ||
+      t.kind == TopologySpec::Kind::SlowSubset) {
+    if (t.delay_s < 0) return "topology delay must be >= 0";
+    if (!(t.rate_bps > 0)) return "topology rate must be > 0";
+  }
+  if (t.kind == TopologySpec::Kind::SpatialRamp && t.ramp_step_bps < 0) {
+    return "ramp_step_bps must be >= 0";
+  }
+  if (t.kind == TopologySpec::Kind::SlowSubset) {
+    if (t.slow_stride <= 0) return "slow_stride must be > 0";
+    if (t.slow_offset < 0) return "slow_offset must be >= 0";
+    if (!(t.slow_rate_bps > 0)) return "slow_rate_bps must be > 0";
+  }
+  if (!(t.bw_scale > 0)) return "bw_scale must be > 0";
+  if (!(t.weight_high > 0)) return "weight_high must be > 0";
+  if (t.sigma_frac < 0) return "sigma_frac must be >= 0";
+
+  for (int i : spec.crashed) {
+    if (i < 0 || i >= spec.n) return "crashed index out of range";
+  }
+  for (int i : spec.bad_dispersers) {
+    if (i < 0 || i >= spec.n) return "bad_dispersers index out of range";
+  }
+  for (int i : spec.v_liars) {
+    if (i < 0 || i >= spec.n) return "v_liars index out of range";
+  }
+  return "";
+}
+
+std::size_t Sweep::cardinality() const {
+  auto dim = [](std::size_t n) { return n == 0 ? 1 : n; };
+  return dim(variants.size()) * dim(protocols.size()) * dim(ns.size()) *
+         dim(topologies.size()) * dim(loads.size()) * dim(seeds.size());
+}
+
+std::vector<ScenarioSpec> Sweep::expand() const {
+  std::vector<ScenarioSpec> out;
+  out.reserve(cardinality());
+  const std::size_t nv = variants.empty() ? 1 : variants.size();
+  const std::size_t np = protocols.empty() ? 1 : protocols.size();
+  const std::size_t nn = ns.empty() ? 1 : ns.size();
+  const std::size_t nt = topologies.empty() ? 1 : topologies.size();
+  const std::size_t nl = loads.empty() ? 1 : loads.size();
+  const std::size_t nz = seeds.empty() ? 1 : seeds.size();
+  for (std::size_t v = 0; v < nv; ++v) {
+    for (std::size_t p = 0; p < np; ++p) {
+      for (std::size_t i = 0; i < nn; ++i) {
+        for (std::size_t t = 0; t < nt; ++t) {
+          for (std::size_t l = 0; l < nl; ++l) {
+            for (std::size_t z = 0; z < nz; ++z) {
+              ScenarioSpec spec = base;
+              if (!variants.empty()) {
+                spec.variant = variants[v].label;
+                if (variants[v].apply) variants[v].apply(spec);
+              }
+              if (!protocols.empty()) spec.protocol = protocols[p];
+              if (!ns.empty()) spec.n = ns[i];
+              if (!topologies.empty()) spec.topo = topologies[t];
+              if (!loads.empty()) spec.load_bytes_per_sec = loads[l];
+              if (!seeds.empty()) spec.seed = seeds[z];
+              out.push_back(std::move(spec));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepRunner::SweepRunner(int workers) : workers_(workers) {
+  if (workers_ <= 0) {
+    workers_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers_ <= 0) workers_ = 1;
+  }
+}
+
+std::vector<ScenarioResult> SweepRunner::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string err = validate(specs[i]);
+    if (!err.empty()) {
+      throw std::invalid_argument("scenario " + std::to_string(i) + " (" +
+                                  specs[i].name() + "): " + err);
+    }
+  }
+
+  std::vector<ScenarioResult> results(specs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;  // serializes progress callbacks and first-error capture
+  std::exception_ptr first_error;
+
+  auto work = [&] {
+    for (;;) {
+      if (failed.load()) return;  // abort the sweep on the first error
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      try {
+        results[i].spec = specs[i];
+        results[i].result = run_experiment(specs[i].materialize());
+      } catch (...) {
+        failed.store(true);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (progress_) {
+        std::lock_guard<std::mutex> lock(mu);
+        progress_(specs[i], finished, specs.size());
+      }
+    }
+  };
+
+  const int nthreads =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(workers_),
+                                             specs.size() == 0 ? 1 : specs.size()));
+  if (nthreads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<SummaryRow> summarize(const std::vector<ScenarioResult>& results) {
+  std::vector<SummaryRow> rows;
+  for (const auto& r : results) {
+    const std::string key = r.spec.name_without_seed();
+    SummaryRow* row = nullptr;
+    for (auto& existing : rows) {
+      if (existing.key == key) {
+        row = &existing;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      rows.emplace_back();
+      row = &rows.back();
+      row->key = key;
+      row->spec = r.spec;
+      row->min_throughput_bps = r.result.aggregate_throughput_bps;
+      row->max_throughput_bps = r.result.aggregate_throughput_bps;
+    }
+    ++row->runs;
+    const double tp = r.result.aggregate_throughput_bps;
+    row->mean_throughput_bps += (tp - row->mean_throughput_bps) / row->runs;
+    row->min_throughput_bps = std::min(row->min_throughput_bps, tp);
+    row->max_throughput_bps = std::max(row->max_throughput_bps, tp);
+    row->mean_dispersal_fraction +=
+        (r.result.mean_dispersal_fraction - row->mean_dispersal_fraction) / row->runs;
+    for (const auto& node : r.result.nodes) {
+      row->latency_local.merge(node.latency_local);
+      row->latency_all.merge(node.latency_all);
+    }
+  }
+  return rows;
+}
+
+}  // namespace dl::runner

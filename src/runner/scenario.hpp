@@ -1,0 +1,177 @@
+// Config-driven parallel scenario engine.
+//
+// A ScenarioSpec is a declarative description of one experiment: protocol ×
+// cluster size × topology × workload × seed. Unlike ExperimentConfig (which
+// carries a prebuilt NetworkConfig), a spec stays symbolic until
+// materialize() — so sweeping the seed regenerates jittered bandwidth
+// traces, and the same table of specs can be serialized into BENCH_*.json
+// next to its results.
+//
+// Sweep expands axis lists into the cartesian product of specs in a fixed,
+// documented order; SweepRunner shards specs across worker threads and
+// collects results indexed by spec order, so aggregated output is
+// byte-identical no matter how many workers ran the sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "runner/experiment.hpp"
+
+namespace dl::runner {
+
+// Symbolic topology, materialized per (spec, seed).
+struct TopologySpec {
+  enum class Kind {
+    Uniform,      // n nodes, same one-way delay and link rate everywhere
+    Geo16,        // the 16-city AWS-like deployment (requires n == 16)
+    Vultr15,      // the 15-city Vultr-like deployment (requires n == 15)
+    SpatialRamp,  // node i's links run at rate + i * ramp_step (Fig. 11a)
+    SlowSubset,   // every slow_stride-th node slowed to slow_rate + k * slow_rate_step
+  };
+
+  Kind kind = Kind::Uniform;
+  double delay_s = 0.05;        // one-way delay (Uniform/SpatialRamp/SlowSubset)
+  double rate_bps = 2e6;        // per-node link rate (bytes/s)
+  double ramp_step_bps = 0;     // SpatialRamp increment per node index
+  int slow_stride = 2;          // SlowSubset: nodes offset, offset+stride, ...
+  int slow_offset = 0;          // SlowSubset: index of the first slow node
+  double slow_rate_bps = 0.4e6; // SlowSubset: k-th slow node's base rate
+  double slow_rate_step_bps = 0;
+  double bw_scale = 1.0;        // Geo16/Vultr15 bandwidth scale factor
+  double weight_high = 30.0;    // dispersal-over-retrieval priority weight T
+  // Temporal variation: when > 0 every node's ingress/egress follows an
+  // independent Gauss-Markov process (lag-1 correlation 0.98) around its
+  // mean rate with relative standard deviation sigma_frac. Trace seeds are
+  // derived from the spec's seed, so seed sweeps re-draw the traces.
+  double sigma_frac = 0;
+
+  static TopologySpec uniform(double delay_s, double rate_bps);
+  static TopologySpec geo16(double bw_scale, double sigma_frac = 0);
+  static TopologySpec vultr15(double bw_scale, double sigma_frac = 0);
+
+  std::string to_string() const;
+};
+
+struct ScenarioSpec {
+  std::string family;   // groups related scenarios in output, e.g. "fig10"
+  std::string variant;  // label applied by a sweep variant, e.g. "block=50KB"
+  Protocol protocol = Protocol::DL;
+  int n = 4;
+  int f = -1;  // -1 => (n - 1) / 3
+  TopologySpec topo;
+
+  double duration = 60.0;
+  double warmup = 10.0;
+  double sample_interval = 1.0;
+
+  // Workload. load_bytes_per_sec == 0 means infinite backlog. A bursty
+  // on/off workload (burst_period > 0) only submits during the first
+  // burst_duty fraction of each period.
+  double load_bytes_per_sec = 0;
+  std::size_t tx_bytes = 250;
+  double burst_period = 0;
+  double burst_duty = 1.0;
+
+  // Node knobs (see ExperimentConfig).
+  std::size_t max_block_bytes = 2'000'000;
+  std::size_t propose_size = 150'000;
+  double propose_delay = 0.100;
+  int fall_behind_stop = 0;
+  bool cancel_on_decode = true;
+  bool inter_node_linking = true;
+  bool repropose_dropped = false;
+
+  std::uint64_t seed = 1;
+  std::vector<int> crashed;
+  std::vector<int> bad_dispersers;
+  std::vector<int> v_liars;
+
+  int effective_f() const { return f >= 0 ? f : (n - 1) / 3; }
+
+  // Stable human-readable identity; name_without_seed() keys cross-seed
+  // aggregation.
+  std::string name() const;
+  std::string name_without_seed() const;
+
+  // Builds the concrete ExperimentConfig (topology traces drawn from this
+  // spec's seed). Requires validate(*this).empty().
+  ExperimentConfig materialize() const;
+};
+
+// Returns "" when the spec is well-formed, else a description of the first
+// problem found.
+std::string validate(const ScenarioSpec& spec);
+
+// Parameter-sweep expander. Empty axes fall back to the base's value; the
+// cartesian product is emitted in a fixed nesting order:
+//   variant (outermost) -> protocol -> n -> topology -> load -> seed.
+struct Sweep {
+  // Arbitrary spec mutation applied before the other axes, labelled so the
+  // spec's identity records it (e.g. "block=100KB" setting max_block_bytes).
+  struct Variant {
+    std::string label;
+    std::function<void(ScenarioSpec&)> apply;
+  };
+
+  ScenarioSpec base;
+  std::vector<Variant> variants;
+  std::vector<Protocol> protocols;
+  std::vector<int> ns;
+  std::vector<TopologySpec> topologies;
+  std::vector<double> loads;
+  std::vector<std::uint64_t> seeds;
+
+  std::size_t cardinality() const;
+  std::vector<ScenarioSpec> expand() const;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  ExperimentResult result;
+};
+
+// Runs specs across a pool of worker threads. Each run_experiment() instance
+// is self-contained (own simulator, own RNG streams), so concurrent runs are
+// deterministic; results are stored by spec index.
+class SweepRunner {
+ public:
+  // workers <= 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(int workers = 0);
+
+  // Called after each finished scenario (serialized; any thread).
+  using Progress =
+      std::function<void(const ScenarioSpec& spec, std::size_t done, std::size_t total)>;
+  void set_progress(Progress cb) { progress_ = std::move(cb); }
+
+  int workers() const { return workers_; }
+
+  // Validates every spec up front (throws std::invalid_argument naming the
+  // first bad one), then runs them all and returns results in spec order.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs) const;
+
+ private:
+  int workers_;
+  Progress progress_;
+};
+
+// Cross-seed aggregation: groups results by name_without_seed() (first-
+// appearance order) and folds each group's aggregates.
+struct SummaryRow {
+  std::string key;
+  ScenarioSpec spec;  // first spec of the group (seed of the first run)
+  int runs = 0;
+  double mean_throughput_bps = 0;
+  double min_throughput_bps = 0;
+  double max_throughput_bps = 0;
+  double mean_dispersal_fraction = 0;
+  metrics::Percentile latency_local;  // merged across runs and nodes
+  metrics::Percentile latency_all;
+};
+
+std::vector<SummaryRow> summarize(const std::vector<ScenarioResult>& results);
+
+}  // namespace dl::runner

@@ -1,5 +1,6 @@
 #include "workload/txgen.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace dl::workload {
@@ -18,6 +19,13 @@ void PoissonTxGen::start() {
 
 void PoissonTxGen::arrival() {
   if (eq_.now() >= p_.stop_time) return;
+  if (p_.burst_period > 0) {
+    const double phase = std::fmod(eq_.now(), p_.burst_period);
+    if (phase >= p_.burst_duty * p_.burst_period) {
+      eq_.after(rng_.next_exponential(tx_per_sec_), [this] { arrival(); });
+      return;
+    }
+  }
   ++generated_;
   // Payload content is irrelevant to the protocols; fill with a counter so
   // transactions are distinguishable in logs.

@@ -18,6 +18,12 @@ struct TxGenParams {
   std::size_t tx_bytes = 250;       // payload size per transaction
   std::uint64_t seed = 1;
   double stop_time = 1e18;          // stop generating after this instant
+  // On/off bursts: when burst_period > 0, arrivals landing outside the
+  // first burst_duty fraction of each period are suppressed (the arrival
+  // process keeps ticking, so the RNG stream is unchanged by the duty
+  // cycle — only which arrivals submit).
+  double burst_period = 0;
+  double burst_duty = 1.0;
 };
 
 class PoissonTxGen {

@@ -1,0 +1,266 @@
+// Scenario engine: sweep expansion, spec validation, parallel-vs-serial
+// determinism, JSON emission, and the bursty-load workload family.
+#include <gtest/gtest.h>
+
+#include "runner/report.hpp"
+#include "runner/scenario.hpp"
+
+namespace dl::runner {
+namespace {
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.family = "test";
+  spec.n = 4;
+  spec.topo = TopologySpec::uniform(0.02, 2e6);
+  spec.duration = 12.0;
+  spec.warmup = 3.0;
+  spec.max_block_bytes = 100'000;
+  spec.seed = 1;
+  return spec;
+}
+
+TEST(Sweep, CardinalityIsProductOfAxes) {
+  Sweep sweep;
+  sweep.base = small_spec();
+  sweep.protocols = {Protocol::DL, Protocol::HB};
+  sweep.loads = {10e3, 20e3, 30e3};
+  sweep.seeds = {1, 2, 3, 4, 5};
+  EXPECT_EQ(sweep.cardinality(), 2u * 3u * 5u);
+  const auto specs = sweep.expand();
+  ASSERT_EQ(specs.size(), 30u);
+}
+
+TEST(Sweep, EmptyAxesFallBackToBase) {
+  Sweep sweep;
+  sweep.base = small_spec();
+  EXPECT_EQ(sweep.cardinality(), 1u);
+  const auto specs = sweep.expand();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].n, 4);
+  EXPECT_EQ(specs[0].seed, 1u);
+}
+
+TEST(Sweep, ExpansionOrderIsSeedInnermost) {
+  Sweep sweep;
+  sweep.base = small_spec();
+  sweep.protocols = {Protocol::DL, Protocol::HB};
+  sweep.loads = {10e3, 20e3};
+  sweep.seeds = {7, 8};
+  const auto specs = sweep.expand();
+  ASSERT_EQ(specs.size(), 8u);
+  // Documented nesting: protocol -> load -> seed (innermost).
+  EXPECT_EQ(specs[0].seed, 7u);
+  EXPECT_EQ(specs[1].seed, 8u);
+  EXPECT_EQ(specs[0].load_bytes_per_sec, 10e3);
+  EXPECT_EQ(specs[2].load_bytes_per_sec, 20e3);
+  EXPECT_EQ(specs[0].protocol, Protocol::DL);
+  EXPECT_EQ(specs[4].protocol, Protocol::HB);
+}
+
+TEST(Sweep, VariantsApplyLabelAndMutation) {
+  Sweep sweep;
+  sweep.base = small_spec();
+  sweep.variants = {{"big", [](ScenarioSpec& s) { s.max_block_bytes = 500'000; }},
+                    {"small", [](ScenarioSpec& s) { s.max_block_bytes = 50'000; }}};
+  sweep.seeds = {1, 2};
+  const auto specs = sweep.expand();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].variant, "big");
+  EXPECT_EQ(specs[0].max_block_bytes, 500'000u);
+  EXPECT_EQ(specs[2].variant, "small");
+  EXPECT_EQ(specs[2].max_block_bytes, 50'000u);
+}
+
+TEST(Validate, AcceptsWellFormedSpec) { EXPECT_EQ(validate(small_spec()), ""); }
+
+TEST(Validate, RejectsMalformedSpecs) {
+  auto broken = [](auto mutate) {
+    ScenarioSpec spec;
+    spec.n = 4;
+    spec.topo = TopologySpec::uniform(0.02, 2e6);
+    spec.duration = 12.0;
+    spec.warmup = 3.0;
+    mutate(spec);
+    return validate(spec);
+  };
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.n = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.n = 3; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.f = 2; }), "");  // 3f >= n
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.duration = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.warmup = 20.0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.sample_interval = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.load_bytes_per_sec = -1; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.tx_bytes = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) {
+              s.load_bytes_per_sec = 10e3;
+              s.burst_period = 5.0;
+              s.burst_duty = 0;
+            }),
+            "");
+  EXPECT_NE(broken([](ScenarioSpec& s) {
+              s.load_bytes_per_sec = 10e3;
+              s.burst_period = 5.0;
+              s.burst_duty = 1.5;
+            }),
+            "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.burst_period = 5.0; }), "");  // no load
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.max_block_bytes = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.propose_size = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.topo.kind = TopologySpec::Kind::Geo16; }),
+            "");  // n != 16
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.topo.rate_bps = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.topo.weight_high = 0; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.topo.sigma_frac = -0.1; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) {
+              s.topo.kind = TopologySpec::Kind::SlowSubset;
+              s.topo.slow_stride = 0;
+            }),
+            "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.crashed = {7}; }), "");
+  EXPECT_NE(broken([](ScenarioSpec& s) { s.v_liars = {-1}; }), "");
+}
+
+TEST(SweepRunner, RejectsMalformedSpecUpFront) {
+  auto spec = small_spec();
+  spec.n = 0;
+  SweepRunner pool(1);
+  EXPECT_THROW(pool.run({spec}), std::invalid_argument);
+}
+
+TEST(SweepRunner, SerialAndParallelProduceIdenticalJson) {
+  Sweep sweep;
+  sweep.base = small_spec();
+  sweep.protocols = {Protocol::DL, Protocol::HB};
+  sweep.seeds = {1, 2};
+  const auto specs = sweep.expand();
+
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  const auto a = serial.run(specs);
+  const auto b = parallel.run(specs);
+  ASSERT_EQ(a.size(), specs.size());
+  // Byte-identical aggregated output for identical seeds is the engine's
+  // core guarantee: worker count must not leak into results.
+  EXPECT_EQ(json_string("t", a), json_string("t", b));
+}
+
+TEST(SweepRunner, ProgressReportsEveryScenario) {
+  Sweep sweep;
+  sweep.base = small_spec();
+  sweep.seeds = {1, 2, 3};
+  SweepRunner pool(2);
+  std::size_t calls = 0, last_total = 0;
+  pool.set_progress([&](const ScenarioSpec&, std::size_t, std::size_t total) {
+    ++calls;
+    last_total = total;
+  });
+  pool.run(sweep.expand());
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last_total, 3u);
+}
+
+TEST(Materialize, TopologyShapes) {
+  auto spec = small_spec();
+  spec.n = 6;
+  spec.topo.kind = TopologySpec::Kind::SpatialRamp;
+  spec.topo.rate_bps = 1e6;
+  spec.topo.ramp_step_bps = 0.5e6;
+  auto cfg = spec.materialize();
+  ASSERT_EQ(cfg.net.egress.size(), 6u);
+  EXPECT_DOUBLE_EQ(cfg.net.egress[0].rate_at(0), 1e6);
+  EXPECT_DOUBLE_EQ(cfg.net.egress[5].rate_at(0), 3.5e6);
+
+  spec.topo.kind = TopologySpec::Kind::SlowSubset;
+  spec.topo.slow_stride = 2;
+  spec.topo.slow_rate_bps = 0.2e6;
+  spec.topo.slow_rate_step_bps = 0.1e6;
+  cfg = spec.materialize();
+  EXPECT_DOUBLE_EQ(cfg.net.egress[0].rate_at(0), 0.2e6);  // slow #0
+  EXPECT_DOUBLE_EQ(cfg.net.egress[1].rate_at(0), 1e6);    // fast
+  EXPECT_DOUBLE_EQ(cfg.net.egress[2].rate_at(0), 0.3e6);  // slow #1
+
+  spec.topo.slow_offset = 1;
+  cfg = spec.materialize();
+  EXPECT_DOUBLE_EQ(cfg.net.egress[0].rate_at(0), 1e6);    // fast now
+  EXPECT_DOUBLE_EQ(cfg.net.egress[1].rate_at(0), 0.2e6);  // slow #0 shifted
+
+  // Jittered traces depend on the seed (and differ per node). The mean-rate
+  // check is a loose sanity band: at lag-1 correlation 0.98 even a long
+  // window has few effective samples.
+  spec.topo = TopologySpec::uniform(0.02, 1e6);
+  spec.topo.sigma_frac = 0.5;
+  spec.duration = 300.0;
+  const auto j1 = spec.materialize();
+  spec.seed = 99;
+  const auto j2 = spec.materialize();
+  EXPECT_NE(j1.net.egress[0].rate_at(10.0), j2.net.egress[0].rate_at(10.0));
+  EXPECT_NE(j1.net.egress[0].rate_at(10.0), j1.net.egress[1].rate_at(10.0));
+  EXPECT_GT(j1.net.egress[0].mean_rate(), 0.1e6);
+  EXPECT_LT(j1.net.egress[0].mean_rate(), 3e6);
+}
+
+TEST(JsonWriter, EscapesAndFormats) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd");
+  w.key("d").value(0.1);
+  w.key("i").value(-3);
+  w.key("u").value(std::uint64_t{18446744073709551615ull});
+  w.key("b").value(true);
+  w.key("arr").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"d\":0.10000000000000001,\"i\":-3,"
+            "\"u\":18446744073709551615,\"b\":true,\"arr\":[1,2]}");
+}
+
+TEST(BurstyLoad, DutyCycleThrottlesSubmission) {
+  auto on = small_spec();
+  on.load_bytes_per_sec = 100e3;
+  auto bursty = on;
+  bursty.burst_period = 4.0;
+  bursty.burst_duty = 0.25;
+  SweepRunner pool(1);
+  const auto res = pool.run({on, bursty});
+  std::size_t full_tx = 0, burst_tx = 0;
+  for (const auto& node : res[0].result.nodes) full_tx += node.latency_all.count();
+  for (const auto& node : res[1].result.nodes) burst_tx += node.latency_all.count();
+  ASSERT_GT(full_tx, 0u);
+  ASSERT_GT(burst_tx, 0u);
+  // 25% duty should confirm well under half of the always-on transaction count.
+  EXPECT_LT(burst_tx * 2, full_tx);
+}
+
+TEST(Summarize, GroupsAcrossSeedsOnly) {
+  Sweep sweep;
+  sweep.base = small_spec();
+  sweep.protocols = {Protocol::DL, Protocol::HB};
+  sweep.seeds = {1, 2};
+  SweepRunner pool(2);
+  const auto results = pool.run(sweep.expand());
+  const auto rows = summarize(results);
+  ASSERT_EQ(rows.size(), 2u);  // one row per protocol, seeds folded
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.runs, 2);
+    EXPECT_GT(row.mean_throughput_bps, 0.0);
+    EXPECT_LE(row.min_throughput_bps, row.mean_throughput_bps);
+    EXPECT_GE(row.max_throughput_bps, row.mean_throughput_bps);
+  }
+}
+
+TEST(ScenarioSpec, NameIncludesIdentity) {
+  auto spec = small_spec();
+  spec.variant = "v1";
+  spec.load_bytes_per_sec = 10e3;
+  const std::string name = spec.name();
+  EXPECT_NE(name.find("test"), std::string::npos);
+  EXPECT_NE(name.find("v1"), std::string::npos);
+  EXPECT_NE(name.find("DL"), std::string::npos);
+  EXPECT_NE(name.find("seed=1"), std::string::npos);
+  EXPECT_EQ(spec.name_without_seed().find("seed="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dl::runner
