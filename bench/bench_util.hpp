@@ -46,6 +46,23 @@ inline std::string out_dir() {
   return env != nullptr && *env != '\0' ? env : ".";
 }
 
+// Opens BENCH_<name>.json + BENCH_<name>.csv under out_dir(), lets `emit`
+// fill them, and reports success or failure on the usual streams.
+template <typename Emit>
+inline void write_report_files(const std::string& name, Emit&& emit) {
+  const std::string json_path = out_dir() + "/BENCH_" + name + ".json";
+  std::ofstream json(json_path);
+  const std::string csv_path = out_dir() + "/BENCH_" + name + ".csv";
+  std::ofstream csv(csv_path);
+  emit(json, csv);
+  if (!json || !csv) {
+    std::fprintf(stderr, "WARNING: failed to write %s / %s (is DL_BENCH_OUT a writable directory?)\n",
+                 json_path.c_str(), csv_path.c_str());
+  } else {
+    std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+  }
+}
+
 // Runs `specs` on the parallel scenario engine (progress dots to stdout) and
 // writes BENCH_<name>.json + BENCH_<name>.csv. Results come back in spec
 // order regardless of worker count.
@@ -62,19 +79,21 @@ inline std::vector<runner::ScenarioResult> run_sweep(
   auto results = pool.run(specs);
   std::printf("\n");
 
-  const std::string json_path = out_dir() + "/BENCH_" + name + ".json";
-  std::ofstream json(json_path);
-  runner::write_json(json, name, results, opts);
-  const std::string csv_path = out_dir() + "/BENCH_" + name + ".csv";
-  std::ofstream csv(csv_path);
-  runner::write_csv(csv, results);
-  if (!json || !csv) {
-    std::fprintf(stderr, "WARNING: failed to write %s / %s (is DL_BENCH_OUT a writable directory?)\n",
-                 json_path.c_str(), csv_path.c_str());
-  } else {
-    std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
-  }
+  write_report_files(name, [&](std::ofstream& json, std::ofstream& csv) {
+    runner::write_json(json, name, results, opts);
+    runner::write_csv(csv, results);
+  });
   return results;
+}
+
+// Writes BENCH_<name>.json + BENCH_<name>.csv for perf-trajectory rows
+// (schema dl-perf-v1; see docs/PERF.md).
+inline void write_perf(const std::string& name,
+                       const std::vector<runner::PerfRow>& rows) {
+  write_report_files(name, [&](std::ofstream& json, std::ofstream& csv) {
+    runner::write_perf_json(json, name, rows);
+    runner::write_perf_csv(csv, rows);
+  });
 }
 
 inline void header(const std::string& fig, const std::string& what) {

@@ -1,0 +1,183 @@
+// Microbenchmark of the discrete-event core: raw events/sec through the
+// EventQueue and messages/sec through a saturated full-mesh Network.
+//
+// This is the perf gate for the simulator hot path (see docs/PERF.md): every
+// figure and scenario funnels through these two loops, so their throughput
+// bounds the wall-clock of the whole evaluation. CI runs this in Release
+// mode and uploads BENCH_micro_sim.json so the trajectory is tracked across
+// PRs. Workloads are virtual-time deterministic; only the wall-clock (and
+// thus ops/sec) varies with the host.
+//
+// Workloads:
+//   timer_hot_loop  — 1024 concurrent self-rescheduling timers with varied
+//                     pseudorandom periods: pure schedule/fire ordering cost.
+//   timer_cancel    — same, but every armed timer is torn down and re-armed
+//                     before it can fire ~half the time: cancel/reschedule.
+//   mesh_messages   — 16-node full mesh, every node keeps a window of bulk
+//                     Low + small High messages in flight; counts end-to-end
+//                     deliveries (egress fluid server -> propagation ->
+//                     ingress fluid server -> handler).
+//   mesh_cancel     — mesh_messages with periodic cancel_egress() churn on
+//                     tagged bulk traffic (the paper's "stop sending chunks
+//                     once decoded" pattern, §6.3).
+#include <chrono>
+#include <cinttypes>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+
+using namespace dl;
+using namespace dl::sim;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// --- timer workloads -------------------------------------------------------
+
+struct TimerLoop {
+  EventQueue eq;
+  Rng rng{42};
+  std::uint64_t fired = 0;
+  bool cancel_churn = false;
+  std::vector<TimerHandle> armed;  // one pending timer per lane
+
+  void arm(std::uint32_t lane) {
+    // Periods in [100us, 10ms): lanes interleave at many distinct times plus
+    // frequent exact ties, exercising both heap order and seq tie-breaks.
+    const double period = 1e-4 * static_cast<double>(1 + rng.next_below(100));
+    armed[lane] = eq.after(period, [this, lane] {
+      ++fired;
+      arm(lane);
+    });
+  }
+
+  std::uint64_t run(std::uint64_t target, int lanes) {
+    armed.assign(static_cast<std::size_t>(lanes), TimerHandle{});
+    for (int i = 0; i < lanes; ++i) arm(static_cast<std::uint32_t>(i));
+    std::uint64_t events = 0;
+    while (fired < target) {
+      if (cancel_churn && rng.next_below(2) == 0) {
+        // Tear down a random lane's pending timer and re-arm it: the
+        // cancel/reschedule pattern FluidLink uses for every wake re-plan.
+        const auto lane = static_cast<std::uint32_t>(
+            rng.next_below(static_cast<std::uint64_t>(lanes)));
+        if (eq.cancel(armed[lane])) arm(lane);
+      }
+      eq.step();
+      ++events;
+    }
+    return events;
+  }
+};
+
+// --- mesh workloads --------------------------------------------------------
+
+struct MeshLoop {
+  static constexpr int kNodes = 16;
+  static constexpr int kWindow = 8;  // messages each node keeps in flight
+
+  EventQueue eq;
+  Network net;
+  Rng rng{7};
+  std::uint64_t delivered = 0;
+  bool cancel_churn;
+  // Payload buffers are created once and shared — as in the protocols, where
+  // one encoded chunk fans out to N links and only the pointer travels.
+  std::shared_ptr<const Bytes> chunk_ = std::make_shared<Bytes>(4096, 0x5A);
+  std::shared_ptr<const Bytes> control_ = std::make_shared<Bytes>(200, 0xA5);
+
+  explicit MeshLoop(bool churn)
+      : net(eq, NetworkConfig::uniform(kNodes, 0.01, 12.5e6)), cancel_churn(churn) {
+    for (int node = 0; node < kNodes; ++node) {
+      net.set_handler(node, [this, node](Message&& m) { on_delivery(node, std::move(m)); });
+    }
+  }
+
+  void send_one(int from) {
+    Message m;
+    m.from = from;
+    m.to = static_cast<int>(rng.next_below(kNodes));
+    if (m.to == from) m.to = (from + 1) % kNodes;
+    if (rng.next_below(4) == 0) {
+      m.cls = Priority::High;  // small latency-critical control message
+      m.payload = control_;
+    } else {
+      m.cls = Priority::Low;  // bulk chunk, epoch-ordered and cancellable
+      m.order = rng.next_below(8);
+      m.tag = 1 + rng.next_below(16);
+      m.payload = chunk_;
+    }
+    net.send(std::move(m));
+  }
+
+  void on_delivery(int node, Message&& m) {
+    (void)m;
+    ++delivered;
+    if (cancel_churn && rng.next_below(64) == 0) {
+      net.cancel_egress(node, 1 + rng.next_below(16));
+    }
+    send_one(node);  // keep the window full
+  }
+
+  std::uint64_t run(std::uint64_t target) {
+    for (int node = 0; node < kNodes; ++node) {
+      for (int i = 0; i < kWindow; ++i) send_one(node);
+    }
+    std::uint64_t events = 0;
+    while (delivered < target && eq.step()) ++events;
+    return events;
+  }
+};
+
+runner::PerfRow measure_timers(const std::string& name, bool churn,
+                               std::uint64_t target) {
+  TimerLoop loop;
+  loop.cancel_churn = churn;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t events = loop.run(target, /*lanes=*/1024);
+  return {name, "events", events, seconds_since(t0)};
+}
+
+runner::PerfRow measure_mesh(const std::string& name, bool churn,
+                             std::uint64_t target, std::uint64_t* events_out) {
+  MeshLoop loop(churn);
+  const auto t0 = std::chrono::steady_clock::now();
+  *events_out = loop.run(target);
+  return {name, "messages", loop.delivered, seconds_since(t0)};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("micro_sim — event-core throughput",
+                "events/sec and messages/sec on the simulator hot path");
+  const bool full = bench::full_scale();
+  const std::uint64_t timer_target = full ? 20'000'000 : 4'000'000;
+  const std::uint64_t mesh_target = full ? 2'000'000 : 400'000;
+
+  std::vector<runner::PerfRow> rows;
+  rows.push_back(measure_timers("timer_hot_loop", /*churn=*/false, timer_target));
+  rows.push_back(measure_timers("timer_cancel", /*churn=*/true, timer_target));
+
+  std::uint64_t mesh_events = 0;
+  rows.push_back(measure_mesh("mesh_messages", /*churn=*/false, mesh_target, &mesh_events));
+  // The event count behind the message bench is its own row: it is the
+  // apples-to-apples events/sec figure for the full network stack.
+  rows.push_back({"mesh_events", "events", mesh_events, rows.back().wall_seconds});
+
+  std::uint64_t churn_events = 0;
+  rows.push_back(measure_mesh("mesh_cancel", /*churn=*/true, mesh_target, &churn_events));
+
+  bench::row({"workload", "ops", "wall s", "Mops/s", "unit"}, 18);
+  for (const auto& r : rows) {
+    bench::row({r.name, std::to_string(r.ops), bench::fmt(r.wall_seconds, 3),
+                bench::fmt(r.ops_per_sec() / 1e6, 3), r.unit},
+               18);
+  }
+  bench::write_perf("micro_sim", rows);
+  return 0;
+}

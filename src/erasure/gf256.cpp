@@ -94,12 +94,13 @@ std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
 }
 
 std::uint8_t div(std::uint8_t a, std::uint8_t b) {
-  if (a == 0) return 0;
+  if (a == 0 || b == 0) return 0;  // division by zero is defined as 0
   const Tables& t = tables();
   return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
 }
 
 std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) return 0;  // zero has no inverse; defined as 0
   const Tables& t = tables();
   return t.exp[static_cast<std::size_t>(255 - t.log[a]) % 255];
 }

@@ -13,9 +13,12 @@
 namespace dl::gf256 {
 
 // Field multiplication / division / inversion on single elements.
+// Zero has no multiplicative inverse; rather than read garbage off the log
+// table, div(a, 0) and inv(0) are DEFINED to return 0 (mirroring mul's
+// absorbing zero, the convention of klauspost/reedsolomon's galois tables).
 std::uint8_t mul(std::uint8_t a, std::uint8_t b);
-std::uint8_t div(std::uint8_t a, std::uint8_t b);  // b must be nonzero
-std::uint8_t inv(std::uint8_t a);                  // a must be nonzero
+std::uint8_t div(std::uint8_t a, std::uint8_t b);  // div(a, 0) == 0
+std::uint8_t inv(std::uint8_t a);                  // inv(0) == 0
 std::uint8_t exp(int e);                           // generator^e, e may exceed 255
 std::uint8_t add(std::uint8_t a, std::uint8_t b);  // XOR, provided for clarity
 

@@ -149,7 +149,7 @@ std::vector<Bytes> ReedSolomon::encode_shards(const std::vector<Bytes>& data) co
   return out;
 }
 
-std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_shards(
+std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_data_shards(
     const std::vector<Bytes>& chunks) const {
   if (static_cast<int>(chunks.size()) != n_) return std::nullopt;
   // Collect present chunk indices and validate sizes.
@@ -168,6 +168,16 @@ std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_shards(
   }
   if (static_cast<int>(present.size()) < k_ || stripe == 0) return std::nullopt;
 
+  std::vector<Bytes> data(static_cast<std::size_t>(k_));
+  if (present[static_cast<std::size_t>(k_ - 1)] == k_ - 1) {
+    // All K data chunks survived: the submatrix is the identity (systematic
+    // code), so "solving" is a straight copy.
+    for (int i = 0; i < k_; ++i) {
+      data[static_cast<std::size_t>(i)] = chunks[static_cast<std::size_t>(i)];
+    }
+    return data;
+  }
+
   // Build the K×K submatrix of the rows we have and invert it.
   std::vector<std::uint8_t> sub(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
   for (int r = 0; r < k_; ++r) {
@@ -178,7 +188,6 @@ std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_shards(
   if (!invert_matrix(sub, k_)) return std::nullopt;
 
   // data_row_i = sum_j inv[i][j] * chunk[present[j]].
-  std::vector<Bytes> data(static_cast<std::size_t>(k_));
   for (int i = 0; i < k_; ++i) {
     Bytes& row = data[static_cast<std::size_t>(i)];
     row.assign(stripe, 0);
@@ -188,11 +197,18 @@ std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_shards(
                          sub[static_cast<std::size_t>(i * k_ + j)], stripe);
     }
   }
-  return encode_shards(data);
+  return data;
+}
+
+std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_shards(
+    const std::vector<Bytes>& chunks) const {
+  auto data = reconstruct_data_shards(chunks);
+  if (!data) return std::nullopt;
+  return encode_shards(*data);
 }
 
 std::optional<Bytes> ReedSolomon::decode(const std::vector<Bytes>& chunks) const {
-  auto shards = reconstruct_shards(chunks);
+  auto shards = reconstruct_data_shards(chunks);
   if (!shards) return std::nullopt;
   const std::size_t stripe = (*shards)[0].size();
   Bytes padded;

@@ -49,6 +49,14 @@ class ReedSolomon {
   std::optional<std::vector<Bytes>> reconstruct_shards(
       const std::vector<Bytes>& chunks) const;
 
+  // Reconstructs only the K data shards — skips re-deriving the N-K parity
+  // rows that a caller assembling the original block never reads. This is
+  // the decode() hot path: when all data chunks survive it degenerates to a
+  // copy, and otherwise it costs one K×K solve instead of a solve plus a
+  // full re-encode.
+  std::optional<std::vector<Bytes>> reconstruct_data_shards(
+      const std::vector<Bytes>& chunks) const;
+
   // Row `r`, column `c` of the N×K encoding matrix.
   std::uint8_t matrix_at(int r, int c) const;
 

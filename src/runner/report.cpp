@@ -236,4 +236,34 @@ void write_csv(std::ostream& os, const std::vector<ScenarioResult>& results) {
   }
 }
 
+void write_perf_json(std::ostream& os, const std::string& bench_name,
+                     const std::vector<PerfRow>& rows) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").value(bench_name);
+  w.key("schema").value("dl-perf-v1");
+  w.key("rows").begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("unit").value(r.unit);
+    w.key("ops").value(r.ops);
+    w.key("wall_seconds").value(r.wall_seconds);
+    w.key("ops_per_sec").value(r.ops_per_sec());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_perf_csv(std::ostream& os, const std::vector<PerfRow>& rows) {
+  os << "name,unit,ops,wall_seconds,ops_per_sec\n";
+  for (const auto& r : rows) {
+    os << r.name << ',' << r.unit << ',' << r.ops << ','
+       << JsonWriter::format_double(r.wall_seconds) << ','
+       << JsonWriter::format_double(r.ops_per_sec()) << '\n';
+  }
+}
+
 }  // namespace dl::runner

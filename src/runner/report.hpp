@@ -67,4 +67,30 @@ std::string json_string(const std::string& bench_name,
 // One CSV row per scenario (aggregates only).
 void write_csv(std::ostream& os, const std::vector<ScenarioResult>& results);
 
+// ---------------------------------------------------------------------------
+// Perf-trajectory reporting (schema dl-perf-v1).
+//
+// Microbenchmarks (bench/micro_sim) report throughput rows instead of
+// scenario results; CI uploads the JSON so events/sec can be tracked across
+// PRs. Wall-clock numbers are machine-dependent by nature, so unlike the
+// sweep files these are NOT expected to be byte-identical across runs.
+// ---------------------------------------------------------------------------
+
+struct PerfRow {
+  std::string name;         // workload, e.g. "timer_hot_loop"
+  std::string unit;         // what `ops` counts, e.g. "events" or "messages"
+  std::uint64_t ops = 0;    // operations completed
+  double wall_seconds = 0;  // host time spent
+  double ops_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(ops) / wall_seconds : 0;
+  }
+};
+
+// Serializes perf rows: {"bench": ..., "schema": "dl-perf-v1", "rows": [...]}.
+void write_perf_json(std::ostream& os, const std::string& bench_name,
+                     const std::vector<PerfRow>& rows);
+
+// One CSV row per workload.
+void write_perf_csv(std::ostream& os, const std::vector<PerfRow>& rows);
+
 }  // namespace dl::runner

@@ -1,27 +1,159 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace dl::sim {
 
-void EventQueue::at(Time t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  heap_.push(Ev{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+void EventQueue::overflow(const char* what) {
+  // Key packing would silently corrupt past these limits, so fail loudly in
+  // every build type instead of letting events misroute.
+  std::fprintf(stderr, "EventQueue: %s\n", what);
+  std::abort();
 }
 
-bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top returns const&; the function object must be moved out
-  // before pop, so copy the shell and pop first.
-  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
-  heap_.pop();
-  now_ = ev.t;
-  ev.fn();
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = meta_[slot].next_free;
+    meta_[slot].next_free = kNpos;
+    return slot;
+  }
+  if (meta_.size() >= kSlotMask) {
+    overflow("slab exhausted (2^24 events pending at once)");
+  }
+  if ((meta_.size() & (kChunkSize - 1)) == 0) {
+    chunks_.push_back(std::make_unique<InlineTask[]>(kChunkSize));
+  }
+  meta_.emplace_back();
+  return static_cast<std::uint32_t>(meta_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Meta& m = meta_[slot];
+  m.live_seq = kNoSeq;
+  ++m.gen;  // stale TimerHandles to this slot die here
+  m.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::heap_push(HeapKey k) {
+  std::size_t pos = heap_.size();
+  heap_.push_back(k);
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!(k < heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = k;
+}
+
+EventQueue::HeapKey EventQueue::heap_pop_min() {
+  const HeapKey min = heap_[0];
+  const HeapKey tail = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return min;
+
+  // Percolate the root hole all the way to a leaf (no early-termination
+  // compares against `tail`: branchless min-of-children funnels only), then
+  // sift `tail` up from the leaf. The tail key usually belongs near the
+  // bottom, so the up pass is short — the libstdc++ __adjust_heap shape.
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t first = pos * 4 + 1;
+    if (first + 3 < n) {
+      const std::size_t a = heap_[first + 1] < heap_[first] ? first + 1 : first;
+      const std::size_t b = heap_[first + 3] < heap_[first + 2] ? first + 3 : first + 2;
+      const std::size_t best = heap_[b] < heap_[a] ? b : a;
+      heap_[pos] = heap_[best];
+      pos = best;
+    } else if (first < n) {
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (heap_[c] < heap_[best]) best = c;
+      }
+      heap_[pos] = heap_[best];
+      pos = best;
+    } else {
+      break;
+    }
+  }
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!(tail < heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = tail;
+  return min;
+}
+
+bool EventQueue::cancel(TimerHandle h) {
+  if (h.slot_ == TimerHandle::kNone || h.slot_ >= meta_.size()) return false;
+  Meta& m = meta_[h.slot_];
+  if (m.gen != h.gen_ || m.live_seq == kNoSeq) return false;
+  // The heap key stays behind as a tombstone; the slot is free for reuse
+  // right away (a reused slot gets a fresh seq, so the tombstone can never
+  // match it when reaped).
+  task_at(h.slot_).reset();
+  release_slot(h.slot_);
+  --live_;
   return true;
 }
 
+bool EventQueue::pending(TimerHandle h) const {
+  if (h.slot_ == TimerHandle::kNone || h.slot_ >= meta_.size()) return false;
+  const Meta& m = meta_[h.slot_];
+  return m.gen == h.gen_ && m.live_seq != kNoSeq;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const HeapKey k = heap_[0];
+    const std::uint64_t ss = key_lo(k);
+    const std::uint32_t slot = ss & kSlotMask;
+    InlineTask& task = task_at(slot);
+#if defined(__GNUC__) || defined(__clang__)
+    // The task line has been cold since the event was scheduled; start the
+    // fetch before the sift-down so it overlaps the heap work.
+    __builtin_prefetch(&task);
+#endif
+    heap_pop_min();
+    Meta& m = meta_[slot];
+    if (m.live_seq != ss >> kSlotBits) continue;  // cancelled: reap tombstone
+    now_ = key_time(k);
+    // Retire the slot before invoking so the callback sees its own handle as
+    // fired; the task itself runs in place (chunks never move, and the slot
+    // is not in the free list until after the call, so it cannot be reused
+    // by events the callback schedules).
+    ++m.gen;
+    m.live_seq = kNoSeq;
+    --live_;
+    task();
+    task.reset();
+    // Re-index meta_: the callback may have scheduled events and grown the
+    // slab, invalidating `m` (task storage is chunked and never moves).
+    meta_[slot].next_free = free_head_;
+    free_head_ = slot;
+    return true;
+  }
+  return false;
+}
+
 void EventQueue::run_until(Time deadline) {
-  while (!heap_.empty() && heap_.top().t <= deadline) step();
+  for (;;) {
+    // Reap tombstones at the top so heap_[0] names a live event — otherwise
+    // step() could skip past a tombstone and fire an event beyond deadline.
+    while (!heap_.empty()) {
+      const std::uint64_t ss = key_lo(heap_[0]);
+      if (meta_[ss & kSlotMask].live_seq == ss >> kSlotBits) break;
+      heap_pop_min();
+    }
+    if (heap_.empty() || key_time(heap_[0]) > deadline) break;
+    step();
+  }
   if (now_ < deadline) now_ = deadline;
 }
 

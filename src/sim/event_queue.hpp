@@ -4,12 +4,32 @@
 // reproducible and independent of host speed. Ties are broken by insertion
 // order (a monotonically increasing sequence number) which keeps the
 // simulation deterministic.
+//
+// The queue is allocation-free in steady state:
+//   - Callbacks live in fixed InlineTask buffers inside a chunked slab
+//     whose chunks never move, so a callback can be invoked in place and a
+//     freed slot recycles through a free list — no std::function heap churn.
+//   - Ordering is a 4-ary min-heap of flat 16-byte keys. A key packs
+//     (time, seq, slot) into one 128-bit integer: virtual time never goes
+//     negative, so the IEEE-754 bit pattern of the double orders exactly
+//     like the value and the whole (time, seq) order collapses to a single
+//     branchless unsigned compare.
+//   - Hot per-slot metadata (pending seq, handle generation, free link) sits
+//     in its own dense array so sifting and tombstone checks stay in cache.
+//
+// Every schedule returns a stable TimerHandle; cancel() destroys the
+// callback immediately (O(1)) and leaves a tombstone key that the heap
+// discards in O(log n) when its time comes, so sifting never has to
+// maintain back-pointers into the slab.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
 #include <vector>
+
+#include "sim/task.hpp"
 
 namespace dl::sim {
 
@@ -18,18 +38,61 @@ using Time = double;
 
 constexpr Time kInfinity = 1e300;
 
+// Names one scheduled event. Stays cancellable until the event fires or is
+// cancelled; after that the handle is stale and cancel() is a safe no-op
+// (a per-slot generation counter guards against slot reuse).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  bool valid() const { return slot_ != kNone; }
+
+ private:
+  friend class EventQueue;
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  TimerHandle(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = kNone;
+  std::uint32_t gen_ = 0;
+};
+
 class EventQueue {
  public:
   Time now() const { return now_; }
 
-  // Schedules `fn` at absolute time `t` (>= now).
-  void at(Time t, std::function<void()> fn);
+  // Schedules `fn` at absolute time `t` (>= now). A `t` in the past asserts
+  // in debug builds and is clamped to now() otherwise: an event can never
+  // time-travel, it fires right after the current one instead.
+  template <typename F>
+  TimerHandle at(Time t, F&& fn) {
+    assert(t >= now_ && "cannot schedule in the past");
+    if (t < now_) t = now_;
+    const std::uint32_t slot = alloc_slot();
+    task_at(slot).emplace(std::forward<F>(fn));
+    Meta& m = meta_[slot];
+    const std::uint64_t seq = next_seq_++;
+    if (seq >= kMaxSeq) overflow("sequence space exhausted (2^40 events)");
+    m.live_seq = seq;
+    ++live_;
+    heap_push(make_key(t, seq << kSlotBits | slot));
+    return TimerHandle(slot, m.gen);
+  }
 
   // Schedules `fn` `delay` seconds from now.
-  void after(Time delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  TimerHandle after(Time delay, F&& fn) {
+    return at(now_ + delay, std::forward<F>(fn));
+  }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  // Retracts a pending event: the callback is destroyed immediately, the
+  // heap key is abandoned as a tombstone (reaped when it reaches the top).
+  // Returns false (and does nothing) if the handle is stale: already fired,
+  // already cancelled, or default-constructed.
+  bool cancel(TimerHandle h);
+
+  // True while the event named by `h` is still scheduled.
+  bool pending(TimerHandle h) const;
+
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
 
   // Runs the earliest event. Returns false if the queue is empty.
   bool step();
@@ -42,21 +105,79 @@ class EventQueue {
   void run();
 
  private:
-  struct Ev {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Ev& a, const Ev& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+#if defined(__SIZEOF_INT128__)
+  using HeapKey = unsigned __int128;
+  static constexpr HeapKey combine(std::uint64_t hi, std::uint64_t lo) {
+    return (HeapKey{hi} << 64) | lo;
+  }
+  static std::uint64_t key_hi(HeapKey k) { return static_cast<std::uint64_t>(k >> 64); }
+  static std::uint64_t key_lo(HeapKey k) { return static_cast<std::uint64_t>(k); }
+#else
+  struct HeapKey {
+    std::uint64_t hi;
+    std::uint64_t lo;
+    friend bool operator<(const HeapKey& a, const HeapKey& b) {
+      if (a.hi != b.hi) return a.hi < b.hi;
+      return a.lo < b.lo;
     }
   };
+  static constexpr HeapKey combine(std::uint64_t hi, std::uint64_t lo) {
+    return HeapKey{hi, lo};
+  }
+  static std::uint64_t key_hi(HeapKey k) { return k.hi; }
+  static std::uint64_t key_lo(HeapKey k) { return k.lo; }
+#endif
+
+  // Low kSlotBits of the key's low word name the slab slot, the rest of the
+  // low word is the insertion sequence number; the high word is the IEEE
+  // bit pattern of the (non-negative) event time. One unsigned compare
+  // therefore orders by (time, seq).
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = std::uint64_t{1} << (64 - kSlotBits);
+  static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+  // Tasks live in fixed chunks so their addresses survive slab growth and a
+  // callback can run in place while new events are being scheduled.
+  static constexpr unsigned kChunkBits = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  static HeapKey make_key(Time t, std::uint64_t ss) {
+    const double tz = t + 0.0;  // canonicalize -0.0, whose bit pattern misorders
+    std::uint64_t tb;
+    std::memcpy(&tb, &tz, sizeof tb);
+    return combine(tb, ss);
+  }
+  static Time key_time(HeapKey k) {
+    const std::uint64_t tb = key_hi(k);
+    double t;
+    std::memcpy(&t, &tb, sizeof t);
+    return t;
+  }
+
+  struct Meta {
+    std::uint64_t live_seq = kNoSeq;  // seq of the pending event, kNoSeq if none
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNpos;
+  };
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+
+  InlineTask& task_at(std::uint32_t slot) {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+
+  [[noreturn]] static void overflow(const char* what);
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(HeapKey k);
+  HeapKey heap_pop_min();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  std::size_t live_ = 0;  // scheduled and not cancelled
+  std::vector<Meta> meta_;  // dense per-slot metadata (hot)
+  std::vector<std::unique_ptr<InlineTask[]>> chunks_;  // stable task storage
+  std::uint32_t free_head_ = kNpos;
+  std::vector<HeapKey> heap_;  // 4-ary min-heap; may hold tombstones
 };
 
 }  // namespace dl::sim

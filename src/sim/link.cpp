@@ -1,5 +1,6 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dl::sim {
@@ -17,11 +18,42 @@ FluidLink::FluidLink(EventQueue& eq, Trace trace, double weight_high, DoneFn on_
       on_done_(std::move(on_done)),
       last_update_(eq.now()) {}
 
+FluidLink::~FluidLink() {
+  // The wake callback captures `this`; retract it rather than leave a
+  // dangling event behind.
+  eq_.cancel(wake_);
+}
+
 double FluidLink::rate_for(Priority cls, bool other_busy, double link_rate) const {
   if (!other_busy) return link_rate;
   const double share = cls == Priority::High ? weight_high_ / (weight_high_ + 1.0)
                                              : 1.0 / (weight_high_ + 1.0);
   return link_rate * share;
+}
+
+void FluidLink::low_push(Message&& m) {
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[idx] = std::move(m);
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(m));
+  }
+  // Sifting moves 20-byte keys, the Message never leaves the pool.
+  low_heap_.push_back(LowEntry{pool_[idx].order, low_seq_++, idx});
+  std::push_heap(low_heap_.begin(), low_heap_.end(), low_after);
+}
+
+Message FluidLink::low_pop_min() {
+  assert(!low_heap_.empty());
+  std::pop_heap(low_heap_.begin(), low_heap_.end(), low_after);
+  const std::uint32_t idx = low_heap_.back().idx;
+  low_heap_.pop_back();
+  Message m = std::move(pool_[idx]);
+  free_slots_.push_back(idx);
+  return m;
 }
 
 void FluidLink::enqueue(Message m) {
@@ -32,7 +64,7 @@ void FluidLink::enqueue(Message m) {
   if (m.cls == Priority::High) {
     high_queue_.push_back(std::move(m));
   } else {
-    low_queue_.emplace(std::make_pair(m.order, low_seq_++), std::move(m));
+    low_push(std::move(m));
   }
   promote();
   reschedule();
@@ -42,18 +74,25 @@ std::size_t FluidLink::cancel(std::uint64_t tag) {
   if (tag == 0) return 0;
   advance();
   std::size_t removed = 0;
-  for (auto it = low_queue_.begin(); it != low_queue_.end();) {
-    if (it->second.tag == tag) {
-      const std::size_t sz = it->second.wire_size();
-      removed += sz;
-      backlog_ -= sz;
-      class_backlog_[static_cast<int>(Priority::Low)] -= sz;
-      it = low_queue_.erase(it);
-    } else {
-      ++it;
-    }
+  auto dead = [&](const LowEntry& e) {
+    Message& m = pool_[e.idx];
+    if (m.tag != tag) return false;
+    const std::size_t sz = m.wire_size();
+    removed += sz;
+    backlog_ -= sz;
+    class_backlog_[static_cast<int>(Priority::Low)] -= sz;
+    m = Message{};  // drop the payload reference now, not at slot reuse
+    free_slots_.push_back(e.idx);
+    return true;
+  };
+  low_heap_.erase(std::remove_if(low_heap_.begin(), low_heap_.end(), dead),
+                  low_heap_.end());
+  if (removed > 0) {
+    // Survivors keep their (order, seq) keys, so the rebuilt heap pops in
+    // exactly the order the filtered queue would have.
+    std::make_heap(low_heap_.begin(), low_heap_.end(), low_after);
+    reschedule();
   }
-  if (removed > 0) reschedule();
   return removed;
 }
 
@@ -64,10 +103,8 @@ void FluidLink::promote() {
     serving_[0].remaining = static_cast<double>(serving_[0].msg.wire_size());
     serving_[0].active = true;
   }
-  if (!serving_[1].active && !low_queue_.empty()) {
-    auto it = low_queue_.begin();
-    serving_[1].msg = std::move(it->second);
-    low_queue_.erase(it);
+  if (!serving_[1].active && !low_heap_.empty()) {
+    serving_[1].msg = low_pop_min();
     serving_[1].remaining = static_cast<double>(serving_[1].msg.wire_size());
     serving_[1].active = true;
   }
@@ -129,7 +166,8 @@ void FluidLink::advance() {
 }
 
 void FluidLink::reschedule() {
-  ++generation_;
+  eq_.cancel(wake_);
+  wake_ = TimerHandle{};
   const bool high_busy = serving_[0].active;
   const bool low_busy = serving_[1].active;
   if (!high_busy && !low_busy) return;
@@ -144,9 +182,7 @@ void FluidLink::reschedule() {
   if (low_busy && rl > 0) wake = std::min(wake, now + serving_[1].remaining / rl);
   if (wake >= kInfinity) return;
 
-  const std::uint64_t gen = generation_;
-  eq_.at(wake, [this, gen] {
-    if (gen != generation_) return;  // superseded by a later arrival/cancel
+  wake_ = eq_.at(wake, [this] {
     advance();
     reschedule();
   });

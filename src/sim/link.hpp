@@ -12,13 +12,16 @@
 //
 // The link is event-driven: progress is applied lazily between "wake" events
 // (head-of-line completion or trace rate change), so simulation cost is
-// O(log n) per message, independent of message size.
+// O(log n) per message, independent of message size. The Low queue is a flat
+// binary heap of (order, seq) keys over a pool of recycled Message records —
+// no per-enqueue node allocations — and the planned wake is a cancellable
+// EventQueue timer, retracted directly whenever the plan changes.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/message.hpp"
@@ -31,6 +34,10 @@ class FluidLink {
   using DoneFn = std::function<void(Message&&)>;
 
   FluidLink(EventQueue& eq, Trace trace, double weight_high, DoneFn on_done);
+  ~FluidLink();
+
+  FluidLink(const FluidLink&) = delete;
+  FluidLink& operator=(const FluidLink&) = delete;
 
   // Adds a message to the link; on_done fires when its last byte is out.
   void enqueue(Message m);
@@ -58,10 +65,31 @@ class FluidLink {
     bool active = false;
   };
 
+  // Min-heap entry for the Low queue: lower (order, seq) serves first.
+  // Messages themselves sit in pool_ and are recycled through free_slots_,
+  // so sifting moves 20-byte keys, never payloads.
+  struct LowEntry {
+    std::uint64_t order;
+    std::uint64_t seq;
+    std::uint32_t idx;  // into pool_
+  };
+
   void advance();     // apply progress from last_update_ to eq_.now()
   void reschedule();  // plan the next wake event
   void promote();     // move queue heads into service slots
   double rate_for(Priority cls, bool other_busy, double link_rate) const;
+
+  void low_push(Message&& m);
+  Message low_pop_min();
+  static bool low_earlier(const LowEntry& a, const LowEntry& b) {
+    if (a.order != b.order) return a.order < b.order;
+    return a.seq < b.seq;
+  }
+  // Inverted comparator: std::*_heap build max-heaps, we want the earliest
+  // (order, seq) at the root.
+  static bool low_after(const LowEntry& a, const LowEntry& b) {
+    return low_earlier(b, a);
+  }
 
   EventQueue& eq_;
   Trace trace_;
@@ -69,13 +97,14 @@ class FluidLink {
   DoneFn on_done_;
 
   std::deque<Message> high_queue_;
-  // Low queue keyed by (order, arrival seq) so lower epochs go first.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Message> low_queue_;
+  std::vector<LowEntry> low_heap_;
+  std::vector<Message> pool_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t low_seq_ = 0;
 
   InService serving_[2];  // indexed by Priority
   Time last_update_ = 0;
-  std::uint64_t generation_ = 0;  // invalidates stale wake events
+  TimerHandle wake_;  // the one planned wake; cancelled when superseded
   std::uint64_t served_[2] = {0, 0};
   std::size_t backlog_ = 0;
   std::size_t class_backlog_[2] = {0, 0};

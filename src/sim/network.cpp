@@ -28,14 +28,9 @@ Network::Network(EventQueue& eq, NetworkConfig cfg)
     egress_.push_back(std::make_unique<FluidLink>(
         eq_, cfg.egress[static_cast<std::size_t>(i)], cfg.weight_high,
         [this](Message&& m) { on_egress_done(std::move(m)); }));
-    const int node = i;
     ingress_.push_back(std::make_unique<FluidLink>(
         eq_, cfg.ingress[static_cast<std::size_t>(i)], cfg.weight_high,
-        [this, node](Message&& m) {
-          if (handlers_[static_cast<std::size_t>(node)]) {
-            handlers_[static_cast<std::size_t>(node)](std::move(m));
-          }
-        }));
+        [this](Message&& m) { deliver(std::move(m)); }));
   }
 }
 
@@ -43,15 +38,16 @@ void Network::set_handler(NodeId node, Handler h) {
   handlers_.at(static_cast<std::size_t>(node)) = std::move(h);
 }
 
+void Network::deliver(Message&& m) {
+  Handler& h = handlers_[static_cast<std::size_t>(m.to)];
+  if (h) h(std::move(m));
+}
+
 void Network::send(Message m) {
   if (m.to == m.from) {
     // Local delivery: free and (virtually) instantaneous, but still via the
     // event queue so handler re-entrancy is impossible.
-    eq_.after(0, [this, m = std::move(m)]() mutable {
-      if (handlers_[static_cast<std::size_t>(m.to)]) {
-        handlers_[static_cast<std::size_t>(m.to)](std::move(m));
-      }
-    });
+    eq_.after(0, [this, m = std::move(m)]() mutable { deliver(std::move(m)); });
     return;
   }
   egress_[static_cast<std::size_t>(m.from)]->enqueue(std::move(m));

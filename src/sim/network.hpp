@@ -6,6 +6,12 @@
 // Mahimahi setup throttles each node's up/down link while the WAN core is
 // un-congested. Self-addressed messages skip the network entirely (the
 // protocols "broadcast to themselves" logically, not physically).
+//
+// Dispatch is move-only end to end: a Message is moved through the egress
+// pool, the propagation-delay event (an inline EventQueue task, no closure
+// allocation), the ingress pool, and finally into the handler. A broadcast
+// therefore enqueues N messages sharing one payload buffer — the only
+// per-link copy is the shared payload pointer itself.
 #pragma once
 
 #include <functional>
@@ -59,6 +65,7 @@ class Network {
 
  private:
   void on_egress_done(Message&& m);
+  void deliver(Message&& m);  // hand to the destination's handler
 
   EventQueue& eq_;
   int n_;

@@ -1,0 +1,131 @@
+// Move-only type-erased callable with fixed inline storage.
+//
+// The discrete-event hot path schedules millions of closures per simulated
+// second; std::function would heap-allocate each one that outgrows its tiny
+// SBO buffer (every captured Message does). InlineTask reserves enough
+// in-place storage for the simulator's fattest hot-path closure — a captured
+// Message plus a this pointer — so steady-state scheduling never touches the
+// allocator. Oversized callables (cold paths only) fall back to the heap
+// transparently.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dl::sim {
+
+class InlineTask {
+ public:
+  // Fits [this, Message] (8 + 48 bytes) and std::function<void()> (32 bytes).
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineTask() = default;
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+  InlineTask(InlineTask&& other) noexcept { move_from(other); }
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~InlineTask() { reset(); }
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineTask>>>
+  InlineTask(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  // Replaces the stored callable. Small nothrow-movable callables live in
+  // buf_; anything else is boxed on the heap.
+  template <typename F>
+  void emplace(F&& fn) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kOps<Fn, /*Inline=*/true>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kOps<Fn, /*Inline=*/false>;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    // Move-constructs *src into dst, then destroys *src.
+    void (*relocate)(void* dst, void* src);
+  };
+
+  template <typename Fn>
+  static Fn* in_place(void* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+  template <typename Fn>
+  static Fn* boxed(void* p) {
+    return *std::launder(reinterpret_cast<Fn**>(p));
+  }
+
+  template <typename Fn, bool Inline>
+  struct Impl {
+    static void invoke(void* p) {
+      if constexpr (Inline) {
+        (*in_place<Fn>(p))();
+      } else {
+        (*boxed<Fn>(p))();
+      }
+    }
+    static void destroy(void* p) {
+      if constexpr (Inline) {
+        in_place<Fn>(p)->~Fn();
+      } else {
+        delete boxed<Fn>(p);
+      }
+    }
+    static void relocate(void* dst, void* src) {
+      if constexpr (Inline) {
+        Fn* s = in_place<Fn>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      } else {
+        ::new (dst) Fn*(boxed<Fn>(src));  // steal the box
+      }
+    }
+  };
+
+  template <typename Fn, bool Inline>
+  static constexpr Ops kOps{&Impl<Fn, Inline>::invoke, &Impl<Fn, Inline>::destroy,
+                            &Impl<Fn, Inline>::relocate};
+
+  void move_from(InlineTask& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace dl::sim

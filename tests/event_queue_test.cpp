@@ -1,6 +1,10 @@
-// Event queue: ordering, tie-breaking, clock semantics.
+// Event queue: ordering, tie-breaking, clock semantics, timer cancellation.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+
+#include "common/rng.hpp"
 #include "sim/event_queue.hpp"
 
 namespace dl::sim {
@@ -77,6 +81,190 @@ TEST(EventQueue, DeadlineEqualEventRuns) {
   eq.at(5.0, [&] { fired = true; });
   eq.run_until(5.0);
   EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue eq;
+  bool fired = false;
+  TimerHandle h = eq.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(eq.pending(h));
+  EXPECT_EQ(eq.pending(), 1u);
+  EXPECT_TRUE(eq.cancel(h));
+  EXPECT_FALSE(eq.pending(h));
+  EXPECT_EQ(eq.pending(), 0u);
+  EXPECT_TRUE(eq.empty());
+  eq.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndStaleAfterFire) {
+  EventQueue eq;
+  TimerHandle cancelled = eq.at(1.0, [] {});
+  EXPECT_TRUE(eq.cancel(cancelled));
+  EXPECT_FALSE(eq.cancel(cancelled));  // double cancel
+
+  TimerHandle fired = eq.at(2.0, [] {});
+  eq.run();
+  EXPECT_FALSE(eq.cancel(fired));  // already fired
+  EXPECT_FALSE(eq.cancel(TimerHandle{}));  // default-constructed
+}
+
+TEST(EventQueue, StaleHandleCannotCancelSlotReuser) {
+  // After an event fires, its slot is recycled; a handle to the old event
+  // must not be able to cancel whatever now occupies the slot.
+  EventQueue eq;
+  TimerHandle old = eq.at(1.0, [] {});
+  eq.run();  // fires, frees the slot
+  int fired = 0;
+  eq.at(2.0, [&] { ++fired; });  // reuses the slot
+  EXPECT_FALSE(eq.cancel(old));
+  eq.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelDoesNotDisturbOrdering) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.at(1.0, [&] { order.push_back(1); });
+  TimerHandle h2 = eq.at(2.0, [&] { order.push_back(2); });
+  eq.at(2.0, [&] { order.push_back(3); });
+  eq.at(3.0, [&] { order.push_back(4); });
+  EXPECT_TRUE(eq.cancel(h2));
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(EventQueue, CancelledEventBeyondDeadlineStopsClock) {
+  // A tombstone past the deadline must not drag the clock or fire anything.
+  EventQueue eq;
+  int fired = 0;
+  TimerHandle far = eq.at(10.0, [&] { ++fired; });
+  eq.at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(eq.cancel(far));
+  eq.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+  EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelFromInsideCallback) {
+  EventQueue eq;
+  int fired = 0;
+  TimerHandle victim = eq.at(2.0, [&] { ++fired; });
+  eq.at(1.0, [&] { EXPECT_TRUE(eq.cancel(victim)); });
+  eq.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  // Release builds clamp a past time to now() (debug builds assert instead;
+  // see EventQueue::at).
+#ifdef NDEBUG
+  EventQueue eq;
+  double fired_at = -1;
+  eq.at(5.0, [&] {
+    eq.at(1.0, [&] { fired_at = eq.now(); });  // 1.0 is in the past
+  });
+  eq.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+#else
+  GTEST_SKIP() << "debug builds assert on past scheduling";
+#endif
+}
+
+TEST(EventQueue, CancelRescheduleStressMatchesReferenceModel) {
+  // Heavy churn of schedule/cancel/reschedule across interleaved times and
+  // exact ties, checked event-for-event against a std::multimap reference.
+  EventQueue eq;
+  Rng rng(2024);
+  std::vector<int> fired;             // ids in fire order
+  std::multimap<std::pair<double, std::uint64_t>, int> model;  // (t, seq) -> id
+  std::vector<TimerHandle> handles(64);
+  std::vector<std::uint64_t> model_keys(64, 0);  // seq of each lane's pending event
+  std::uint64_t seq = 0;
+  int next_id = 0;
+
+  auto schedule = [&](std::size_t lane, double t) {
+    const int id = next_id++;
+    handles[lane] = eq.at(t, [&fired, id] { fired.push_back(id); });
+    model_keys[lane] = seq;
+    model.emplace(std::make_pair(t, seq++), id);
+  };
+
+  // Seed phase: every lane armed at a coarse-grained time (forcing ties).
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    schedule(lane, static_cast<double>(rng.next_below(8)));
+  }
+  // Churn phase: cancel + rearm random lanes, sometimes at identical times.
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t lane = rng.next_below(64);
+    // Find and erase the lane's pending event from the model iff the queue
+    // agrees it is still pending.
+    const bool was_pending = eq.pending(handles[lane]);
+    EXPECT_TRUE(was_pending);  // nothing fires during the churn phase
+    EXPECT_EQ(eq.cancel(handles[lane]), was_pending);
+    for (auto it = model.begin(); it != model.end(); ++it) {
+      if (it->first.second == model_keys[lane]) {
+        model.erase(it);
+        break;
+      }
+    }
+    schedule(lane, static_cast<double>(rng.next_below(8)));
+  }
+
+  eq.run();
+  std::vector<int> expect;
+  for (const auto& [key, id] : model) expect.push_back(id);
+  EXPECT_EQ(fired, expect);
+  EXPECT_TRUE(eq.empty());
+  EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, InterleavedFireAndCancelStress) {
+  // Lanes self-reschedule while a controller cancels random lanes mid-run;
+  // checks liveness accounting and that no cancelled callback ever runs.
+  EventQueue eq;
+  Rng rng(7);
+  constexpr std::size_t kLanes = 32;
+  std::vector<TimerHandle> handles(kLanes);
+  std::vector<bool> alive(kLanes, true);
+  std::vector<std::uint64_t> fires(kLanes, 0);
+  std::uint64_t total = 0;
+
+  std::function<void(std::size_t)> arm = [&](std::size_t lane) {
+    handles[lane] = eq.after(1e-3 * static_cast<double>(1 + rng.next_below(50)),
+                             [&, lane] {
+                               ASSERT_TRUE(alive[lane]) << "cancelled lane fired";
+                               ++fires[lane];
+                               ++total;
+                               arm(lane);
+                             });
+  };
+  for (std::size_t lane = 0; lane < kLanes; ++lane) arm(lane);
+
+  // Controller: every 10ms, kill one live lane and resurrect another.
+  std::function<void()> controller = [&] {
+    std::size_t lane = rng.next_below(kLanes);
+    if (alive[lane]) {
+      EXPECT_TRUE(eq.cancel(handles[lane]));
+      alive[lane] = false;
+    } else {
+      alive[lane] = true;
+      arm(lane);
+    }
+    if (eq.now() < 1.0) eq.after(0.01, controller);
+  };
+  eq.after(0.01, controller);
+
+  eq.run_until(2.0);
+  EXPECT_GT(total, 1000u);
+  // Only live lanes still have pending timers.
+  std::size_t live_lanes = 0;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(eq.pending(handles[lane]), alive[lane]) << lane;
+    if (alive[lane]) ++live_lanes;
+  }
+  EXPECT_EQ(eq.pending(), live_lanes);
 }
 
 }  // namespace

@@ -55,6 +55,15 @@ TEST(Gf256, InverseExhaustive) {
   }
 }
 
+TEST(Gf256, DivisionByZeroIsDefinedZero) {
+  // Zero has no inverse; the documented contract is that div(a, 0) and
+  // inv(0) return 0 instead of reading garbage off the log table.
+  EXPECT_EQ(gf256::inv(0), 0);
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf256::div(static_cast<std::uint8_t>(a), 0), 0) << a;
+  }
+}
+
 TEST(Gf256, DivisionIsMulByInverse) {
   for (int a = 0; a < 256; ++a) {
     for (int b = 1; b < 256; ++b) {

@@ -183,5 +183,99 @@ TEST(FluidLink, ArrivalDuringServiceAdjustsShares) {
   EXPECT_NEAR(cap.done[1].first, 3.0, 1e-6);
 }
 
+TEST(FluidLink, LowQueueManyEpochsFifoWithinEpoch) {
+  // A backlog spanning several epochs, several messages each, enqueued in
+  // scrambled order: service must be (epoch asc, arrival order) — the
+  // QUIC-stream scheduling the flat heap has to preserve exactly.
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  // Head-of-line blocker so nothing else starts while we enqueue.
+  link.enqueue(make_msg(5000 - Message::kHeaderOverhead, Priority::Low, 0, 999));
+  const std::uint64_t epochs[] = {7, 3, 5, 3, 7, 5, 3, 7, 5};
+  std::uint64_t arrival = 0;
+  for (std::uint64_t e : epochs) {
+    auto m = make_msg(1000 - Message::kHeaderOverhead, Priority::Low, e,
+                      e * 100 + arrival++);  // tag encodes (epoch, arrival)
+    link.enqueue(std::move(m));
+  }
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 10u);
+  // Expected: blocker, then epoch 3 arrivals (1, 3, 6), 5 (2, 5, 8), 7 (0, 4, 7).
+  const std::uint64_t want[] = {999, 301, 303, 306, 502, 505, 508, 700, 704, 707};
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(cap.done[i].second.tag, want[i]) << i;
+  }
+}
+
+TEST(FluidLink, CancelKeepsInServiceAndUnrelatedMessages) {
+  // Seed-equivalence of cancel(): the in-service message keeps transmitting,
+  // only queued messages with the tag vanish, and the survivors' relative
+  // order is untouched.
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 0, 7));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 1, 8));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 2, 7));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 3, 9));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 4, 7));
+  EXPECT_EQ(link.backlog_bytes(), 5000u);
+  const std::size_t removed = link.cancel(7);
+  EXPECT_EQ(removed, 2000u);  // two queued tag-7 messages; in-service survives
+  EXPECT_EQ(link.backlog_bytes(), 3000u);
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 3u);
+  EXPECT_EQ(cap.done[0].second.tag, 7u);  // in-service finishes
+  EXPECT_EQ(cap.done[1].second.tag, 8u);
+  EXPECT_EQ(cap.done[2].second.tag, 9u);
+  EXPECT_NEAR(cap.done[0].first, 1.0, 1e-9);
+  EXPECT_NEAR(cap.done[1].first, 2.0, 1e-6);
+  EXPECT_NEAR(cap.done[2].first, 3.0, 1e-6);
+}
+
+TEST(FluidLink, CancelWholeBacklogGoesIdleThenResumes) {
+  // Cancelling everything queued must retract the planned wake cleanly; the
+  // link then accepts new traffic as if freshly constructed.
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 0, 5));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 1, 5));
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 2, 5));
+  EXPECT_EQ(link.cancel(5), 2000u);  // all but the in-service one
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 1u);
+  EXPECT_EQ(link.backlog_bytes(), 0u);
+  // Fresh traffic after the queue drained fully.
+  eq.at(10.0, [&] {
+    link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 0, 6));
+  });
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 2u);
+  EXPECT_EQ(cap.done[1].second.tag, 6u);
+  EXPECT_NEAR(cap.done[1].first, 11.0, 1e-9);
+}
+
+TEST(FluidLink, CancelInterleavedWithEnqueueKeepsEpochOrder) {
+  // Epoch ordering must survive a heap rebuild: cancel in the middle of a
+  // backlog, then enqueue more messages of an earlier epoch.
+  EventQueue eq;
+  Capture cap;
+  FluidLink link(eq, Trace::constant(1000.0), 30.0, cap.fn(eq));
+  link.enqueue(make_msg(3000 - Message::kHeaderOverhead, Priority::Low, 0, 99));  // blocker
+  for (std::uint64_t e : {4u, 2u, 6u}) {
+    link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, e, e));
+  }
+  EXPECT_EQ(link.cancel(4), 1000u);
+  link.enqueue(make_msg(1000 - Message::kHeaderOverhead, Priority::Low, 1, 1));
+  eq.run();
+  ASSERT_EQ(cap.done.size(), 4u);
+  EXPECT_EQ(cap.done[0].second.tag, 99u);
+  EXPECT_EQ(cap.done[1].second.tag, 1u);
+  EXPECT_EQ(cap.done[2].second.tag, 2u);
+  EXPECT_EQ(cap.done[3].second.tag, 6u);
+}
+
 }  // namespace
 }  // namespace dl::sim

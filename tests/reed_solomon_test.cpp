@@ -173,6 +173,49 @@ TEST(ReedSolomon, EncodeShardsRejectsRagged) {
   EXPECT_THROW(rs.encode_shards(wrong_count), std::invalid_argument);
 }
 
+TEST_P(ReedSolomonP, DataShardsOnlyMatchesFullReconstruction) {
+  const auto p = GetParam();
+  const ReedSolomon rs(p.k(), p.n);
+  const Bytes block = random_bytes(2048, 12);
+  const auto chunks = rs.encode(block);
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Bytes> holes = chunks;
+    // Punch up to N-K random holes.
+    for (int h = 0; h < p.n - p.k(); ++h) {
+      holes[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(p.n)))].clear();
+    }
+    const auto data = rs.reconstruct_data_shards(holes);
+    const auto all = rs.reconstruct_shards(holes);
+    ASSERT_EQ(data.has_value(), all.has_value()) << trial;
+    if (!data) continue;
+    ASSERT_EQ(static_cast<int>(data->size()), p.k());
+    for (int i = 0; i < p.k(); ++i) {
+      EXPECT_EQ((*data)[static_cast<std::size_t>(i)], (*all)[static_cast<std::size_t>(i)]) << trial;
+    }
+  }
+}
+
+TEST(ReedSolomon, DataShardsFastPathWhenAllDataPresent) {
+  const ReedSolomon rs(4, 10);
+  const Bytes block = random_bytes(777, 14);
+  auto chunks = rs.encode(block);
+  for (std::size_t i = 4; i < chunks.size(); ++i) chunks[i].clear();  // parity gone
+  const auto data = rs.reconstruct_data_shards(chunks);
+  ASSERT_TRUE(data.has_value());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*data)[static_cast<std::size_t>(i)], chunks[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ReedSolomon, DataShardsTooFewFails) {
+  const ReedSolomon rs(4, 10);
+  auto chunks = rs.encode(random_bytes(100, 15));
+  std::vector<Bytes> subset(10);
+  for (int i = 0; i < 3; ++i) subset[static_cast<std::size_t>(i)] = chunks[static_cast<std::size_t>(i)];
+  EXPECT_FALSE(rs.reconstruct_data_shards(subset).has_value());
+}
+
 TEST(ReedSolomon, ReconstructShardsRebuildsAll) {
   const ReedSolomon rs(3, 9);
   const Bytes block = random_bytes(333, 11);

@@ -145,6 +145,33 @@ TEST(SweepRunner, SerialAndParallelProduceIdenticalJson) {
   EXPECT_EQ(json_string("t", a), json_string("t", b));
 }
 
+TEST(SweepRunner, RepeatedRunsAreByteIdentical) {
+  // The event-core guarantee the perf refactor must preserve: the same sweep
+  // (including a bursty-load point that exercises Low-queue ordering and
+  // timer churn) serializes to byte-identical JSON on every run, at any
+  // worker count. This pins the engine's output so a future scheduler change
+  // that reorders same-time events cannot slip through silently.
+  Sweep sweep;
+  sweep.base = small_spec();
+  sweep.base.load_bytes_per_sec = 60e3;
+  sweep.protocols = {Protocol::DL, Protocol::HB};
+  sweep.seeds = {3};
+  auto specs = sweep.expand();
+  ScenarioSpec bursty = sweep.base;
+  bursty.variant = "bursty";
+  bursty.burst_period = 4.0;
+  bursty.burst_duty = 0.5;
+  specs.push_back(bursty);
+
+  std::vector<std::string> emissions;
+  for (int workers : {1, 3, 1}) {
+    SweepRunner pool(workers);
+    emissions.push_back(json_string("det", pool.run(specs)));
+  }
+  EXPECT_EQ(emissions[0], emissions[1]);
+  EXPECT_EQ(emissions[0], emissions[2]);
+}
+
 TEST(SweepRunner, ProgressReportsEveryScenario) {
   Sweep sweep;
   sweep.base = small_spec();
