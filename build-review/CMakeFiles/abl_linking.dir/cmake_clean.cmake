@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_linking.dir/bench/abl_linking.cpp.o"
+  "CMakeFiles/abl_linking.dir/bench/abl_linking.cpp.o.d"
+  "abl_linking"
+  "abl_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pacing.dir/bench/abl_pacing.cpp.o"
+  "CMakeFiles/abl_pacing.dir/bench/abl_pacing.cpp.o.d"
+  "abl_pacing"
+  "abl_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

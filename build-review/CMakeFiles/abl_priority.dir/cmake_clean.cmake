@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_priority.dir/bench/abl_priority.cpp.o"
+  "CMakeFiles/abl_priority.dir/bench/abl_priority.cpp.o.d"
+  "abl_priority"
+  "abl_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

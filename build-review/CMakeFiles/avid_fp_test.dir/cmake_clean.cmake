@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avid_fp_test.dir/tests/avid_fp_test.cpp.o"
+  "CMakeFiles/avid_fp_test.dir/tests/avid_fp_test.cpp.o.d"
+  "avid_fp_test"
+  "avid_fp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avid_fp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

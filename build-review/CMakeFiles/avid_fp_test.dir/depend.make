@@ -1,0 +1,2 @@
+# Empty dependencies file for avid_fp_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avid_m_test.dir/tests/avid_m_test.cpp.o"
+  "CMakeFiles/avid_m_test.dir/tests/avid_m_test.cpp.o.d"
+  "avid_m_test"
+  "avid_m_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avid_m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_test.dir/tests/ba_test.cpp.o"
+  "CMakeFiles/ba_test.dir/tests/ba_test.cpp.o.d"
+  "ba_test"
+  "ba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

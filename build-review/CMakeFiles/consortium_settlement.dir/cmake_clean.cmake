@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consortium_settlement.dir/examples/consortium_settlement.cpp.o"
+  "CMakeFiles/consortium_settlement.dir/examples/consortium_settlement.cpp.o.d"
+  "consortium_settlement"
+  "consortium_settlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consortium_settlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

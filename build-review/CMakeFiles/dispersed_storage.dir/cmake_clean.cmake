@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispersed_storage.dir/examples/dispersed_storage.cpp.o"
+  "CMakeFiles/dispersed_storage.dir/examples/dispersed_storage.cpp.o.d"
+  "dispersed_storage"
+  "dispersed_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispersed_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/adversary.cpp" "CMakeFiles/dl_core.dir/src/adversary/adversary.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/adversary/adversary.cpp.o.d"
+  "/root/repo/src/app/kv_state_machine.cpp" "CMakeFiles/dl_core.dir/src/app/kv_state_machine.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/app/kv_state_machine.cpp.o.d"
+  "/root/repo/src/ba/binary_agreement.cpp" "CMakeFiles/dl_core.dir/src/ba/binary_agreement.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/ba/binary_agreement.cpp.o.d"
+  "/root/repo/src/ba/common_coin.cpp" "CMakeFiles/dl_core.dir/src/ba/common_coin.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/ba/common_coin.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "CMakeFiles/dl_core.dir/src/common/bytes.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/common/bytes.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "CMakeFiles/dl_core.dir/src/common/hex.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/common/hex.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/dl_core.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/serial.cpp" "CMakeFiles/dl_core.dir/src/common/serial.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/common/serial.cpp.o.d"
+  "/root/repo/src/crypto/fingerprint.cpp" "CMakeFiles/dl_core.dir/src/crypto/fingerprint.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/crypto/fingerprint.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/dl_core.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/dl/block.cpp" "CMakeFiles/dl_core.dir/src/dl/block.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/dl/block.cpp.o.d"
+  "/root/repo/src/dl/epoch.cpp" "CMakeFiles/dl_core.dir/src/dl/epoch.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/dl/epoch.cpp.o.d"
+  "/root/repo/src/dl/node.cpp" "CMakeFiles/dl_core.dir/src/dl/node.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/dl/node.cpp.o.d"
+  "/root/repo/src/dl/retrieval.cpp" "CMakeFiles/dl_core.dir/src/dl/retrieval.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/dl/retrieval.cpp.o.d"
+  "/root/repo/src/erasure/gf256.cpp" "CMakeFiles/dl_core.dir/src/erasure/gf256.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/erasure/gf256.cpp.o.d"
+  "/root/repo/src/erasure/reed_solomon.cpp" "CMakeFiles/dl_core.dir/src/erasure/reed_solomon.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/erasure/reed_solomon.cpp.o.d"
+  "/root/repo/src/hb/hb_node.cpp" "CMakeFiles/dl_core.dir/src/hb/hb_node.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/hb/hb_node.cpp.o.d"
+  "/root/repo/src/merkle/merkle_tree.cpp" "CMakeFiles/dl_core.dir/src/merkle/merkle_tree.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/merkle/merkle_tree.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "CMakeFiles/dl_core.dir/src/metrics/metrics.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/metrics/metrics.cpp.o.d"
+  "/root/repo/src/runner/experiment.cpp" "CMakeFiles/dl_core.dir/src/runner/experiment.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/runner/experiment.cpp.o.d"
+  "/root/repo/src/runner/report.cpp" "CMakeFiles/dl_core.dir/src/runner/report.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/runner/report.cpp.o.d"
+  "/root/repo/src/runner/scenario.cpp" "CMakeFiles/dl_core.dir/src/runner/scenario.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/runner/scenario.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/dl_core.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "CMakeFiles/dl_core.dir/src/sim/link.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/sim/link.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/dl_core.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/dl_core.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/dl_core.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/vid/avid_fp.cpp" "CMakeFiles/dl_core.dir/src/vid/avid_fp.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/vid/avid_fp.cpp.o.d"
+  "/root/repo/src/vid/avid_m.cpp" "CMakeFiles/dl_core.dir/src/vid/avid_m.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/vid/avid_m.cpp.o.d"
+  "/root/repo/src/vid/messages.cpp" "CMakeFiles/dl_core.dir/src/vid/messages.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/vid/messages.cpp.o.d"
+  "/root/repo/src/workload/gauss_markov.cpp" "CMakeFiles/dl_core.dir/src/workload/gauss_markov.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/workload/gauss_markov.cpp.o.d"
+  "/root/repo/src/workload/topology.cpp" "CMakeFiles/dl_core.dir/src/workload/topology.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/workload/topology.cpp.o.d"
+  "/root/repo/src/workload/txgen.cpp" "CMakeFiles/dl_core.dir/src/workload/txgen.cpp.o" "gcc" "CMakeFiles/dl_core.dir/src/workload/txgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_node_test.dir/tests/dl_node_test.cpp.o"
+  "CMakeFiles/dl_node_test.dir/tests/dl_node_test.cpp.o.d"
+  "dl_node_test"
+  "dl_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

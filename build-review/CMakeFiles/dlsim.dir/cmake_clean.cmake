@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim.dir/examples/dlsim.cpp.o"
+  "CMakeFiles/dlsim.dir/examples/dlsim.cpp.o.d"
+  "dlsim"
+  "dlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

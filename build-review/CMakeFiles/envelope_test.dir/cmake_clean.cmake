@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_test.dir/tests/envelope_test.cpp.o"
+  "CMakeFiles/envelope_test.dir/tests/envelope_test.cpp.o.d"
+  "envelope_test"
+  "envelope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

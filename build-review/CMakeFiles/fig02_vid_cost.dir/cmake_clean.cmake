@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_vid_cost.dir/bench/fig02_vid_cost.cpp.o"
+  "CMakeFiles/fig02_vid_cost.dir/bench/fig02_vid_cost.cpp.o.d"
+  "fig02_vid_cost"
+  "fig02_vid_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_vid_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

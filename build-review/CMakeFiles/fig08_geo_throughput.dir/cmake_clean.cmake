@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_geo_throughput.dir/bench/fig08_geo_throughput.cpp.o"
+  "CMakeFiles/fig08_geo_throughput.dir/bench/fig08_geo_throughput.cpp.o.d"
+  "fig08_geo_throughput"
+  "fig08_geo_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_geo_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_progress.dir/bench/fig09_progress.cpp.o"
+  "CMakeFiles/fig09_progress.dir/bench/fig09_progress.cpp.o.d"
+  "fig09_progress"
+  "fig09_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

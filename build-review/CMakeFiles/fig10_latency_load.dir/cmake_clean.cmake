@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latency_load.dir/bench/fig10_latency_load.cpp.o"
+  "CMakeFiles/fig10_latency_load.dir/bench/fig10_latency_load.cpp.o.d"
+  "fig10_latency_load"
+  "fig10_latency_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

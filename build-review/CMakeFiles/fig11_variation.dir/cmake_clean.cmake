@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_variation.dir/bench/fig11_variation.cpp.o"
+  "CMakeFiles/fig11_variation.dir/bench/fig11_variation.cpp.o.d"
+  "fig11_variation"
+  "fig11_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

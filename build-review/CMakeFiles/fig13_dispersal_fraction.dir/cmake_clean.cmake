@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dispersal_fraction.dir/bench/fig13_dispersal_fraction.cpp.o"
+  "CMakeFiles/fig13_dispersal_fraction.dir/bench/fig13_dispersal_fraction.cpp.o.d"
+  "fig13_dispersal_fraction"
+  "fig13_dispersal_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dispersal_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

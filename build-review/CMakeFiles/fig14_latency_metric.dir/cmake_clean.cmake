@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_latency_metric.dir/bench/fig14_latency_metric.cpp.o"
+  "CMakeFiles/fig14_latency_metric.dir/bench/fig14_latency_metric.cpp.o.d"
+  "fig14_latency_metric"
+  "fig14_latency_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_latency_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_vultr.dir/bench/fig15_vultr.cpp.o"
+  "CMakeFiles/fig15_vultr.dir/bench/fig15_vultr.cpp.o.d"
+  "fig15_vultr"
+  "fig15_vultr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_vultr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_trace.dir/bench/fig16_trace.cpp.o"
+  "CMakeFiles/fig16_trace.dir/bench/fig16_trace.cpp.o.d"
+  "fig16_trace"
+  "fig16_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

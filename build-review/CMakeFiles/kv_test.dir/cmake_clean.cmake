@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_test.dir/tests/kv_test.cpp.o"
+  "CMakeFiles/kv_test.dir/tests/kv_test.cpp.o.d"
+  "kv_test"
+  "kv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merkle_test.dir/tests/merkle_test.cpp.o"
+  "CMakeFiles/merkle_test.dir/tests/merkle_test.cpp.o.d"
+  "merkle_test"
+  "merkle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merkle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_node.dir/examples/mobile_node.cpp.o"
+  "CMakeFiles/mobile_node.dir/examples/mobile_node.cpp.o.d"
+  "mobile_node"
+  "mobile_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_test.dir/tests/priority_test.cpp.o"
+  "CMakeFiles/priority_test.dir/tests/priority_test.cpp.o.d"
+  "priority_test"
+  "priority_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

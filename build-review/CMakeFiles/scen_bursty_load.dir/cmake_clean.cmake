@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scen_bursty_load.dir/bench/scen_bursty_load.cpp.o"
+  "CMakeFiles/scen_bursty_load.dir/bench/scen_bursty_load.cpp.o.d"
+  "scen_bursty_load"
+  "scen_bursty_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scen_bursty_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scen_bursty_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scen_hetero_cluster.dir/bench/scen_hetero_cluster.cpp.o"
+  "CMakeFiles/scen_hetero_cluster.dir/bench/scen_hetero_cluster.cpp.o.d"
+  "scen_hetero_cluster"
+  "scen_hetero_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scen_hetero_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
