@@ -11,6 +11,7 @@
 
 #include "dl/node.hpp"
 #include "metrics/metrics.hpp"
+#include "runtime/sim_env.hpp"
 #include "workload/txgen.hpp"
 
 using namespace dl;
@@ -24,11 +25,13 @@ int main() {
   // Consortium WAN: 30 ms one-way, 4 MB/s per org.
   sim::Simulator sim(sim::NetworkConfig::uniform(n, 0.030, 4e6));
 
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
   std::vector<std::unique_ptr<DlNode>> nodes;
   std::vector<metrics::Percentile> latency(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     auto node = std::make_unique<DlNode>(NodeConfig::dispersed_ledger(n, f, i),
-                                         sim.queue(), sim.network());
+                                         *envs.back());
     auto* lat = &latency[static_cast<std::size_t>(i)];
     const auto self = static_cast<std::uint32_t>(i);
     node->set_delivery_callback([lat, self](std::uint64_t, BlockKey, const Block& b,
@@ -37,7 +40,6 @@ int main() {
         if (tx.origin == self) lat->add(now - tx.submit_time);
       }
     });
-    sim.attach(i, node.get());
     nodes.push_back(std::move(node));
   }
 

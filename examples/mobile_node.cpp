@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dl/node.hpp"
+#include "runtime/sim_env.hpp"
 
 using namespace dl;
 using namespace dl::core;
@@ -31,13 +32,14 @@ int main() {
   net.ingress[static_cast<std::size_t>(mobile)] = sim::Trace(pattern, 1.0);
 
   sim::Simulator sim(net);
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
   std::vector<std::unique_ptr<DlNode>> nodes;
   for (int i = 0; i < n; ++i) {
     auto cfg = NodeConfig::dispersed_ledger(n, f, i);
     cfg.backlog_tx_bytes = 250;       // the network is busy
     cfg.max_block_bytes = 60'000;
-    auto node = std::make_unique<DlNode>(cfg, sim.queue(), sim.network());
-    sim.attach(i, node.get());
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
+    auto node = std::make_unique<DlNode>(cfg, *envs.back());
     nodes.push_back(std::move(node));
   }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dl/node.hpp"
+#include "runtime/sim_env.hpp"
 
 using namespace dl;
 using namespace dl::core;
@@ -25,10 +26,12 @@ int main() {
   // 2. The replicas. NodeConfig::dispersed_ledger gives the full protocol:
   //    AVID-M dispersal, binary agreement, lazy retrieval, inter-node
   //    linking.
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
   std::vector<std::unique_ptr<DlNode>> nodes;
   for (int i = 0; i < n; ++i) {
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     auto node = std::make_unique<DlNode>(NodeConfig::dispersed_ledger(n, f, i),
-                                         sim.queue(), sim.network());
+                                         *envs.back());
     // Print node 0's view of the log as it executes blocks.
     if (i == 0) {
       node->set_delivery_callback([](std::uint64_t at_epoch, BlockKey key,
@@ -40,7 +43,6 @@ int main() {
         }
       });
     }
-    sim.attach(i, node.get());
     nodes.push_back(std::move(node));
   }
 

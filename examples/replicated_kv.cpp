@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "app/kv_state_machine.hpp"
+#include "runtime/sim_env.hpp"
 
 using namespace dl;
 using namespace dl::app;
@@ -16,12 +17,13 @@ using namespace dl::app;
 int main() {
   const int n = 4, f = 1;
   sim::Simulator sim(sim::NetworkConfig::uniform(n, 0.04, 2e6));
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
   std::vector<std::unique_ptr<core::DlNode>> nodes;
   std::vector<std::unique_ptr<ReplicatedKv>> kvs;
   for (int i = 0; i < n; ++i) {
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     nodes.push_back(std::make_unique<core::DlNode>(
-        core::NodeConfig::dispersed_ledger(n, f, i), sim.queue(), sim.network()));
-    sim.attach(i, nodes.back().get());
+        core::NodeConfig::dispersed_ledger(n, f, i), *envs.back()));
     kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
   }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "dl/node.hpp"
+#include "sim/simulator.hpp"
 
 namespace dl::adversary {
 

@@ -1,0 +1,212 @@
+// dlnoded — one DispersedLedger replica as a real process over TCP.
+//
+// Loads a cluster config (see net/cluster_config.hpp), runs a DlNode on a
+// net::TcpEnv, drives a synthetic transaction workload, and streams the
+// committed ledger to a file: one line per delivered block,
+//
+//   <delivered-at-epoch> <block-epoch> <proposer> <sha256 of block bytes>
+//
+// in delivery order — identical across correct replicas (the smoke test in
+// scripts/run_local_cluster.sh diffs these files). The process exits 0 once
+// it has delivered --target-epochs epochs, after a short --linger-seconds
+// grace period during which it keeps serving retrieval chunks to replicas
+// that are still catching up; --max-seconds is a hard watchdog that exits 1.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "dl/node.hpp"
+#include "net/tcp_env.hpp"
+
+namespace {
+
+struct Flags {
+  std::string config;
+  int id = -1;
+  std::uint64_t target_epochs = 100;
+  std::size_t tx_bytes = 256;
+  double tx_interval = 0.005;     // seconds
+  double propose_delay = 0.020;   // seconds
+  std::size_t propose_size = 32'768;
+  std::size_t max_block_bytes = 262'144;
+  std::string ledger_path;
+  double linger = 3.0;
+  double max_seconds = 120.0;
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --config FILE --id N [options]\n"
+      "  --config FILE          cluster TOML (required)\n"
+      "  --id N                 this replica's node id (required)\n"
+      "  --target-epochs E      deliver E epochs, then exit (default 100)\n"
+      "  --tx-bytes B           synthetic transaction payload size (default 256)\n"
+      "  --tx-interval-ms M     submit one transaction every M ms (default 5)\n"
+      "  --propose-delay-ms M   proposal pacing delay (default 20)\n"
+      "  --propose-size B       proposal pacing size trigger (default 32768)\n"
+      "  --max-block-bytes B    block size cap (default 262144)\n"
+      "  --ledger FILE          write the committed-ledger log here\n"
+      "  --linger-seconds S     keep serving after target before exit (default 3)\n"
+      "  --max-seconds S        watchdog: exit 1 if not done by then (default 120)\n"
+      "  --quiet                suppress progress output\n",
+      argv0);
+}
+
+bool parse_flags(int argc, char** argv, Flags& f) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--config" && (v = next())) {
+      f.config = v;
+    } else if (a == "--id" && (v = next())) {
+      f.id = std::atoi(v);
+    } else if (a == "--target-epochs" && (v = next())) {
+      f.target_epochs = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--tx-bytes" && (v = next())) {
+      f.tx_bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--tx-interval-ms" && (v = next())) {
+      f.tx_interval = std::atof(v) / 1000.0;
+    } else if (a == "--propose-delay-ms" && (v = next())) {
+      f.propose_delay = std::atof(v) / 1000.0;
+    } else if (a == "--propose-size" && (v = next())) {
+      f.propose_size = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--max-block-bytes" && (v = next())) {
+      f.max_block_bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--ledger" && (v = next())) {
+      f.ledger_path = v;
+    } else if (a == "--linger-seconds" && (v = next())) {
+      f.linger = std::atof(v);
+    } else if (a == "--max-seconds" && (v = next())) {
+      f.max_seconds = std::atof(v);
+    } else if (a == "--quiet") {
+      f.quiet = true;
+    } else {
+      usage(argv[0]);
+      return false;
+    }
+  }
+  if (f.config.empty() || f.id < 0) {
+    usage(argv[0]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dl;
+
+  Flags flags;
+  if (!parse_flags(argc, argv, flags)) return 2;
+
+  std::string err;
+  auto cluster = net::ClusterConfig::load(flags.config, &err);
+  if (!cluster.has_value()) {
+    std::fprintf(stderr, "dlnoded: bad config: %s\n", err.c_str());
+    return 2;
+  }
+  if (flags.id >= cluster->n) {
+    std::fprintf(stderr, "dlnoded: --id %d out of range (n=%d)\n", flags.id,
+                 cluster->n);
+    return 2;
+  }
+  // A VID chunk envelope carries at most one block plus small proof/header
+  // overhead; anything the transport's frame limit forbids would tear every
+  // connection down on each send, so reject the configuration up front.
+  if (flags.max_block_bytes + 65536 > net::kMaxFrameBytes) {
+    std::fprintf(stderr,
+                 "dlnoded: --max-block-bytes %zu too large for the %zu-byte "
+                 "frame limit\n",
+                 flags.max_block_bytes, net::kMaxFrameBytes);
+    return 2;
+  }
+
+  std::FILE* ledger = nullptr;
+  if (!flags.ledger_path.empty()) {
+    ledger = std::fopen(flags.ledger_path.c_str(), "w");
+    if (ledger == nullptr) {
+      std::fprintf(stderr, "dlnoded: cannot open %s\n", flags.ledger_path.c_str());
+      return 2;
+    }
+  }
+
+  net::EventLoop loop;
+  net::TcpEnv env(loop, *cluster, flags.id);
+
+  core::NodeConfig cfg =
+      core::NodeConfig::dispersed_ledger(cluster->n, cluster->f, flags.id);
+  cfg.propose_delay = flags.propose_delay;
+  cfg.propose_size = flags.propose_size;
+  cfg.max_block_bytes = flags.max_block_bytes;
+  core::DlNode node(cfg, env);
+
+  bool done = false;
+  bool timed_out = false;
+  node.set_delivery_callback([&](std::uint64_t at_epoch, core::BlockKey key,
+                                 const core::Block& block, double) {
+    if (ledger != nullptr) {
+      std::fprintf(ledger, "%" PRIu64 " %" PRIu64 " %d %s\n", at_epoch,
+                   key.epoch, key.proposer,
+                   sha256(block.encode()).hex().c_str());
+    }
+    if (!done && node.stats().delivered_epochs >= flags.target_epochs) {
+      done = true;
+      if (!flags.quiet) {
+        std::fprintf(stderr,
+                     "dlnoded[%d]: %" PRIu64 " epochs delivered at t=%.2fs; "
+                     "lingering %.1fs\n",
+                     flags.id, node.stats().delivered_epochs, env.now(),
+                     flags.linger);
+      }
+      // Keep answering retrieval requests while slower replicas catch up.
+      env.after(flags.linger, [&loop] { loop.stop(); });
+    }
+  });
+
+  // Synthetic client: one transaction every tx_interval seconds.
+  std::uint64_t tx_seq = 0;
+  std::function<void()> submit_tick = [&] {
+    if (done) return;
+    node.submit(random_bytes(flags.tx_bytes,
+                             (static_cast<std::uint64_t>(flags.id) << 40) | tx_seq++));
+    env.after(flags.tx_interval, submit_tick);
+  };
+  env.after(flags.tx_interval, submit_tick);
+
+  // Watchdog.
+  env.after(flags.max_seconds, [&] {
+    if (!done) {
+      timed_out = true;
+      std::fprintf(stderr,
+                   "dlnoded[%d]: TIMEOUT after %.0fs: delivered_epochs=%" PRIu64
+                   " (target %" PRIu64 "), connected_peers=%d\n",
+                   flags.id, flags.max_seconds, node.stats().delivered_epochs,
+                   flags.target_epochs, env.connected_peers());
+      loop.stop();
+    }
+  });
+
+  env.start();
+  loop.run();
+
+  if (ledger != nullptr) std::fclose(ledger);
+  const auto& st = node.stats();
+  if (!flags.quiet) {
+    std::fprintf(stderr,
+                 "dlnoded[%d]: exit: epochs=%" PRIu64 " blocks=%" PRIu64
+                 " payload_bytes=%" PRIu64 " fingerprint=%s\n",
+                 flags.id, st.delivered_epochs, st.delivered_blocks,
+                 st.delivered_payload_bytes,
+                 node.delivery_fingerprint().hex().substr(0, 16).c_str());
+  }
+  return timed_out ? 1 : 0;
+}

@@ -51,16 +51,17 @@ NodeConfig NodeConfig::hb_link(int n, int f, int self) {
   return c;
 }
 
-DlNode::DlNode(NodeConfig cfg, sim::EventQueue& eq, sim::Network& net)
+DlNode::DlNode(NodeConfig cfg, runtime::Env& env)
     : cfg_(cfg),
-      eq_(eq),
-      net_(net),
+      env_(env),
       coin_(cfg.coin_seed),
       vid_params_{cfg.n, cfg.f},
       retrievals_(vid_params_, cfg.self),
       completed_prefix_(static_cast<std::size_t>(cfg.n), 0),
       completed_gaps_(static_cast<std::size_t>(cfg.n)),
-      linked_scanned_(static_cast<std::size_t>(cfg.n), 0) {}
+      linked_scanned_(static_cast<std::size_t>(cfg.n), 0) {
+  env_.bind(this);
+}
 
 DLEpoch& DlNode::epoch_state(std::uint64_t e) {
   auto it = epochs_.find(e);
@@ -74,7 +75,7 @@ DLEpoch& DlNode::epoch_state(std::uint64_t e) {
 
 void DlNode::submit(Bytes payload) {
   Transaction tx;
-  tx.submit_time = eq_.now();
+  tx.submit_time = env_.now();
   tx.origin = static_cast<std::uint32_t>(cfg_.self);
   tx.payload = std::move(payload);
   input_queue_bytes_ += tx.wire_size();
@@ -92,26 +93,22 @@ std::uint64_t DlNode::retrieval_tag(std::uint64_t epoch, std::uint32_t instance,
          static_cast<std::uint64_t>(client);
 }
 
-void DlNode::send_one(int to, Envelope env) {
-  sim::Message m;
-  m.from = cfg_.self;
-  m.to = to;
+runtime::SendOpts DlNode::classify(const Envelope& env, int to) const {
+  runtime::SendOpts o;  // default: High — dispersal + agreement traffic
   switch (env.kind) {
     case MsgKind::VidRequestChunk:
-      m.cls = sim::Priority::Low;
-      m.order = env.epoch;
+      o.cls = runtime::TrafficClass::Low;
+      o.order = env.epoch;
       break;
     case MsgKind::VidReturnChunk:
-      m.cls = sim::Priority::Low;
-      m.order = env.epoch;
-      m.tag = retrieval_tag(env.epoch, env.instance, to);
+      o.cls = runtime::TrafficClass::Low;
+      o.order = env.epoch;
+      o.tag = retrieval_tag(env.epoch, env.instance, to);
       break;
     default:
-      m.cls = sim::Priority::High;  // dispersal + agreement traffic
       break;
   }
-  m.payload = std::make_shared<const Bytes>(env.encode());
-  net_.send(std::move(m));
+  return o;
 }
 
 void DlNode::flush(Outbox&& out, std::uint64_t epoch, std::uint32_t instance) {
@@ -120,15 +117,9 @@ void DlNode::flush(Outbox&& out, std::uint64_t epoch, std::uint32_t instance) {
     om.env.instance = instance;
     if (om.to == OutMsg::kAll) {
       // Broadcast: one shared buffer to every node (including self).
-      const sim::Priority cls = om.env.kind == MsgKind::VidRequestChunk
-                                    ? sim::Priority::Low
-                                    : sim::Priority::High;
-      const std::uint64_t order =
-          cls == sim::Priority::Low ? om.env.epoch : 0;
-      net_.broadcast(cfg_.self, cls, order,
-                     std::make_shared<const Bytes>(om.env.encode()));
+      env_.broadcast(om.env, classify(om.env, OutMsg::kAll));
     } else {
-      send_one(om.to, std::move(om.env));
+      env_.send(om.to, om.env, classify(om.env, om.to));
     }
   }
 }
@@ -156,7 +147,7 @@ bool DlNode::can_start_next_epoch() const {
 
 void DlNode::maybe_propose() {
   if (!can_start_next_epoch()) return;
-  const double now = eq_.now();
+  const double now = env_.now();
   const bool size_ready =
       cfg_.backlog_tx_bytes > 0 || input_queue_bytes_ >= cfg_.propose_size;
   const bool time_ready = now - last_propose_time_ >= cfg_.propose_delay;
@@ -168,7 +159,7 @@ void DlNode::maybe_propose() {
   if (!propose_timer_armed_) {
     propose_timer_armed_ = true;
     const double wait = cfg_.propose_delay - (now - last_propose_time_);
-    eq_.after(wait, [this] {
+    env_.after(wait, [this] {
       propose_timer_armed_ = false;
       maybe_propose();
     });
@@ -197,7 +188,7 @@ Block DlNode::build_block() {
     std::size_t used = 0;
     while (used + cfg_.backlog_tx_bytes + 16 <= cfg_.max_block_bytes) {
       Transaction tx;
-      tx.submit_time = eq_.now();
+      tx.submit_time = env_.now();
       tx.origin = static_cast<std::uint32_t>(cfg_.self);
       tx.payload.assign(cfg_.backlog_tx_bytes, 0xA5);
       used += tx.wire_size();
@@ -218,7 +209,7 @@ Block DlNode::build_block() {
 
 void DlNode::propose_now() {
   const std::uint64_t e = propose_epoch_++;
-  last_propose_time_ = eq_.now();
+  last_propose_time_ = env_.now();
   Block b = build_block();
   if (cfg_.byz_lie_v_array) {
     // Claim every peer has dispersed 1000 epochs further than observed. The
@@ -270,9 +261,8 @@ void DlNode::propose_now() {
 
 // --- message handling --------------------------------------------------------
 
-void DlNode::on_message(sim::Message&& m) {
-  if (!m.payload) return;
-  auto env_opt = Envelope::decode(*m.payload);
+void DlNode::on_receive(int from, ByteView bytes) {
+  auto env_opt = Envelope::decode(bytes);
   if (!env_opt.has_value()) return;  // Byzantine noise
   Envelope& env = *env_opt;
   if (env.instance >= static_cast<std::uint32_t>(cfg_.n)) return;
@@ -282,13 +272,13 @@ void DlNode::on_message(sim::Message&& m) {
   }
 
   if (env.kind == MsgKind::VidReturnChunk) {
-    handle_return_chunk(m.from, env);
+    handle_return_chunk(from, env);
   } else if (env.kind == MsgKind::VidCancel) {
-    handle_cancel(m.from, env);
+    handle_cancel(from, env);
   } else if (is_vid_kind(env.kind)) {
-    handle_vid_message(m.from, env);
+    handle_vid_message(from, env);
   } else if (is_ba_kind(env.kind)) {
-    handle_ba_message(m.from, env);
+    handle_ba_message(from, env);
   }
   // Unknown kinds are dropped.
 }
@@ -334,7 +324,7 @@ void DlNode::handle_return_chunk(int from, const Envelope& env) {
 void DlNode::handle_cancel(int from, const Envelope& env) {
   // Client `from` decoded block (epoch, instance): drop the ReturnChunk we
   // may still have queued for it.
-  net_.cancel_egress(cfg_.self, retrieval_tag(env.epoch, env.instance, from));
+  env_.cancel_send(retrieval_tag(env.epoch, env.instance, from));
 }
 
 void DlNode::after_vid_activity(std::uint64_t e, int instance) {
@@ -553,7 +543,7 @@ void DlNode::deliver_block(std::uint64_t at_epoch, BlockKey key) {
   if (retrievals_.has(key)) w.raw(sha256(retrievals_.get(key)).view());
   fingerprint_ = sha256(w.data());
 
-  if (on_deliver_) on_deliver_(at_epoch, key, block, eq_.now());
+  if (on_deliver_) on_deliver_(at_epoch, key, block, env_.now());
 
   retrievals_.release(key);
   if (key.proposer == cfg_.self) own_blocks_.erase(key.epoch);

@@ -1,5 +1,6 @@
 // DlNode — a full DispersedLedger replica (Fig. 17 of the paper), runnable
-// on the network simulator.
+// on any runtime::Env backend: the deterministic simulator (runtime::SimEnv)
+// or real TCP sockets (net::TcpEnv, see dlnoded).
 //
 // One node plays every role: AVID-M server for all N VID instances of every
 // epoch, BA participant in all N instances, disperser of its own proposals,
@@ -26,7 +27,7 @@
 #include "dl/block.hpp"
 #include "dl/epoch.hpp"
 #include "dl/retrieval.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/env.hpp"
 
 namespace dl::core {
 
@@ -87,9 +88,12 @@ struct NodeStats {
   std::size_t input_queue_bytes = 0;
 };
 
-class DlNode : public sim::Host {
+class DlNode : public runtime::Receiver {
  public:
-  DlNode(NodeConfig cfg, sim::EventQueue& eq, sim::Network& net);
+  // Binds itself to `env` (one node per Env). The backend decides what the
+  // node runs on: runtime::SimEnv for the simulator, net::TcpEnv for real
+  // sockets — the protocol logic below cannot tell the difference.
+  DlNode(NodeConfig cfg, runtime::Env& env);
 
   // --- client interface -------------------------------------------------
   // Submits a transaction to this node (consortium model: clients talk to
@@ -110,16 +114,16 @@ class DlNode : public sim::Host {
   Hash delivery_fingerprint() const { return fingerprint_; }
   std::uint64_t next_epoch_to_deliver() const { return deliver_next_; }
 
-  // --- sim::Host ---------------------------------------------------------
+  // --- runtime::Receiver --------------------------------------------------
   void start() override;
-  void on_message(sim::Message&& m) override;
+  void on_receive(int from, ByteView bytes) override;
 
  private:
   DLEpoch& epoch_state(std::uint64_t e);
 
   // Message plumbing: assign envelope ids, map kinds to traffic classes.
   void flush(Outbox&& out, std::uint64_t epoch, std::uint32_t instance);
-  void send_one(int to, Envelope env);
+  runtime::SendOpts classify(const Envelope& env, int to) const;
   std::uint64_t retrieval_tag(std::uint64_t epoch, std::uint32_t instance,
                               int client) const;
 
@@ -149,8 +153,7 @@ class DlNode : public sim::Host {
   Block decode_or_poison(BlockKey key) const;
 
   NodeConfig cfg_;
-  sim::EventQueue& eq_;
-  sim::Network& net_;
+  runtime::Env& env_;
   ba::CommonCoin coin_;
   vid::Params vid_params_;
 

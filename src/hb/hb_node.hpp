@@ -24,18 +24,18 @@ namespace dl::hb {
 
 class HbNode : public core::DlNode {
  public:
-  HbNode(int n, int f, int self, sim::EventQueue& eq, sim::Network& net)
-      : core::DlNode(core::NodeConfig::honey_badger(n, f, self), eq, net) {}
-  HbNode(core::NodeConfig cfg, sim::EventQueue& eq, sim::Network& net)
-      : core::DlNode(std::move(cfg), eq, net) {}
+  HbNode(int n, int f, int self, runtime::Env& env)
+      : core::DlNode(core::NodeConfig::honey_badger(n, f, self), env) {}
+  HbNode(core::NodeConfig cfg, runtime::Env& env)
+      : core::DlNode(std::move(cfg), env) {}
 };
 
 class HbLinkNode : public core::DlNode {
  public:
-  HbLinkNode(int n, int f, int self, sim::EventQueue& eq, sim::Network& net)
-      : core::DlNode(core::NodeConfig::hb_link(n, f, self), eq, net) {}
-  HbLinkNode(core::NodeConfig cfg, sim::EventQueue& eq, sim::Network& net)
-      : core::DlNode(std::move(cfg), eq, net) {}
+  HbLinkNode(int n, int f, int self, runtime::Env& env)
+      : core::DlNode(core::NodeConfig::hb_link(n, f, self), env) {}
+  HbLinkNode(core::NodeConfig cfg, runtime::Env& env)
+      : core::DlNode(std::move(cfg), env) {}
 };
 
 }  // namespace dl::hb

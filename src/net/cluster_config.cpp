@@ -1,0 +1,177 @@
+#include "net/cluster_config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace dl::net {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void fail(std::string* err, int line, const std::string& what) {
+  if (err != nullptr) *err = "line " + std::to_string(line) + ": " + what;
+}
+
+bool parse_int(std::string_view v, long long& out) {
+  if (v.empty()) return false;
+  long long value = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9') return false;
+    if (value > 999'999'999) return false;
+    value = value * 10 + (c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
+                                                  std::string* err) {
+  ClusterConfig cfg;
+  cfg.f = -1;  // sentinel: derive from n unless given
+  enum class Section { None, Cluster, Node };
+  Section section = Section::None;
+  NodeAddr current;
+  bool have_current = false;
+
+  auto finish_node = [&]() -> bool {
+    if (!have_current) return true;
+    if (current.id < 0) return false;
+    cfg.nodes.push_back(current);
+    current = NodeAddr{};
+    return true;
+  };
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line == "[cluster]") {
+      if (!finish_node()) {
+        fail(err, line_no, "previous [[node]] is missing an id");
+        return std::nullopt;
+      }
+      have_current = false;
+      section = Section::Cluster;
+      continue;
+    }
+    if (line == "[[node]]") {
+      if (!finish_node()) {
+        fail(err, line_no, "previous [[node]] is missing an id");
+        return std::nullopt;
+      }
+      section = Section::Node;
+      have_current = true;
+      continue;
+    }
+    if (line.front() == '[') {
+      fail(err, line_no, "unknown table " + std::string(line));
+      return std::nullopt;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(err, line_no, "expected key = value");
+      return std::nullopt;
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    long long num = 0;
+    const bool is_num = parse_int(value, num);
+    const bool is_str = value.size() >= 2 && value.front() == '"' &&
+                        value.back() == '"';
+
+    if (section == Section::Cluster) {
+      if (key == "n" && is_num && num >= 1 && num <= 1024) {
+        cfg.n = static_cast<int>(num);
+      } else if (key == "f" && is_num && num >= 0) {
+        cfg.f = static_cast<int>(num);
+      } else {
+        fail(err, line_no, "bad [cluster] entry: " + std::string(line));
+        return std::nullopt;
+      }
+    } else if (section == Section::Node) {
+      if (key == "id" && is_num) {
+        current.id = static_cast<int>(num);
+      } else if (key == "host" && is_str) {
+        current.host = std::string(value.substr(1, value.size() - 2));
+      } else if (key == "port" && is_num && num >= 1 && num <= 65535) {
+        current.port = static_cast<std::uint16_t>(num);
+      } else {
+        fail(err, line_no, "bad [[node]] entry: " + std::string(line));
+        return std::nullopt;
+      }
+    } else {
+      fail(err, line_no, "entry outside any table");
+      return std::nullopt;
+    }
+  }
+  if (!finish_node()) {
+    fail(err, line_no, "last [[node]] is missing an id");
+    return std::nullopt;
+  }
+
+  if (cfg.n <= 0) {
+    if (err != nullptr) *err = "[cluster] n missing or invalid";
+    return std::nullopt;
+  }
+  if (cfg.f < 0) cfg.f = (cfg.n - 1) / 3;
+  if (cfg.n < 3 * cfg.f + 1) {
+    if (err != nullptr) *err = "need n >= 3f+1";
+    return std::nullopt;
+  }
+  if (static_cast<int>(cfg.nodes.size()) != cfg.n) {
+    if (err != nullptr) {
+      *err = "expected " + std::to_string(cfg.n) + " [[node]] entries, got " +
+             std::to_string(cfg.nodes.size());
+    }
+    return std::nullopt;
+  }
+  std::sort(cfg.nodes.begin(), cfg.nodes.end(),
+            [](const NodeAddr& a, const NodeAddr& b) { return a.id < b.id; });
+  for (int i = 0; i < cfg.n; ++i) {
+    const NodeAddr& a = cfg.nodes[static_cast<std::size_t>(i)];
+    if (a.id != i || a.host.empty() || a.port == 0) {
+      if (err != nullptr) {
+        *err = "node ids must be 0.." + std::to_string(cfg.n - 1) +
+               " with host and port each";
+      }
+      return std::nullopt;
+    }
+  }
+  return cfg;
+}
+
+std::optional<ClusterConfig> ClusterConfig::load(const std::string& path,
+                                                 std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str(), err);
+}
+
+}  // namespace dl::net

@@ -1,0 +1,48 @@
+// Cluster configuration for the TCP runtime.
+//
+// A minimal TOML subset — exactly the shape scripts/run_local_cluster.sh
+// generates and docs/DEPLOY.md documents:
+//
+//   [cluster]
+//   n = 4
+//   f = 1            # optional; defaults to floor((n-1)/3)
+//
+//   [[node]]
+//   id = 0
+//   host = "127.0.0.1"
+//   port = 9000
+//
+// Supported: the two tables above, integer values, double-quoted strings,
+// '#' comments, blank lines. Anything else is a parse error with a line
+// number — a config typo should never silently start a misconfigured
+// replica.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dl::net {
+
+struct NodeAddr {
+  int id = -1;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct ClusterConfig {
+  int n = 0;
+  int f = 0;
+  std::vector<NodeAddr> nodes;  // sorted by id, exactly one entry per id
+
+  // Parse from text / load from a file. On failure returns nullopt and, if
+  // `err` is non-null, a human-readable reason.
+  static std::optional<ClusterConfig> parse(std::string_view text,
+                                            std::string* err);
+  static std::optional<ClusterConfig> load(const std::string& path,
+                                           std::string* err);
+};
+
+}  // namespace dl::net

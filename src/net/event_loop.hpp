@@ -1,0 +1,88 @@
+// Single-threaded epoll event loop with timerfd-backed timers.
+//
+// This is the real-time analogue of sim::EventQueue: one thread, a clock
+// that starts near zero, ordered timers, and fd readiness callbacks. All
+// methods must be called from the loop thread (or before run() starts) —
+// there is no cross-thread wakeup machinery, matching the one-loop-per-node
+// process model of dlnoded.
+//
+// Timers keep the EventQueue contract: a (time, sequence) min-heap ordered
+// FIFO among equal deadlines, O(1) cancellation by id, and a single timerfd
+// armed to the earliest live deadline so the loop sleeps in epoll_wait
+// without polling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace dl::net {
+
+class EventLoop {
+ public:
+  EventLoop();  // throws std::runtime_error if epoll/timerfd creation fails
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Seconds since construction (CLOCK_MONOTONIC).
+  double now() const;
+
+  // Timers. `at` is absolute loop time (clamped to now), `after` relative.
+  // Ids are never reused; 0 is never returned.
+  std::uint64_t at(double t, std::function<void()> fn);
+  std::uint64_t after(double delay, std::function<void()> fn);
+  // False if the timer already fired or was cancelled.
+  bool cancel_timer(std::uint64_t id);
+
+  // Runs `fn` on the next loop iteration, before blocking again. FIFO.
+  void post(std::function<void()> fn);
+
+  // Fd readiness callbacks (EPOLLIN/EPOLLOUT/... bitmask from epoll).
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  void add_fd(int fd, std::uint32_t events, FdHandler h);
+  void mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);  // unregister only; does not close
+
+  // Dispatches until stop() is called.
+  void run();
+  void stop() { stop_ = true; }
+  bool stopped() const { return stop_; }
+
+ private:
+  void arm_timerfd();
+  void run_due_timers();
+  void drain_posted();
+
+  int ep_ = -1;
+  int tfd_ = -1;
+  double t0_ = 0;
+  bool stop_ = false;
+
+  struct Due {
+    double t;
+    std::uint64_t id;  // doubles as FIFO tiebreaker: ids are monotonic
+    bool operator>(const Due& o) const {
+      if (t != o.t) return t > o.t;
+      return id > o.id;
+    }
+  };
+  std::uint64_t next_timer_id_ = 1;
+  std::priority_queue<Due, std::vector<Due>, std::greater<Due>> due_;
+  std::unordered_map<std::uint64_t, std::function<void()>> timers_;  // live
+
+  // Each registration gets a generation stamp carried in the epoll event:
+  // if an fd is closed and the number reused within one epoll_wait batch,
+  // the stale event's generation no longer matches and is discarded.
+  struct FdEntry {
+    std::uint32_t gen = 0;
+    FdHandler handler;
+  };
+  std::uint32_t next_fd_gen_ = 1;
+  std::unordered_map<int, FdEntry> fds_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace dl::net

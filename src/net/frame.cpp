@@ -1,0 +1,122 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/serial.hpp"
+
+namespace dl::net {
+
+namespace {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool append_frame(Bytes& out, ByteView payload, std::size_t max_frame) {
+  if (payload.size() > max_frame) return false;
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append(out, payload);
+  return true;
+}
+
+Bytes encode_hello(std::uint32_t node_id) {
+  Bytes payload;
+  payload.push_back(static_cast<std::uint8_t>(WireKind::Hello));
+  put_u32(payload, kWireMagic);
+  put_u32(payload, kWireVersion);
+  put_u32(payload, node_id);
+  Bytes frame;
+  append_frame(frame, payload);
+  return frame;
+}
+
+Bytes encode_data_frame(ByteView envelope_bytes) {
+  Bytes frame;
+  frame.reserve(kDataPayloadOffset + envelope_bytes.size());
+  put_u32(frame, static_cast<std::uint32_t>(envelope_bytes.size() + 1));
+  frame.push_back(static_cast<std::uint8_t>(WireKind::Data));
+  append(frame, envelope_bytes);
+  return frame;
+}
+
+bool decode_wire(ByteView payload, WireFrame& out) {
+  if (payload.empty()) return false;
+  switch (static_cast<WireKind>(payload[0])) {
+    case WireKind::Hello: {
+      if (payload.size() != 1 + 3 * 4) return false;
+      if (get_u32(payload.data() + 1) != kWireMagic) return false;
+      if (get_u32(payload.data() + 5) != kWireVersion) return false;
+      out.kind = WireKind::Hello;
+      out.hello_node = get_u32(payload.data() + 9);
+      out.data = {};
+      return true;
+    }
+    case WireKind::Data:
+      out.kind = WireKind::Data;
+      out.hello_node = 0;
+      out.data = payload.subspan(1);
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool FrameReader::feed(ByteView in) {
+  if (failed_) return false;
+  // Check the declared length as soon as the header is visible — never
+  // buffer a body the limit forbids.
+  append(buf_, in);
+  if (buffered_bytes() >= kFrameHeaderBytes) {
+    const std::uint32_t len = get_u32(buf_.data() + pos_);
+    if (len > max_frame_) {
+      failed_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FrameReader::next(Bytes& out) {
+  if (failed_) return false;
+  while (true) {
+    const std::size_t avail = buffered_bytes();
+    if (avail < kFrameHeaderBytes) break;
+    const std::uint32_t len = get_u32(buf_.data() + pos_);
+    if (len > max_frame_) {
+      failed_ = true;
+      return false;
+    }
+    if (avail < kFrameHeaderBytes + len) break;
+    out.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes + len));
+    pos_ += kFrameHeaderBytes + len;
+    // Compact once the consumed prefix dominates the buffer.
+    if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+    return true;
+  }
+  return false;
+}
+
+void FrameReader::reset() {
+  buf_.clear();
+  pos_ = 0;
+  failed_ = false;
+}
+
+}  // namespace dl::net

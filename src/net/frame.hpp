@@ -1,0 +1,88 @@
+// Length-prefixed framing + wire-message codec for the TCP transport.
+//
+// Stream layout: each frame is a u32 little-endian payload length followed
+// by that many payload bytes. The payload's first byte is the wire kind:
+//
+//   Hello — the connection handshake. Sent once by the dialing side so the
+//           acceptor learns which replica is calling: magic, protocol
+//           version, node id.
+//   Data  — one protocol Envelope (encoded by common/envelope.hpp).
+//
+// Every byte here arrives from the network and is attacker-controlled, so
+// decoding is total: oversized lengths, truncations, and garbage kinds are
+// rejected with an error (the connection is then dropped), never UB. The
+// FrameReader is a streaming decoder: feed it whatever read() returned and
+// pop complete frames; a declared length above the limit poisons the reader
+// immediately — before buffering the body — so a hostile peer cannot make
+// us allocate unbounded memory.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dl::net {
+
+// Hard ceiling on one frame's payload. Blocks are capped at a few MB
+// (NodeConfig::max_block_bytes), so this is generous headroom.
+inline constexpr std::size_t kMaxFrameBytes = 16u * 1024 * 1024;
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+enum class WireKind : std::uint8_t { Hello = 1, Data = 2 };
+
+inline constexpr std::uint32_t kWireMagic = 0x444C4E31;  // "DLN1"
+inline constexpr std::uint32_t kWireVersion = 1;
+
+// Appends one frame (header + payload) to `out`. Returns false (appending
+// nothing) if `payload` exceeds `max_frame`.
+bool append_frame(Bytes& out, ByteView payload,
+                  std::size_t max_frame = kMaxFrameBytes);
+
+// A complete Hello payload: kind, magic, version, node id.
+Bytes encode_hello(std::uint32_t node_id);
+
+// A complete Data frame (header + kind + envelope bytes), ready to write to
+// a socket. The envelope bytes start at offset kDataPayloadOffset — local
+// loopback delivery reuses the same buffer.
+inline constexpr std::size_t kDataPayloadOffset = kFrameHeaderBytes + 1;
+Bytes encode_data_frame(ByteView envelope_bytes);
+
+// One decoded frame payload. `data` points into the caller's buffer.
+struct WireFrame {
+  WireKind kind{};
+  std::uint32_t hello_node = 0;  // valid when kind == Hello
+  ByteView data;                 // valid when kind == Data
+};
+
+// Decodes one frame payload. False on empty input, unknown kind, or a
+// malformed Hello (bad magic/version/length).
+bool decode_wire(ByteView payload, WireFrame& out);
+
+// Streaming deframer with strict bounds checks.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  // Buffers `in`. Returns false and poisons the reader if a frame declares
+  // a length above the limit (callers must drop the connection).
+  bool feed(ByteView in);
+
+  // Moves the next complete frame payload into `out`. False if no full
+  // frame is buffered (or the reader is poisoned).
+  bool next(Bytes& out);
+
+  bool failed() const { return failed_; }
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+  // Forgets everything (fresh connection reusing the reader).
+  void reset();
+
+ private:
+  std::size_t max_frame_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool failed_ = false;
+};
+
+}  // namespace dl::net

@@ -1,0 +1,549 @@
+#include "net/tcp_env.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dl::net {
+
+namespace {
+
+constexpr std::size_t kMaxPendingAccepts = 64;
+// A Hello is ~21 bytes; an accepted connection that buffers more than this
+// without completing one is not a replica.
+constexpr std::size_t kMaxPreAuthBytes = 4096;
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// Resolves host:port to an IPv4 sockaddr. Returns false on failure.
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in& out) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || res == nullptr) {
+    return false;
+  }
+  out = *reinterpret_cast<sockaddr_in*>(res->ai_addr);
+  out.sin_port = htons(port);
+  freeaddrinfo(res);
+  return true;
+}
+
+ByteView frame_payload(const Bytes& frame) {
+  return ByteView(frame.data() + kDataPayloadOffset,
+                  frame.size() - kDataPayloadOffset);
+}
+
+}  // namespace
+
+TcpEnv::TcpEnv(EventLoop& loop, ClusterConfig cfg, int self, Options opt)
+    : loop_(loop), cfg_(std::move(cfg)), self_(self), opt_(opt) {
+  if (self_ < 0 || self_ >= cfg_.n) {
+    throw std::invalid_argument("TcpEnv: self out of range");
+  }
+  peers_.resize(static_cast<std::size_t>(cfg_.n));
+  for (int i = 0; i < cfg_.n; ++i) {
+    Peer& p = peers_[static_cast<std::size_t>(i)];
+    p.id = i;
+    p.addr = cfg_.nodes[static_cast<std::size_t>(i)];
+    p.dialer = i < self_;
+    p.reader = FrameReader(opt_.max_frame_bytes);
+  }
+
+  // Bind the listen socket now so a port of 0 resolves before start().
+  const NodeAddr& me = cfg_.nodes[static_cast<std::size_t>(self_)];
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpEnv: socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  if (!resolve(me.host, me.port, addr)) {
+    close(listen_fd_);
+    throw std::runtime_error("TcpEnv: cannot resolve own address " + me.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+    close(listen_fd_);
+    throw std::runtime_error("TcpEnv: cannot listen on " + me.host + ":" +
+                             std::to_string(me.port));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  listen_port_ = ntohs(bound.sin_port);
+}
+
+TcpEnv::~TcpEnv() {
+  for (Peer& p : peers_) {
+    if (p.fd >= 0) {
+      if (started_) loop_.del_fd(p.fd);
+      close(p.fd);
+      p.fd = -1;
+    }
+    if (p.redial_timer != 0) loop_.cancel_timer(p.redial_timer);
+  }
+  for (auto& [fd, pa] : pending_) {
+    if (pa.timer != 0) loop_.cancel_timer(pa.timer);
+    loop_.del_fd(fd);
+    close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    if (started_) loop_.del_fd(listen_fd_);
+    close(listen_fd_);
+  }
+}
+
+void TcpEnv::set_peer_port(int id, std::uint16_t port) {
+  peer(id).addr.port = port;
+}
+
+void TcpEnv::start() {
+  if (started_) return;
+  started_ = true;
+  loop_.post([this] {
+    loop_.add_fd(listen_fd_, EPOLLIN,
+                 [this](std::uint32_t ev) { handle_listener(ev); });
+    for (Peer& p : peers_) {
+      if (p.dialer) dial(p);
+    }
+    if (receiver_ != nullptr) receiver_->start();
+  });
+}
+
+// --- Env ---------------------------------------------------------------------
+
+runtime::TimerId TcpEnv::at(double t, std::function<void()> fn) {
+  return loop_.at(t, std::move(fn));
+}
+
+runtime::TimerId TcpEnv::after(double delay, std::function<void()> fn) {
+  return loop_.after(delay, std::move(fn));
+}
+
+bool TcpEnv::cancel_timer(runtime::TimerId id) { return loop_.cancel_timer(id); }
+
+void TcpEnv::send(int to, const Envelope& env, const runtime::SendOpts& opts) {
+  auto frame = std::make_shared<const Bytes>(encode_data_frame(env.encode()));
+  if (to == self_) {
+    deliver_local(std::move(frame));
+    return;
+  }
+  Peer& p = peer(to);
+  enqueue(p, std::move(frame), opts);
+  if (p.fd >= 0 && !p.connecting) flush_writes(p);
+}
+
+void TcpEnv::broadcast(const Envelope& env, const runtime::SendOpts& opts) {
+  // Encode once; every peer queue shares the same frame buffer.
+  auto frame = std::make_shared<const Bytes>(encode_data_frame(env.encode()));
+  deliver_local(frame);
+  for (Peer& p : peers_) {
+    if (p.id == self_) continue;
+    enqueue(p, frame, opts);
+    if (p.fd >= 0 && !p.connecting) flush_writes(p);
+  }
+}
+
+void TcpEnv::cancel_send(std::uint64_t tag) {
+  if (tag == 0) return;
+  for (Peer& p : peers_) {
+    for (auto it = p.low.begin(); it != p.low.end();) {
+      if (it->second.tag == tag) {
+        p.stats.queued_bytes -= it->second.frame->size();
+        it = p.low.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (p.fd >= 0 && !p.connecting) update_interest(p);
+  }
+}
+
+void TcpEnv::deliver_local(std::shared_ptr<const Bytes> frame) {
+  // Asynchronous like every other delivery: the receiver is never re-entered
+  // from inside its own send path.
+  loop_.post([this, frame = std::move(frame)] {
+    if (receiver_ != nullptr) receiver_->on_receive(self_, frame_payload(*frame));
+  });
+}
+
+// --- write path --------------------------------------------------------------
+
+void TcpEnv::enqueue(Peer& p, std::shared_ptr<const Bytes> frame,
+                     const runtime::SendOpts& opts) {
+  const std::size_t size = frame->size();
+  if (size > opt_.max_frame_bytes + kFrameHeaderBytes) {
+    // Never emit a frame every receiver is obliged to reject — that would
+    // tear the connection down on each retry and livelock the pair.
+    ++p.stats.dropped_frames;
+    p.stats.dropped_bytes += size;
+    return;
+  }
+  if (p.stats.queued_bytes + size > opt_.max_queue_bytes) {
+    // Backpressure: the peer is slow or gone and its queue is full. Drop and
+    // account — the protocol layers tolerate message loss.
+    ++p.stats.dropped_frames;
+    p.stats.dropped_bytes += size;
+    return;
+  }
+  p.stats.queued_bytes += size;
+  if (opts.cls == runtime::TrafficClass::High) {
+    p.high.push_back(OutFrame{std::move(frame), opts.tag});
+  } else {
+    p.low.emplace(std::make_pair(opts.order, next_low_seq_++),
+                  OutFrame{std::move(frame), opts.tag});
+  }
+}
+
+void TcpEnv::update_interest(Peer& p) {
+  if (p.fd < 0) return;
+  const bool want = p.connecting || p.has_inflight || !p.high.empty() ||
+                    !p.low.empty();
+  const std::uint32_t events =
+      EPOLLIN | (want ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  if (want == p.want_write) return;
+  p.want_write = want;
+  loop_.mod_fd(p.fd, events);
+}
+
+void TcpEnv::flush_writes(Peer& p) {
+  while (p.fd >= 0) {
+    if (!p.has_inflight) {
+      if (!p.high.empty()) {
+        p.inflight = std::move(p.high.front());
+        p.high.pop_front();
+      } else if (!p.low.empty()) {
+        p.inflight = std::move(p.low.begin()->second);
+        p.low.erase(p.low.begin());
+      } else {
+        break;
+      }
+      p.has_inflight = true;
+      p.inflight_off = 0;
+    }
+    const Bytes& buf = *p.inflight.frame;
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE, not
+    // as a process-killing SIGPIPE.
+    const ssize_t n = ::send(p.fd, buf.data() + p.inflight_off,
+                             buf.size() - p.inflight_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      p.inflight_off += static_cast<std::size_t>(n);
+      if (p.inflight_off == buf.size()) {
+        ++p.stats.sent_frames;
+        p.stats.sent_bytes += buf.size();
+        p.stats.queued_bytes -= buf.size();
+        p.has_inflight = false;
+        p.inflight = OutFrame{};
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    disconnect(p, "write error");
+    return;
+  }
+  update_interest(p);
+}
+
+// --- read path ---------------------------------------------------------------
+
+bool TcpEnv::drain_frames(Peer& p) {
+  Bytes fr;
+  while (p.fd >= 0 && p.reader.next(fr)) {
+    WireFrame wf;
+    if (!decode_wire(fr, wf) || wf.kind != WireKind::Data) {
+      disconnect(p, "malformed frame");
+      return false;
+    }
+    ++p.stats.recv_frames;
+    p.stats.recv_bytes += fr.size();
+    if (receiver_ != nullptr) receiver_->on_receive(p.id, wf.data);
+  }
+  if (p.fd >= 0 && p.reader.failed()) {
+    disconnect(p, "oversized frame");
+    return false;
+  }
+  return p.fd >= 0;
+}
+
+void TcpEnv::handle_readable(Peer& p) {
+  std::uint8_t buf[65536];
+  while (p.fd >= 0) {
+    const ssize_t n = ::read(p.fd, buf, sizeof buf);
+    if (n > 0) {
+      if (!p.reader.feed(ByteView(buf, static_cast<std::size_t>(n)))) {
+        disconnect(p, "oversized frame");
+        return;
+      }
+      if (!drain_frames(p)) return;
+      continue;
+    }
+    if (n == 0) {
+      disconnect(p, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    disconnect(p, "read error");
+    return;
+  }
+}
+
+void TcpEnv::handle_peer_event(int id, std::uint32_t events) {
+  Peer& p = peer(id);
+  if (p.fd < 0) return;
+  if (p.connecting) {
+    if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        disconnect(p, "connect failed");
+        return;
+      }
+      on_dial_connected(p);
+    }
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    disconnect(p, "socket error");
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    handle_readable(p);
+    if (p.fd < 0) return;
+  }
+  if ((events & EPOLLOUT) != 0) flush_writes(p);
+}
+
+// --- connection lifecycle ----------------------------------------------------
+
+void TcpEnv::disconnect(Peer& p, const char* /*why*/) {
+  if (p.fd < 0) return;
+  // A connection that proved itself (stayed up past one full backoff
+  // period) earns an instant redial; one that died young — connect refused,
+  // handshake rejected by the acceptor, immediate RST — keeps climbing the
+  // exponential ladder, so a rejecting peer is not hammered 20x/second.
+  const bool was_established = !p.connecting;
+  if (was_established &&
+      loop_.now() - p.established_at >= opt_.reconnect_max) {
+    p.backoff = 0;
+  }
+  loop_.del_fd(p.fd);
+  close(p.fd);
+  p.fd = -1;
+  p.connecting = false;
+  p.want_write = false;
+  p.reader.reset();
+  if (p.has_inflight) {
+    // A partially-written frame cannot resume on a fresh connection.
+    p.stats.queued_bytes -= p.inflight.frame->size();
+    ++p.stats.dropped_frames;
+    p.stats.dropped_bytes += p.inflight.frame->size();
+    p.has_inflight = false;
+    p.inflight = OutFrame{};
+  }
+  if (p.dialer) {
+    ++p.stats.reconnects;
+    schedule_dial(p);
+  }
+  // Acceptor side: wait for the dialer to come back.
+}
+
+void TcpEnv::schedule_dial(Peer& p) {
+  p.backoff = p.backoff <= 0 ? opt_.reconnect_min
+                             : std::min(p.backoff * 2, opt_.reconnect_max);
+  const int id = p.id;
+  p.redial_timer = loop_.after(p.backoff, [this, id] {
+    peer(id).redial_timer = 0;
+    dial(peer(id));
+  });
+}
+
+void TcpEnv::dial(Peer& p) {
+  if (p.fd >= 0) return;
+  sockaddr_in addr{};
+  if (!resolve(p.addr.host, p.addr.port, addr)) {
+    schedule_dial(p);
+    return;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0 || !set_nonblocking(fd)) {
+    if (fd >= 0) close(fd);
+    schedule_dial(p);
+    return;
+  }
+  set_nodelay(fd);
+  const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    schedule_dial(p);
+    return;
+  }
+  p.fd = fd;
+  p.connecting = rc != 0;
+  p.want_write = true;
+  const int id = p.id;
+  loop_.add_fd(fd, EPOLLIN | EPOLLOUT,
+               [this, id](std::uint32_t ev) { handle_peer_event(id, ev); });
+  if (rc == 0) on_dial_connected(p);
+}
+
+void TcpEnv::on_dial_connected(Peer& p) {
+  p.connecting = false;
+  p.established_at = loop_.now();
+  // The handshake frame goes out before anything queued while disconnected.
+  auto hello = std::make_shared<const Bytes>(
+      encode_hello(static_cast<std::uint32_t>(self_)));
+  p.stats.queued_bytes += hello->size();
+  p.high.push_front(OutFrame{std::move(hello), 0});
+  flush_writes(p);
+}
+
+void TcpEnv::handle_listener(std::uint32_t /*events*/) {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pending_.size() >= kMaxPendingAccepts) {
+      close(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    const std::uint64_t id = next_pending_id_++;
+    // Handshake deadline: a socket that has not identified itself in time
+    // may not keep holding a pending slot. The id guards against the fd
+    // number having been closed and reused by the time the timer fires.
+    const std::uint64_t timer =
+        loop_.after(opt_.handshake_timeout, [this, fd, id] {
+          auto it = pending_.find(fd);
+          if (it != pending_.end() && it->second.id == id) {
+            it->second.timer = 0;
+            close_pending(fd);
+          }
+        });
+    pending_.emplace(fd,
+                     PendingAccept{fd, id, timer, FrameReader(opt_.max_frame_bytes)});
+    loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) {
+      handle_pending_accept(fd, ev);
+    });
+  }
+}
+
+void TcpEnv::close_pending(int fd) {
+  auto it = pending_.find(fd);
+  if (it != pending_.end() && it->second.timer != 0) {
+    loop_.cancel_timer(it->second.timer);
+  }
+  loop_.del_fd(fd);
+  close(fd);
+  pending_.erase(fd);
+}
+
+void TcpEnv::handle_pending_accept(int fd, std::uint32_t events) {
+  auto it = pending_.find(fd);
+  if (it == pending_.end()) return;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_pending(fd);
+    return;
+  }
+  std::uint8_t buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      if (!it->second.reader.feed(ByteView(buf, static_cast<std::size_t>(n)))) {
+        close_pending(fd);
+        return;
+      }
+      Bytes fr;
+      if (it->second.reader.next(fr)) {
+        // First frame must identify a larger-id peer (they dial us).
+        WireFrame wf;
+        if (!decode_wire(fr, wf) || wf.kind != WireKind::Hello ||
+            wf.hello_node <= static_cast<std::uint32_t>(self_) ||
+            wf.hello_node >= static_cast<std::uint32_t>(cfg_.n)) {
+          close_pending(fd);
+          return;
+        }
+        if (it->second.timer != 0) loop_.cancel_timer(it->second.timer);
+        FrameReader reader = std::move(it->second.reader);
+        pending_.erase(it);
+        adopt_accepted(fd, static_cast<int>(wf.hello_node), std::move(reader));
+        return;
+      }
+      if (it->second.reader.buffered_bytes() > kMaxPreAuthBytes) {
+        // Streaming a large declared frame instead of a Hello: not a
+        // replica, and not allowed to occupy pre-auth memory.
+        close_pending(fd);
+        return;
+      }
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      close_pending(fd);
+      return;
+    }
+    if (errno == EINTR) continue;
+    break;  // EAGAIN: wait for more bytes
+  }
+}
+
+void TcpEnv::adopt_accepted(int fd, int peer_id, FrameReader&& reader) {
+  Peer& p = peer(peer_id);
+  // A fresh connection replaces a stale one: the dialer only reconnects
+  // when it saw a failure we may not have noticed yet.
+  if (p.fd >= 0) disconnect(p, "replaced by new connection");
+  p.fd = fd;
+  p.connecting = false;
+  p.want_write = false;
+  p.reader = std::move(reader);
+  loop_.del_fd(fd);  // swap the pending-accept handler for the peer handler
+  loop_.add_fd(fd, EPOLLIN, [this, peer_id](std::uint32_t ev) {
+    handle_peer_event(peer_id, ev);
+  });
+  // Frames that arrived glued to the Hello are already buffered; process
+  // them, then flush anything queued for this peer while it was away.
+  if (drain_frames(p)) flush_writes(p);
+}
+
+// --- introspection -----------------------------------------------------------
+
+TcpEnv::PeerStats TcpEnv::peer_stats(int id) const {
+  PeerStats s = peer(id).stats;
+  s.connected = peer(id).fd >= 0 && !peer(id).connecting;
+  return s;
+}
+
+int TcpEnv::connected_peers() const {
+  int count = 0;
+  for (const Peer& p : peers_) {
+    if (p.id != self_ && p.fd >= 0 && !p.connecting) ++count;
+  }
+  return count;
+}
+
+void TcpEnv::drop_connection_for_test(int id) { disconnect(peer(id), "test"); }
+
+}  // namespace dl::net

@@ -1,0 +1,165 @@
+// TcpEnv — the real-socket backend of runtime::Env.
+//
+// One TcpEnv per replica process (or per thread in in-process tests): it
+// owns a listening socket plus one TCP connection per peer and multiplexes
+// everything on a single EventLoop. Connection topology is deterministic:
+// node i DIALS every peer with a smaller id and ACCEPTS from every peer
+// with a larger id, so each unordered pair shares exactly one connection
+// and two replicas never race to create duplicates. The dialing side sends
+// a Hello frame identifying itself; both directions then carry Data frames
+// (length-prefixed protocol envelopes, see net/frame.hpp).
+//
+// Delivery model per peer, mirroring the simulator's FluidLink scheduling:
+// High-class frames (dispersal + agreement) drain strictly before Low-class
+// frames (retrieval), and Low frames drain in (order, enqueue-seq) order
+// with O(1)-amortized cancellation by tag — the paper's prioritization (§5)
+// and cancel-on-decode (§6.3) on a real socket.
+//
+// Fault handling: a broken or garbled connection is torn down; the dialing
+// side redials with exponential backoff (the accepting side simply waits).
+// Frames already handed to the kernel are gone — the protocols above are
+// asynchronous state machines that keep making progress from whichever
+// messages do arrive, and retrieval re-requests make delivery self-healing.
+// Per-peer send queues are byte-bounded: once a slow/absent peer's queue is
+// full, further frames to it are counted and dropped instead of exhausting
+// memory (backpressure accounting, surfaced via peer_stats()).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "net/cluster_config.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "runtime/env.hpp"
+
+namespace dl::net {
+
+class TcpEnv final : public runtime::Env {
+ public:
+  struct Options {
+    std::size_t max_queue_bytes = 64u * 1024 * 1024;  // per peer
+    std::size_t max_frame_bytes = kMaxFrameBytes;
+    double reconnect_min = 0.05;  // seconds, doubles per failure
+    double reconnect_max = 2.0;
+    // An accepted connection must complete its Hello within this window
+    // (and within a small byte budget) or it is closed — unauthenticated
+    // sockets may not hold pending-accept slots or memory indefinitely.
+    double handshake_timeout = 5.0;
+  };
+
+  // Binds the listen socket immediately (so `port` may be 0 and the actual
+  // port read back via listen_port() before the cluster starts), but does
+  // not touch the loop until start().
+  TcpEnv(EventLoop& loop, ClusterConfig cfg, int self, Options opt);
+  TcpEnv(EventLoop& loop, ClusterConfig cfg, int self)
+      : TcpEnv(loop, std::move(cfg), self, Options()) {}
+  ~TcpEnv() override;
+
+  std::uint16_t listen_port() const { return listen_port_; }
+  // Updates a peer's port before start() (port-0 discovery in tests).
+  void set_peer_port(int id, std::uint16_t port);
+
+  // Registers with the loop, begins dialing, and schedules the bound
+  // Receiver's start() as the first posted task. Call once, then loop.run().
+  void start();
+
+  // --- runtime::Env -------------------------------------------------------
+  int local_id() const override { return self_; }
+  int cluster_size() const override { return cfg_.n; }
+  double now() const override { return loop_.now(); }
+  runtime::TimerId at(double t, std::function<void()> fn) override;
+  runtime::TimerId after(double delay, std::function<void()> fn) override;
+  bool cancel_timer(runtime::TimerId id) override;
+  void send(int to, const Envelope& env, const runtime::SendOpts& opts) override;
+  void broadcast(const Envelope& env, const runtime::SendOpts& opts) override;
+  void cancel_send(std::uint64_t tag) override;
+
+  // --- backpressure / health accounting -----------------------------------
+  struct PeerStats {
+    bool connected = false;
+    std::size_t queued_bytes = 0;
+    std::uint64_t sent_frames = 0;
+    std::uint64_t sent_bytes = 0;
+    std::uint64_t recv_frames = 0;
+    std::uint64_t recv_bytes = 0;
+    std::uint64_t dropped_frames = 0;  // rejected by the queue cap
+    std::uint64_t dropped_bytes = 0;
+    std::uint64_t reconnects = 0;
+  };
+  PeerStats peer_stats(int id) const;
+  int connected_peers() const;
+
+  // Test hook: tears down the connection to `id` (if any) as if the network
+  // broke it; the dialing side's backoff machinery must then restore it.
+  void drop_connection_for_test(int id);
+
+ private:
+  struct OutFrame {
+    std::shared_ptr<const Bytes> frame;  // header + wire payload
+    std::uint64_t tag = 0;
+  };
+
+  struct Peer {
+    int id = -1;
+    NodeAddr addr;
+    bool dialer = false;  // we initiate (id < self)
+    int fd = -1;
+    bool connecting = false;  // nonblocking connect in flight
+    bool want_write = false;
+    FrameReader reader;
+    // Queues: High drains before Low; Low ordered by (order, seq).
+    std::deque<OutFrame> high;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, OutFrame> low;
+    OutFrame inflight;          // partially written head frame
+    std::size_t inflight_off = 0;
+    bool has_inflight = false;
+    double backoff = 0;         // current redial delay
+    double established_at = 0;  // when the dialed connection came up
+    std::uint64_t redial_timer = 0;
+    PeerStats stats;
+  };
+
+  // An accepted connection whose Hello has not arrived yet.
+  struct PendingAccept {
+    int fd = -1;
+    std::uint64_t id = 0;     // guards the timeout against fd-number reuse
+    std::uint64_t timer = 0;  // handshake deadline
+    FrameReader reader;
+  };
+
+  Peer& peer(int id) { return peers_[static_cast<std::size_t>(id)]; }
+  const Peer& peer(int id) const { return peers_[static_cast<std::size_t>(id)]; }
+
+  void enqueue(Peer& p, std::shared_ptr<const Bytes> frame,
+               const runtime::SendOpts& opts);
+  void deliver_local(std::shared_ptr<const Bytes> frame);
+  void update_interest(Peer& p);
+  void flush_writes(Peer& p);
+  bool drain_frames(Peer& p);  // false once the connection was torn down
+  void handle_readable(Peer& p);
+  void handle_peer_event(int id, std::uint32_t events);
+  void disconnect(Peer& p, const char* why);
+  void schedule_dial(Peer& p);
+  void dial(Peer& p);
+  void on_dial_connected(Peer& p);
+  void handle_listener(std::uint32_t events);
+  void handle_pending_accept(int fd, std::uint32_t events);
+  void adopt_accepted(int fd, int peer_id, FrameReader&& reader);
+  void close_pending(int fd);
+
+  EventLoop& loop_;
+  ClusterConfig cfg_;
+  int self_;
+  Options opt_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  bool started_ = false;
+  std::uint64_t next_low_seq_ = 0;
+  std::uint64_t next_pending_id_ = 1;
+  std::vector<Peer> peers_;  // indexed by id; entry self_ unused
+  std::map<int, PendingAccept> pending_;  // fd -> state
+};
+
+}  // namespace dl::net

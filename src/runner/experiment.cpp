@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "adversary/adversary.hpp"
+#include "runtime/sim_env.hpp"
 #include "workload/txgen.hpp"
 
 namespace dl::runner {
@@ -58,6 +59,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   result.nodes.resize(static_cast<std::size_t>(cfg.n));
 
   std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
+  std::vector<std::unique_ptr<core::DlNode>> node_owners;
   std::vector<core::DlNode*> nodes(static_cast<std::size_t>(cfg.n), nullptr);
   std::vector<std::unique_ptr<workload::PoissonTxGen>> gens;
 
@@ -69,8 +72,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       sim.attach(i, hosts.back().get());
       continue;
     }
-    auto node = std::make_unique<core::DlNode>(make_node_config(cfg, i),
-                                               sim.queue(), sim.network());
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
+    auto node =
+        std::make_unique<core::DlNode>(make_node_config(cfg, i), *envs.back());
     core::DlNode* raw = node.get();
     nodes[static_cast<std::size_t>(i)] = raw;
     NodeResult* res = &result.nodes[static_cast<std::size_t>(i)];
@@ -84,8 +88,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       }
       (void)sim;
     });
-    sim.attach(i, node.get());
-    hosts.push_back(std::move(node));
+    node_owners.push_back(std::move(node));
 
     if (cfg.load_bytes_per_sec > 0) {
       workload::TxGenParams tp;

@@ -1,0 +1,87 @@
+// Runtime abstraction: the seam between protocol logic and the world.
+//
+// dl::core::DlNode (and everything layered on it) talks to its surroundings
+// exclusively through this interface — a clock, timers, and peer-addressed
+// envelope delivery. Two backends implement it:
+//
+//   runtime::SimEnv  — the deterministic discrete-event simulator (virtual
+//                      time, FluidLink bandwidth model); every experiment
+//                      and test runs here, exactly reproducibly.
+//   net::TcpEnv      — real sockets: an epoll event loop, length-prefixed
+//                      frames over per-peer TCP connections, wall-clock
+//                      timers. `dlnoded` runs replicas on this backend.
+//
+// The same node object is bit-for-bit the same protocol state machine on
+// both; only delivery timing differs. Keep this interface small — anything a
+// node can compute locally does not belong here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/envelope.hpp"
+
+namespace dl::runtime {
+
+// Traffic class of an outgoing message. High is dispersal + agreement
+// traffic, Low is retrieval — the paper's MulTcp-style prioritization (§5).
+enum class TrafficClass : std::uint8_t { High = 0, Low = 1 };
+
+struct SendOpts {
+  TrafficClass cls = TrafficClass::High;
+  std::uint64_t order = 0;  // Low-class scheduling key (lower first)
+  std::uint64_t tag = 0;    // cancellation handle; 0 = not cancellable
+};
+
+// Names a scheduled timer; 0 is never a live timer.
+using TimerId = std::uint64_t;
+
+// What a node looks like to its Env: started once, then fed datagrams.
+// `bytes` is one whole envelope encoding (framing already stripped); the
+// receiver owns decoding and must treat the content as untrusted.
+class Receiver {
+ public:
+  virtual ~Receiver() = default;
+  virtual void start() {}
+  virtual void on_receive(int from, ByteView bytes) = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Identity within the cluster.
+  virtual int local_id() const = 0;
+  virtual int cluster_size() const = 0;
+
+  // Clock, in seconds. Virtual time on the simulator, monotonic wall time
+  // on real backends; starts near 0 either way.
+  virtual double now() const = 0;
+
+  // Timers. `at` schedules at an absolute time (>= now), `after` relative
+  // to now. cancel_timer returns false if the timer already fired, was
+  // already cancelled, or never existed.
+  virtual TimerId at(double t, std::function<void()> fn) = 0;
+  virtual TimerId after(double delay, std::function<void()> fn) = 0;
+  virtual bool cancel_timer(TimerId id) = 0;
+
+  // Envelope delivery. `send` to self is legal and loops back without
+  // touching the network (asynchronously: the receiver is never re-entered
+  // from inside its own call stack). `broadcast` sends to every node
+  // including the sender, encoding the envelope once.
+  virtual void send(int to, const Envelope& env, const SendOpts& opts) = 0;
+  virtual void broadcast(const Envelope& env, const SendOpts& opts) = 0;
+
+  // Best-effort retraction of not-yet-transmitted Low-class messages
+  // carrying `tag` (the §6.3 "stop sending chunks once decoded" path).
+  virtual void cancel_send(std::uint64_t tag) = 0;
+
+  // Attaches the node. Exactly one receiver per Env; the node calls this
+  // from its constructor.
+  void bind(Receiver* r) { receiver_ = r; }
+
+ protected:
+  Receiver* receiver_ = nullptr;
+};
+
+}  // namespace dl::runtime

@@ -31,6 +31,10 @@
 
 #include "sim/task.hpp"
 
+namespace dl::runtime {
+class SimEnv;
+}
+
 namespace dl::sim {
 
 // Virtual time in seconds.
@@ -48,6 +52,9 @@ class TimerHandle {
 
  private:
   friend class EventQueue;
+  // SimEnv packs (slot, gen) into the flat runtime::TimerId it hands to
+  // protocol code, and reconstructs the handle on cancel.
+  friend class dl::runtime::SimEnv;
   static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
   TimerHandle(std::uint32_t slot, std::uint32_t gen) : slot_(slot), gen_(gen) {}
   std::uint32_t slot_ = kNone;

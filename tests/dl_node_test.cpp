@@ -13,6 +13,7 @@
 #include "adversary/adversary.hpp"
 #include "dl/node.hpp"
 #include "hb/hb_node.hpp"
+#include "runtime/sim_env.hpp"
 
 namespace dl::core {
 namespace {
@@ -31,6 +32,8 @@ struct DeliveryRecord {
 struct Cluster {
   sim::Simulator sim;
   std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
+  std::vector<std::unique_ptr<DlNode>> owned;
   std::vector<DlNode*> nodes;  // indexed by node id; nullptr when crashed
   std::vector<std::vector<DeliveryRecord>> logs;  // fixed size: stable ptrs
 
@@ -39,16 +42,16 @@ struct Cluster {
         logs(static_cast<std::size_t>(net.n)) {}
 
   DlNode* add_node(NodeConfig cfg) {
-    auto node = std::make_unique<DlNode>(cfg, sim.queue(), sim.network());
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, cfg.self));
+    auto node = std::make_unique<DlNode>(cfg, *envs.back());
     DlNode* raw = node.get();
     auto* log = &logs[static_cast<std::size_t>(cfg.self)];
     raw->set_delivery_callback([log](std::uint64_t at, BlockKey key,
                                      const Block& b, double) {
       log->push_back({at, key.epoch, key.proposer, b.payload_bytes()});
     });
-    sim.attach(cfg.self, raw);
     nodes[static_cast<std::size_t>(cfg.self)] = raw;
-    hosts.push_back(std::move(node));
+    owned.push_back(std::move(node));
     return raw;
   }
 

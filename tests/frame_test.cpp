@@ -1,0 +1,174 @@
+// Frame codec: length-prefixed streaming deframer + wire-message codec.
+// Byzantine peers control every byte of the stream, so the properties under
+// test are strictness ones: oversized declarations poison the reader before
+// the body is buffered, truncations never yield a frame, and garbage wire
+// kinds are rejected.
+#include <gtest/gtest.h>
+
+#include "net/frame.hpp"
+
+namespace dl::net {
+namespace {
+
+Bytes frame_of(ByteView payload) {
+  Bytes out;
+  EXPECT_TRUE(append_frame(out, payload));
+  return out;
+}
+
+TEST(Frame, RoundTripSingle) {
+  const Bytes payload = random_bytes(1000, 1);
+  const Bytes stream = frame_of(payload);
+  ASSERT_EQ(stream.size(), payload.size() + kFrameHeaderBytes);
+
+  FrameReader r;
+  ASSERT_TRUE(r.feed(stream));
+  Bytes got;
+  ASSERT_TRUE(r.next(got));
+  EXPECT_EQ(got, payload);
+  EXPECT_FALSE(r.next(got));
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+}
+
+TEST(Frame, ByteAtATime) {
+  const Bytes payload = random_bytes(257, 2);
+  const Bytes stream = frame_of(payload);
+  FrameReader r;
+  Bytes got;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_FALSE(r.next(got)) << "frame complete too early at byte " << i;
+    ASSERT_TRUE(r.feed(ByteView(&stream[i], 1)));
+  }
+  ASSERT_TRUE(r.next(got));
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Frame, ManyFramesOneFeed) {
+  Bytes stream;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 50; ++i) {
+    payloads.push_back(random_bytes(static_cast<std::size_t>(i * 13 % 200), 10 + static_cast<std::uint64_t>(i)));
+    append_frame(stream, payloads.back());
+  }
+  FrameReader r;
+  ASSERT_TRUE(r.feed(stream));
+  Bytes got;
+  for (const Bytes& want : payloads) {
+    ASSERT_TRUE(r.next(got));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_FALSE(r.next(got));
+}
+
+TEST(Frame, EmptyPayloadIsAValidFrame) {
+  FrameReader r;
+  ASSERT_TRUE(r.feed(frame_of({})));
+  Bytes got{0xFF};
+  ASSERT_TRUE(r.next(got));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Frame, OversizedDeclarationPoisonsBeforeBody) {
+  // Header declares max+1: the reader must fail on feed, without waiting
+  // for (or buffering) the body.
+  FrameReader r(/*max_frame=*/1024);
+  Bytes evil;
+  append_frame(evil, random_bytes(2048, 3), /*max_frame=*/4096);
+  EXPECT_FALSE(r.feed(evil));
+  EXPECT_TRUE(r.failed());
+  Bytes got;
+  EXPECT_FALSE(r.next(got));
+  // Poisoned stays poisoned.
+  EXPECT_FALSE(r.feed(frame_of(random_bytes(8, 4))));
+  r.reset();
+  EXPECT_FALSE(r.failed());
+  ASSERT_TRUE(r.feed(frame_of(random_bytes(8, 4))));
+  EXPECT_TRUE(r.next(got));
+}
+
+TEST(Frame, ExactLimitAccepted) {
+  FrameReader r(/*max_frame=*/512);
+  const Bytes payload = random_bytes(512, 5);
+  Bytes stream;
+  ASSERT_TRUE(append_frame(stream, payload, 512));
+  ASSERT_TRUE(r.feed(stream));
+  Bytes got;
+  ASSERT_TRUE(r.next(got));
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Frame, AppendFrameRejectsOversizedPayload) {
+  Bytes out;
+  EXPECT_FALSE(append_frame(out, random_bytes(100, 6), /*max_frame=*/99));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Frame, OversizedSecondFrameCaughtAtItsHeader) {
+  FrameReader r(/*max_frame=*/1024);
+  Bytes stream = frame_of(random_bytes(10, 7));
+  append_frame(stream, random_bytes(2000, 8), /*max_frame=*/4096);
+  // feed succeeds (head frame is fine) but the poisoned length is detected
+  // once the first frame is consumed.
+  r.feed(stream);
+  Bytes got;
+  ASSERT_TRUE(r.next(got));
+  EXPECT_FALSE(r.next(got));
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Wire, HelloRoundTrip) {
+  const Bytes frame = encode_hello(3);
+  FrameReader r;
+  ASSERT_TRUE(r.feed(frame));
+  Bytes payload;
+  ASSERT_TRUE(r.next(payload));
+  WireFrame wf;
+  ASSERT_TRUE(decode_wire(payload, wf));
+  EXPECT_EQ(wf.kind, WireKind::Hello);
+  EXPECT_EQ(wf.hello_node, 3u);
+}
+
+TEST(Wire, HelloRejectsBadMagicVersionLength) {
+  Bytes frame = encode_hello(3);
+  WireFrame wf;
+  {
+    Bytes p(frame.begin() + kFrameHeaderBytes, frame.end());
+    Bytes bad = p;
+    bad[1] ^= 1;  // magic
+    EXPECT_FALSE(decode_wire(bad, wf));
+    bad = p;
+    bad[5] ^= 1;  // version
+    EXPECT_FALSE(decode_wire(bad, wf));
+    bad = p;
+    bad.push_back(0);  // trailing byte
+    EXPECT_FALSE(decode_wire(bad, wf));
+    bad.assign(p.begin(), p.end() - 1);  // truncated
+    EXPECT_FALSE(decode_wire(bad, wf));
+  }
+}
+
+TEST(Wire, DataPayloadView) {
+  const Bytes env_bytes = random_bytes(77, 9);
+  const Bytes frame = encode_data_frame(env_bytes);
+  ASSERT_EQ(frame.size(), env_bytes.size() + kDataPayloadOffset);
+  FrameReader r;
+  r.feed(frame);
+  Bytes payload;
+  ASSERT_TRUE(r.next(payload));
+  WireFrame wf;
+  ASSERT_TRUE(decode_wire(payload, wf));
+  EXPECT_EQ(wf.kind, WireKind::Data);
+  EXPECT_TRUE(equal(wf.data, env_bytes));
+}
+
+TEST(Wire, RejectsUnknownKindAndEmpty) {
+  WireFrame wf;
+  EXPECT_FALSE(decode_wire({}, wf));
+  const Bytes junk{0x7F, 1, 2, 3};
+  EXPECT_FALSE(decode_wire(junk, wf));
+  const Bytes zero{0x00};
+  EXPECT_FALSE(decode_wire(zero, wf));
+}
+
+}  // namespace
+}  // namespace dl::net

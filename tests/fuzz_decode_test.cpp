@@ -11,6 +11,7 @@
 #include "crypto/fingerprint.hpp"
 #include "dl/block.hpp"
 #include "merkle/merkle_tree.hpp"
+#include "net/frame.hpp"
 #include "vid/avid_fp.hpp"
 #include "vid/avid_m.hpp"
 
@@ -30,6 +31,30 @@ void feed_all(ByteView input) {
   { ba::BaDoneMsg m; (void)ba::BaDoneMsg::decode(input, m); }
   { auto b = core::Block::decode(input, 16); (void)b; }
   { auto c = app::Command::decode(input); (void)c; }
+  { net::WireFrame wf; (void)net::decode_wire(input, wf); }
+}
+
+// Pushes `input` through the TCP transport path as a raw stream: deframe,
+// wire-decode, envelope-decode. Must never crash or buffer unboundedly.
+void feed_framed_stream(ByteView input, Rng& rng) {
+  net::FrameReader reader(/*max_frame=*/1 << 16);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::size_t step =
+        1 + static_cast<std::size_t>(rng.next_below(1 + input.size() / 4));
+    const std::size_t len = std::min(step, input.size() - pos);
+    if (!reader.feed(input.subspan(pos, len))) break;  // poisoned: drop conn
+    Bytes frame;
+    while (reader.next(frame)) {
+      net::WireFrame wf;
+      if (!net::decode_wire(frame, wf)) continue;
+      if (wf.kind == net::WireKind::Data) {
+        auto env = Envelope::decode(wf.data);
+        (void)env;
+      }
+    }
+    pos += len;
+  }
 }
 
 TEST(FuzzDecode, RandomBytes) {
@@ -81,6 +106,44 @@ TEST(FuzzDecode, AllTruncations) {
   const Bytes full = msgs[0].encode();
   for (std::size_t len = 0; len < full.size(); ++len) {
     feed_all(ByteView(full.data(), len));
+  }
+}
+
+TEST(FuzzDecode, FramedTransportRandomStreams) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed);
+    const std::size_t len = static_cast<std::size_t>(rng.next_below(2048));
+    feed_framed_stream(random_bytes(len, seed ^ 0xF4A3Eu), rng);
+  }
+}
+
+TEST(FuzzDecode, FramedTransportMutatedValidStreams) {
+  // A realistic stream (hello + several framed envelopes), then bit flips.
+  Bytes stream = net::encode_hello(2);
+  const vid::Params p{4, 1};
+  const auto chunks = vid::avid_m_disperse(p, random_bytes(500, 11));
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    Envelope env;
+    env.kind = MsgKind::VidChunk;
+    env.epoch = i;
+    env.instance = 2;
+    env.body = chunks[i].encode();
+    append(stream, net::encode_data_frame(env.encode()));
+  }
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes mutated = stream;
+    const int flips = 1 + static_cast<int>(rng.next_below(16));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(rng.next_below(mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    feed_framed_stream(mutated, rng);
+  }
+  // Truncations of the pristine stream.
+  for (std::size_t len = 0; len < stream.size(); len += 7) {
+    Rng r2(len);
+    feed_framed_stream(ByteView(stream.data(), len), r2);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "app/kv_state_machine.hpp"
+#include "runtime/sim_env.hpp"
 
 namespace dl::app {
 namespace {
@@ -73,13 +74,14 @@ TEST(KvStateMachine, DigestReflectsStateAndHistory) {
 TEST(ReplicatedKv, IdenticalStateAcrossCluster) {
   const int n = 4, f = 1;
   sim::Simulator sim(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
   std::vector<std::unique_ptr<core::DlNode>> nodes;
   std::vector<std::unique_ptr<ReplicatedKv>> kvs;
   for (int i = 0; i < n; ++i) {
     auto cfg = core::NodeConfig::dispersed_ledger(n, f, i);
     cfg.max_block_bytes = 50'000;
-    nodes.push_back(std::make_unique<core::DlNode>(cfg, sim.queue(), sim.network()));
-    sim.attach(i, nodes.back().get());
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
+    nodes.push_back(std::make_unique<core::DlNode>(cfg, *envs.back()));
     kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
   }
   // Concurrent writes from different nodes, including conflicting CAS from
@@ -110,12 +112,13 @@ TEST(ReplicatedKv, IdenticalStateAcrossCluster) {
 TEST(ReplicatedKv, NonCommandPayloadsIgnored) {
   const int n = 4, f = 1;
   sim::Simulator sim(sim::NetworkConfig::uniform(n, 0.02, 2e6));
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
   std::vector<std::unique_ptr<core::DlNode>> nodes;
   std::vector<std::unique_ptr<ReplicatedKv>> kvs;
   for (int i = 0; i < n; ++i) {
+    envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     nodes.push_back(std::make_unique<core::DlNode>(
-        core::NodeConfig::dispersed_ledger(n, f, i), sim.queue(), sim.network()));
-    sim.attach(i, nodes.back().get());
+        core::NodeConfig::dispersed_ledger(n, f, i), *envs.back()));
     kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
   }
   sim.queue().at(0.1, [&] {

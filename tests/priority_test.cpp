@@ -7,20 +7,22 @@
 #include <memory>
 
 #include "dl/node.hpp"
+#include "runtime/sim_env.hpp"
 
 namespace dl::core {
 namespace {
 
 struct MiniCluster {
   sim::Simulator sim;
+  std::vector<std::unique_ptr<runtime::SimEnv>> envs;
   std::vector<std::unique_ptr<DlNode>> nodes;
 
   MiniCluster(sim::NetworkConfig net, NodeConfig base) : sim(net) {
     for (int i = 0; i < net.n; ++i) {
       NodeConfig cfg = base;
       cfg.self = i;
-      nodes.push_back(std::make_unique<DlNode>(cfg, sim.queue(), sim.network()));
-      sim.attach(i, nodes.back().get());
+      envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
+      nodes.push_back(std::make_unique<DlNode>(cfg, *envs.back()));
     }
   }
 };
