@@ -17,6 +17,8 @@
 // docs/BENCH.md for the scenario-spec schema.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +86,29 @@ inline std::vector<runner::ScenarioResult> run_sweep(
     runner::write_csv(csv, results);
   });
   return results;
+}
+
+// Canonical block-size suffix for perf row names ("100KB", "1MB"), shared
+// so the tracked JSON files name identical sizes identically.
+inline std::string size_label(std::size_t bytes) {
+  return bytes >= (std::size_t{1} << 20) ? std::to_string(bytes >> 20) + "MB"
+                                         : std::to_string(bytes >> 10) + "KB";
+}
+
+// Shared wall-clock measurement for perf-trajectory rows: one warm-up call
+// of `body` (tables, page-in, branch history), then `reps` timed calls.
+// `ops_per_rep` is whatever the row's unit counts (bytes, events, ...).
+// Changing the timing protocol here changes it for every tracked bench.
+template <typename Body>
+inline runner::PerfRow timed_perf_row(const std::string& name, const char* unit,
+                                      int reps, std::uint64_t ops_per_rep,
+                                      Body&& body) {
+  body();  // warm up
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) body();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return {name, unit, static_cast<std::uint64_t>(reps) * ops_per_rep, wall};
 }
 
 // Writes BENCH_<name>.json + BENCH_<name>.csv for perf-trajectory rows

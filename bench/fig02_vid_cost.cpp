@@ -6,6 +6,12 @@
 //      automata and count the bytes a single server receives;
 //  (b) the theoretical lower bound 1/(N-2f) for reference.
 //
+// Besides the figure tables, the bench times the disperse operation itself
+// (RS encode + Merkle commitment for AVID-M; + fingerprinted cross-checksums
+// for AVID-FP) and reports bytes/sec rows through the dl-perf-v1 PerfRow
+// writer (BENCH_fig02.json), so coding-cost trends are tracked across PRs
+// the same way the sim core's events/sec are. See docs/PERF.md.
+//
 // Paper shape: AVID-M stays near the lower bound (~1/32 of a block at
 // N=128); AVID-FP's cross-checksum overhead grows ~N^2 and exceeds 1.0
 // (worse than downloading the full block) around N~120 at |B|=1 MB, far
@@ -100,12 +106,48 @@ void run_block_size(std::size_t block_bytes) {
   }
 }
 
+// Times `disperse` over `reps` blocks and appends a dl-perf-v1 row; `ops`
+// counts dispersed input bytes, so ops_per_sec is the coding rate.
+template <typename DisperseFn>
+void timed_disperse_row(std::vector<dl::runner::PerfRow>& rows,
+                        const std::string& name, int n, std::size_t block_bytes,
+                        int reps, DisperseFn disperse) {
+  const Params p{n, (n - 1) / 3};
+  const Bytes block = random_bytes(block_bytes, 7);
+  rows.push_back(dl::bench::timed_perf_row(name, "bytes", reps, block_bytes,
+                                           [&] { disperse(p, block); }));
+}
+
+void run_timed_disperse() {
+  std::printf("\nDisperse coding rate (tracked in BENCH_fig02.json):\n");
+  std::vector<dl::runner::PerfRow> rows;
+  const int reps = dl::bench::full_scale() ? 8 : 2;
+  for (const int n : {16, 64}) {
+    for (const std::size_t bytes : {std::size_t{100} * 1024, std::size_t{1024} * 1024}) {
+      const std::string suffix =
+          "_n" + std::to_string(n) + "_" + dl::bench::size_label(bytes);
+      timed_disperse_row(rows, "avidm_disperse" + suffix, n, bytes, reps,
+                         [](const Params& p, ByteView b) { return avid_m_disperse(p, b); });
+      timed_disperse_row(rows, "avidfp_disperse" + suffix, n, bytes, reps,
+                         [](const Params& p, ByteView b) { return avid_fp_disperse(p, b); });
+    }
+  }
+  dl::bench::row({"workload", "ops(bytes)", "wall s", "MB/s"}, 28);
+  for (const auto& r : rows) {
+    dl::bench::row({r.name, std::to_string(r.ops), dl::bench::fmt(r.wall_seconds, 4),
+                    dl::bench::fmt_mb(r.ops_per_sec())},
+                   28);
+  }
+  dl::bench::write_perf("fig02", rows);
+}
+
 }  // namespace
 
 int main() {
   dl::bench::header("Figure 2", "AVID-M vs AVID-FP per-node dispersal cost (normalized)");
   run_block_size(100 * 1024);
   run_block_size(1024 * 1024);
+  run_timed_disperse();
   std::printf(
       "\nShape check vs paper: AVID-M tracks the lower bound; AVID-FP grows\n"
       "with N (cross-checksum on every message) and crosses 1.0x block size\n"

@@ -1,22 +1,31 @@
-// Homomorphic fingerprinting over GF(2^64), used by the AVID-FP baseline.
-//
-// AVID-FP (Hendricks, Ganger, Reiter; PODC'07) attaches a "fingerprinted
-// cross-checksum" to every protocol message so that servers can verify the
-// erasure coding *during dispersal*. The fingerprint of a chunk is the
-// evaluation, at a random point r in GF(2^64), of the polynomial whose
-// coefficients are the chunk's bytes. For the fingerprint to commute with
-// the GF(2^8) Reed-Solomon code, bytes are first mapped into GF(2^64)
-// through a field embedding phi: GF(2^8) -> GF(2^64) (computed once by
-// finding a root of GF(2^8)'s defining polynomial 0x11D inside GF(2^64)).
-// Then for a parity chunk P = sum_c m_c * D_c (GF(2^8) arithmetic, byte-wise)
-// we get fp(P) = sum_c phi(m_c) * fp(D_c) — so a server holding only P, the
-// data-chunk fingerprints and its row of the encoding matrix can check
-// consistency without seeing the data.
-//
-// The cross-checksum carries N chunk hashes (lambda = 32 bytes each) plus
-// N-2f data-chunk fingerprints (gamma = 8 bytes each; the paper uses 16).
-// Its size — and the fact that every message carries it — is exactly the
-// overhead AVID-M eliminates, and what bench/fig02 measures.
+/// \file
+/// Homomorphic fingerprinting over GF(2^64), used by the AVID-FP baseline.
+///
+/// AVID-FP (Hendricks, Ganger, Reiter; PODC'07) attaches a "fingerprinted
+/// cross-checksum" to every protocol message so that servers can verify the
+/// erasure coding *during dispersal*. The fingerprint of a chunk is the
+/// evaluation, at a random point r in GF(2^64), of the polynomial whose
+/// coefficients are the chunk's bytes. For the fingerprint to commute with
+/// the GF(2^8) Reed-Solomon code, bytes are first mapped into GF(2^64)
+/// through a field embedding phi: GF(2^8) -> GF(2^64) (computed once by
+/// finding a root of GF(2^8)'s defining polynomial 0x11D inside GF(2^64)).
+/// Then for a parity chunk P = sum_c m_c * D_c (GF(2^8) arithmetic,
+/// byte-wise) we get fp(P) = sum_c phi(m_c) * fp(D_c) — so a server holding
+/// only P, the data-chunk fingerprints and its row of the encoding matrix
+/// can check consistency without seeing the data.
+///
+/// The cross-checksum carries N chunk hashes (lambda = 32 bytes each) plus
+/// N-2f data-chunk fingerprints (gamma = 8 bytes each; the paper uses 16).
+/// Its size — and the fact that every message carries it — is exactly the
+/// overhead AVID-M eliminates, and what bench/fig02 measures.
+///
+/// ### Field conventions
+///
+/// GF(2^64) uses the primitive polynomial x^64+x^4+x^3+x+1; addition is
+/// XOR. Unlike `gf256`, no division is exposed (the protocol never needs
+/// it), so there is no divide-by-zero convention to pin here. These scalar
+/// loops are NOT behind the SIMD dispatch layer: they run only in the
+/// AVID-FP baseline being measured *against*, never on the AVID-M hot path.
 #pragma once
 
 #include <cstdint>
@@ -27,33 +36,38 @@
 
 namespace dl {
 
-// GF(2^64) arithmetic with the primitive polynomial x^64+x^4+x^3+x+1.
+/// GF(2^64) arithmetic with the primitive polynomial x^64+x^4+x^3+x+1.
 namespace gf64 {
 
+/// Carry-less field multiplication (schoolbook shift-and-add with
+/// interleaved reduction).
 std::uint64_t mul(std::uint64_t a, std::uint64_t b);
+
+/// base^exp by square-and-multiply; pow(b, 0) == 1.
 std::uint64_t pow(std::uint64_t base, std::uint64_t exp);
 
 }  // namespace gf64
 
-// The field embedding phi: GF(2^8) -> GF(2^64). phi(a+b) = phi(a) ^ phi(b)
-// and phi(a*b) = mul(phi(a), phi(b)) for GF(2^8) multiplication under 0x11D.
+/// The field embedding phi: GF(2^8) -> GF(2^64). phi(a+b) = phi(a) ^ phi(b)
+/// and phi(a*b) = mul(phi(a), phi(b)) for GF(2^8) multiplication under
+/// 0x11D.
 std::uint64_t gf256_embed(std::uint8_t a);
 
-// Fingerprint = sum_i phi(data[i]) * r^(i+1) over GF(2^64).
+/// Fingerprint = sum_i phi(data[i]) * r^(i+1) over GF(2^64).
 std::uint64_t fingerprint(ByteView data, std::uint64_t r);
 
-// sum_i mul(coeffs[i], fps[i]) — the linear-combination side of the
-// homomorphism. Coefficients must already be embedded via gf256_embed.
+/// sum_i mul(coeffs[i], fps[i]) — the linear-combination side of the
+/// homomorphism. Coefficients must already be embedded via gf256_embed.
 std::uint64_t combine(const std::vector<std::uint64_t>& coeffs,
                       const std::vector<std::uint64_t>& fps);
 
-// The AVID-FP cross-checksum attached to each message.
+/// The AVID-FP cross-checksum attached to each message.
 struct CrossChecksum {
-  std::vector<Hash> chunk_hashes;       // one per server, size N
-  std::vector<std::uint64_t> data_fps;  // fingerprints of the N-2f data chunks
-  std::uint64_t eval_point = 0;         // the random point r
+  std::vector<Hash> chunk_hashes;       ///< one per server, size N
+  std::vector<std::uint64_t> data_fps;  ///< fingerprints of the N-2f data chunks
+  std::uint64_t eval_point = 0;         ///< the random point r
 
-  // Wire size in bytes: N*32 + (N-2f)*8 + 8.
+  /// Wire size in bytes: N*32 + (N-2f)*8 + 8.
   std::size_t wire_size() const;
 
   Bytes encode() const;

@@ -1,10 +1,13 @@
 #include "crypto/sha256.hpp"
 
-#if defined(__x86_64__)
-#include <cpuid.h>
+#include <cstring>
+
+#if defined(__x86_64__) && !defined(DL_FORCE_SCALAR_BUILD)
+#define DL_SHA256_SIMD 1
 #include <immintrin.h>
 #endif
 
+#include "common/cpu.hpp"
 #include "common/hex.hpp"
 
 namespace dl {
@@ -24,24 +27,65 @@ constexpr std::array<std::uint32_t, 64> kK = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
+constexpr std::array<std::uint32_t, 8> kInit = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
 inline std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
 
-#if defined(__x86_64__)
+// Folds one 64-byte block into `state` (8 words) — the portable rounds.
+void compress_scalar(std::uint32_t* state, const std::uint8_t* p) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<std::uint32_t>(p[4 * i]) << 24 |
+           static_cast<std::uint32_t>(p[4 * i + 1]) << 16 |
+           static_cast<std::uint32_t>(p[4 * i + 2]) << 8 |
+           static_cast<std::uint32_t>(p[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
 
-bool cpu_has_sha_ni() {
-  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
-  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
-  return (ebx & (1u << 29)) != 0;  // CPUID.7.0:EBX.SHA
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + S1 + ch + kK[static_cast<std::size_t>(i)] + w[i];
+    const std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = S0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
 }
 
-const bool kHasShaNi = cpu_has_sha_ni();
+#if defined(DL_SHA256_SIMD)
 
 // SHA-256 compression using the x86 SHA extensions. Same contract as the
 // scalar path: folds one 64-byte block into `state` (8 words).
 __attribute__((target("sha,sse4.1")))
-void process_block_sha_ni(std::uint32_t* state, const std::uint8_t* p) {
+void compress_sha_ni(std::uint32_t* state, const std::uint8_t* p) {
   const __m128i shuf = _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
 
   // Load state as {ABEF, CDGH} per the ISA's packing.
@@ -104,9 +148,76 @@ void process_block_sha_ni(std::uint32_t* state, const std::uint8_t* p) {
   _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), st1);
 }
 
-#endif  // __x86_64__
+#endif  // DL_SHA256_SIMD
+
+bool sha_kernel_supported(ShaKernel k) {
+  switch (k) {
+    case ShaKernel::Scalar:
+      return true;
+#if defined(DL_SHA256_SIMD)
+    case ShaKernel::ShaNi:
+      return cpu::has_sha_ni();
+#endif
+    default:
+      return false;
+  }
+}
+
+ShaKernel resolve_default() {
+  if (!cpu::force_scalar() && sha_kernel_supported(ShaKernel::ShaNi)) {
+    return ShaKernel::ShaNi;
+  }
+  return ShaKernel::Scalar;
+}
+
+using CompressFn = void (*)(std::uint32_t*, const std::uint8_t*);
+
+CompressFn compress_for(ShaKernel k) {
+#if defined(DL_SHA256_SIMD)
+  if (k == ShaKernel::ShaNi && cpu::has_sha_ni()) return compress_sha_ni;
+#else
+  (void)k;
+#endif
+  return compress_scalar;
+}
+
+struct Dispatch {
+  ShaKernel kernel;
+  CompressFn fn;
+};
+
+Dispatch& dispatch() {
+  static Dispatch d{resolve_default(), compress_for(resolve_default())};
+  return d;
+}
+
+void store_be(const std::uint32_t* state, Hash& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.v[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(state[i] >> 24);
+    out.v[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(state[i] >> 16);
+    out.v[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(state[i] >> 8);
+    out.v[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(state[i]);
+  }
+}
 
 }  // namespace
+
+const char* sha_kernel_name(ShaKernel k) {
+  return k == ShaKernel::ShaNi ? "sha_ni" : "scalar";
+}
+
+std::vector<ShaKernel> sha256_supported_kernels() {
+  std::vector<ShaKernel> out{ShaKernel::Scalar};
+  if (sha_kernel_supported(ShaKernel::ShaNi)) out.push_back(ShaKernel::ShaNi);
+  return out;
+}
+
+ShaKernel sha256_active_kernel() { return dispatch().kernel; }
+
+void sha256_set_active_kernel(ShaKernel k) {
+  if (!sha_kernel_supported(k)) k = ShaKernel::Scalar;
+  dispatch() = Dispatch{k, compress_for(k)};
+}
 
 bool Hash::is_zero() const {
   for (auto b : v) {
@@ -117,64 +228,14 @@ bool Hash::is_zero() const {
 
 std::string Hash::hex() const { return to_hex(view()); }
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+Sha256::Sha256() : state_(kInit) {}
 
-void Sha256::process_block(const std::uint8_t* p) {
-#if defined(__x86_64__)
-  if (kHasShaNi) {
-    process_block_sha_ni(state_.data(), p);
-    return;
-  }
-#endif
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<std::uint32_t>(p[4 * i]) << 24 |
-           static_cast<std::uint32_t>(p[4 * i + 1]) << 16 |
-           static_cast<std::uint32_t>(p[4 * i + 2]) << 8 |
-           static_cast<std::uint32_t>(p[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + S1 + ch + kK[static_cast<std::size_t>(i)] + w[i];
-    const std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = S0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
+void Sha256::process_block(const std::uint8_t* p) { dispatch().fn(state_.data(), p); }
 
 void Sha256::update(ByteView data) {
   total_len_ += data.size();
   std::size_t off = 0;
-  if (buf_len_ > 0) {
+  if (buf_len_ > 0 && !data.empty()) {
     const std::size_t need = 64 - buf_len_;
     const std::size_t take = data.size() < need ? data.size() : need;
     __builtin_memcpy(buf_.data() + buf_len_, data.data(), take);
@@ -196,24 +257,23 @@ void Sha256::update(ByteView data) {
 }
 
 Hash Sha256::finalize() {
+  // Build the padding blocks directly instead of feeding padding bytes back
+  // through update() one at a time.
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad_one = 0x80;
-  update(ByteView(&pad_one, 1));
-  const std::uint8_t zero = 0;
-  while (buf_len_ != 56) update(ByteView(&zero, 1));
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-  // Bypass update()'s length accounting for the final length field.
-  __builtin_memcpy(buf_.data() + 56, len_be, 8);
+  buf_[buf_len_++] = 0x80;
+  if (buf_len_ > 56) {
+    std::memset(buf_.data() + buf_len_, 0, 64 - buf_len_);
+    process_block(buf_.data());
+    buf_len_ = 0;
+  }
+  std::memset(buf_.data() + buf_len_, 0, 56 - buf_len_);
+  for (int i = 0; i < 8; ++i) {
+    buf_[static_cast<std::size_t>(56 + i)] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
   process_block(buf_.data());
 
   Hash out;
-  for (int i = 0; i < 8; ++i) {
-    out.v[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
-    out.v[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
-    out.v[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
-    out.v[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
-  }
+  store_be(state_.data(), out);
   return out;
 }
 
@@ -221,6 +281,45 @@ Hash sha256(ByteView data) {
   Sha256 h;
   h.update(data);
   return h.finalize();
+}
+
+Hash sha256_tagged(std::uint8_t tag, ByteView data) {
+  // Single-pass over tag || data: the first block is staged (the tag shifts
+  // everything by one byte), the interior blocks compress straight out of
+  // `data`, and the padding blocks are built in place.
+  std::array<std::uint32_t, 8> st = kInit;
+  const CompressFn compress = dispatch().fn;
+  std::uint8_t block[64];
+  block[0] = tag;
+  const std::size_t head = data.size() < 63 ? data.size() : 63;
+  if (head > 0) __builtin_memcpy(block + 1, data.data(), head);
+  std::size_t off = head;
+  std::size_t fill = 1 + head;
+  if (fill == 64) {
+    compress(st.data(), block);
+    while (off + 64 <= data.size()) {
+      compress(st.data(), data.data() + off);
+      off += 64;
+    }
+    fill = data.size() - off;
+    if (fill > 0) __builtin_memcpy(block, data.data() + off, fill);
+  }
+  const std::uint64_t bit_len = (static_cast<std::uint64_t>(data.size()) + 1) * 8;
+  block[fill++] = 0x80;
+  if (fill > 56) {
+    std::memset(block + fill, 0, 64 - fill);
+    compress(st.data(), block);
+    fill = 0;
+  }
+  std::memset(block + fill, 0, 56 - fill);
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  compress(st.data(), block);
+
+  Hash out;
+  store_be(st.data(), out);
+  return out;
 }
 
 Hash sha256_pair(const Hash& a, const Hash& b) {

@@ -1,11 +1,8 @@
 #include "erasure/gf256.hpp"
 
-#if defined(__x86_64__)
-#include <cpuid.h>
-#include <immintrin.h>
-#endif
-
 #include <array>
+
+#include "erasure/gf256_dispatch.hpp"
 
 namespace dl::gf256 {
 
@@ -34,56 +31,6 @@ const Tables& tables() {
   static const Tables t;
   return t;
 }
-
-#if defined(__x86_64__)
-
-bool cpu_has_avx2() {
-  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
-  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
-  return (ebx & (1u << 5)) != 0;
-}
-
-const bool kHasAvx2 = cpu_has_avx2();
-
-// Nibble-table multiply (the ISA-L / klauspost technique): since GF(2^8)
-// multiplication is GF(2)-linear, mul(c, b) = L[b & 15] ^ H[b >> 4] where
-// L[x] = mul(c, x) and H[x] = mul(c, x<<4). PSHUFB evaluates both tables
-// for 32 lanes at once.
-__attribute__((target("avx2")))
-void mul_add_row_avx2(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
-                      std::size_t n, bool assign) {
-  alignas(16) std::uint8_t lo_tbl[16], hi_tbl[16];
-  for (int x = 0; x < 16; ++x) {
-    lo_tbl[x] = mul(c, static_cast<std::uint8_t>(x));
-    hi_tbl[x] = mul(c, static_cast<std::uint8_t>(x << 4));
-  }
-  const __m256i lo_t = _mm256_broadcastsi128_si256(
-      _mm_load_si128(reinterpret_cast<const __m128i*>(lo_tbl)));
-  const __m256i hi_t = _mm256_broadcastsi128_si256(
-      _mm_load_si128(reinterpret_cast<const __m128i*>(hi_tbl)));
-  const __m256i mask = _mm256_set1_epi8(0x0F);
-
-  std::size_t i = 0;
-  for (; i + 32 <= n; i += 32) {
-    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i lo = _mm256_and_si256(v, mask);
-    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
-    __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo),
-                                    _mm256_shuffle_epi8(hi_t, hi));
-    if (!assign) {
-      prod = _mm256_xor_si256(
-          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
-    }
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
-  }
-  for (; i < n; ++i) {
-    const std::uint8_t p = static_cast<std::uint8_t>(lo_tbl[src[i] & 0xF] ^
-                                                     hi_tbl[src[i] >> 4]);
-    dst[i] = assign ? p : dst[i] ^ p;
-  }
-}
-
-#endif  // __x86_64__
 
 }  // namespace
 
@@ -121,19 +68,7 @@ void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
     return;
   }
-#if defined(__x86_64__)
-  if (kHasAvx2) {
-    mul_add_row_avx2(dst, src, c, n, /*assign=*/false);
-    return;
-  }
-#endif
-  // Build a 256-entry product table for this scalar, then stream.
-  const Tables& t = tables();
-  std::array<std::uint8_t, 256> row;
-  row[0] = 0;
-  const std::size_t lc = t.log[c];
-  for (std::size_t v = 1; v < 256; ++v) row[v] = t.exp[lc + t.log[v]];
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  mul_add_row_with(active_kernel(), dst, src, c, n);
 }
 
 void mul_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
@@ -148,18 +83,7 @@ void mul_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
     }
     return;
   }
-#if defined(__x86_64__)
-  if (kHasAvx2) {
-    mul_add_row_avx2(dst, src, c, n, /*assign=*/true);
-    return;
-  }
-#endif
-  const Tables& t = tables();
-  std::array<std::uint8_t, 256> row;
-  row[0] = 0;
-  const std::size_t lc = t.log[c];
-  for (std::size_t v = 1; v < 256; ++v) row[v] = t.exp[lc + t.log[v]];
-  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+  mul_row_with(active_kernel(), dst, src, c, n);
 }
 
 }  // namespace dl::gf256

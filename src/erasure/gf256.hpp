@@ -1,9 +1,23 @@
-// GF(2^8) arithmetic with the AES-independent primitive polynomial 0x11D
-// (x^8 + x^4 + x^3 + x^2 + 1), the same field used by klauspost/reedsolomon,
-// the library the paper's Go prototype uses.
-//
-// Multiplication uses exp/log tables; bulk row operations use a per-scalar
-// 256-entry lookup so encoding runs at table-lookup speed.
+/// \file
+/// GF(2^8) arithmetic with the AES-independent primitive polynomial 0x11D
+/// (x^8 + x^4 + x^3 + x^2 + 1) and generator 2 — the same field used by
+/// klauspost/reedsolomon, the library the paper's Go prototype uses.
+///
+/// Single-element operations use exp/log tables. The bulk row operations
+/// (\ref mul_add_row, \ref mul_row) are the Reed-Solomon inner loops and
+/// resolve at runtime to the widest SIMD kernel the host supports — see
+/// `erasure/gf256_dispatch.hpp` for the tiers and the dispatch contract
+/// (all tiers are byte-identical; `DL_FORCE_SCALAR` pins the scalar path).
+///
+/// ### Field conventions
+///
+/// - Addition is XOR: `add(a, b) == a ^ b`.
+/// - Zero is absorbing under multiplication and has **no** inverse; rather
+///   than read garbage off the log table, `div(a, 0)` and `inv(0)` are
+///   DEFINED to return 0 (the convention of klauspost/reedsolomon's galois
+///   tables). Matrix code must treat a zero pivot as singular, not rely on
+///   division to fault.
+/// - `exp(e)` is 255-periodic and accepts any `int`, including negatives.
 #pragma once
 
 #include <cstdint>
@@ -12,21 +26,29 @@
 
 namespace dl::gf256 {
 
-// Field multiplication / division / inversion on single elements.
-// Zero has no multiplicative inverse; rather than read garbage off the log
-// table, div(a, 0) and inv(0) are DEFINED to return 0 (mirroring mul's
-// absorbing zero, the convention of klauspost/reedsolomon's galois tables).
+/// Field multiplication. `mul(a, 0) == mul(0, a) == 0`.
 std::uint8_t mul(std::uint8_t a, std::uint8_t b);
-std::uint8_t div(std::uint8_t a, std::uint8_t b);  // div(a, 0) == 0
-std::uint8_t inv(std::uint8_t a);                  // inv(0) == 0
-std::uint8_t exp(int e);                           // generator^e, e may exceed 255
-std::uint8_t add(std::uint8_t a, std::uint8_t b);  // XOR, provided for clarity
 
-// dst[i] ^= c * src[i] for i in [0, n). The workhorse of encode/decode.
+/// Field division; `div(a, 0) == 0` by convention (see file docs).
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; `inv(0) == 0` by convention (see file docs).
+std::uint8_t inv(std::uint8_t a);
+
+/// generator^e; `e` may exceed 255 or be negative (reduced mod 255).
+std::uint8_t exp(int e);
+
+/// Field addition (XOR), provided for clarity at call sites.
+std::uint8_t add(std::uint8_t a, std::uint8_t b);
+
+/// `dst[i] ^= c * src[i]` for i in [0, n) — the workhorse of encode/decode.
+/// No alignment requirement; `dst`/`src` must not partially overlap.
+/// Dispatches to the active SIMD kernel (`gf256_dispatch.hpp`).
 void mul_add_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                  std::size_t n);
 
-// dst[i] = c * src[i].
+/// `dst[i] = c * src[i]`. In-place (`dst == src`) is allowed; partial
+/// overlap is not. Dispatches to the active SIMD kernel.
 void mul_row(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
              std::size_t n);
 

@@ -1,0 +1,200 @@
+#include "erasure/gf256_dispatch.hpp"
+
+#include <array>
+
+#include "common/cpu.hpp"
+#include "erasure/gf256.hpp"
+
+#if defined(__x86_64__) && !defined(DL_FORCE_SCALAR_BUILD)
+#define DL_GF256_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace dl::gf256 {
+
+namespace {
+
+// All kernels share one shape: dst[i] = (assign ? 0 : dst[i]) ^ c * src[i].
+// The c==0 / c==1 fast paths live in the public wrappers (gf256.cpp); the
+// kernels themselves are correct for every c.
+
+void row_op_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                   std::size_t n, bool assign) {
+  // Per-scalar 256-entry product table, then stream byte-by-byte.
+  std::array<std::uint8_t, 256> row;
+  for (int v = 0; v < 256; ++v) {
+    row[static_cast<std::size_t>(v)] = mul(c, static_cast<std::uint8_t>(v));
+  }
+  if (assign) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  }
+}
+
+#if defined(DL_GF256_SIMD)
+
+// Split low/high-nibble tables: GF(2^8) multiplication is GF(2)-linear, so
+// mul(c, b) = L[b & 15] ^ H[b >> 4] with L[x] = mul(c, x) and
+// H[x] = mul(c, x << 4). pshufb evaluates a 16-entry table per lane.
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[16];
+  alignas(16) std::uint8_t hi[16];
+};
+
+NibbleTables make_nibble_tables(std::uint8_t c) {
+  NibbleTables t;
+  for (int x = 0; x < 16; ++x) {
+    t.lo[x] = mul(c, static_cast<std::uint8_t>(x));
+    t.hi[x] = mul(c, static_cast<std::uint8_t>(x << 4));
+  }
+  return t;
+}
+
+__attribute__((target("ssse3")))
+void row_op_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t n, bool assign) {
+  const NibbleTables t = make_nibble_tables(c);
+  const __m128i lo_t = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi_t = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo),
+                                 _mm_shuffle_epi8(hi_t, hi));
+    if (!assign) {
+      prod = _mm_xor_si128(
+          prod, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), prod);
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t p =
+        static_cast<std::uint8_t>(t.lo[src[i] & 0xF] ^ t.hi[src[i] >> 4]);
+    dst[i] = assign ? p : dst[i] ^ p;
+  }
+}
+
+__attribute__((target("avx2")))
+void row_op_avx2(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                 std::size_t n, bool assign) {
+  const NibbleTables t = make_nibble_tables(c);
+  const __m256i lo_t = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi_t = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_and_si256(v, mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo),
+                                    _mm256_shuffle_epi8(hi_t, hi));
+    if (!assign) {
+      prod = _mm256_xor_si256(
+          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t p =
+        static_cast<std::uint8_t>(t.lo[src[i] & 0xF] ^ t.hi[src[i] >> 4]);
+    dst[i] = assign ? p : dst[i] ^ p;
+  }
+}
+
+#endif  // DL_GF256_SIMD
+
+bool kernel_supported(Kernel k) {
+  switch (k) {
+    case Kernel::Scalar:
+      return true;
+#if defined(DL_GF256_SIMD)
+    case Kernel::Ssse3:
+      return cpu::has_ssse3();
+    case Kernel::Avx2:
+      return cpu::has_avx2();
+#endif
+    default:
+      return false;
+  }
+}
+
+Kernel resolve_default() {
+  if (cpu::force_scalar()) return Kernel::Scalar;
+  if (kernel_supported(Kernel::Avx2)) return Kernel::Avx2;
+  if (kernel_supported(Kernel::Ssse3)) return Kernel::Ssse3;
+  return Kernel::Scalar;
+}
+
+Kernel& active_slot() {
+  static Kernel k = resolve_default();
+  return k;
+}
+
+void row_op(Kernel k, std::uint8_t* dst, const std::uint8_t* src,
+            std::uint8_t c, std::size_t n, bool assign) {
+  switch (k) {
+#if defined(DL_GF256_SIMD)
+    case Kernel::Avx2:
+      if (cpu::has_avx2()) {
+        row_op_avx2(dst, src, c, n, assign);
+        return;
+      }
+      break;
+    case Kernel::Ssse3:
+      if (cpu::has_ssse3()) {
+        row_op_ssse3(dst, src, c, n, assign);
+        return;
+      }
+      break;
+#endif
+    default:
+      break;
+  }
+  row_op_scalar(dst, src, c, n, assign);
+}
+
+}  // namespace
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::Ssse3:
+      return "ssse3";
+    case Kernel::Avx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+std::vector<Kernel> supported_kernels() {
+  std::vector<Kernel> out{Kernel::Scalar};
+  if (kernel_supported(Kernel::Ssse3)) out.push_back(Kernel::Ssse3);
+  if (kernel_supported(Kernel::Avx2)) out.push_back(Kernel::Avx2);
+  return out;
+}
+
+Kernel active_kernel() { return active_slot(); }
+
+void set_active_kernel(Kernel k) {
+  active_slot() = kernel_supported(k) ? k : Kernel::Scalar;
+}
+
+void mul_add_row_with(Kernel k, std::uint8_t* dst, const std::uint8_t* src,
+                      std::uint8_t c, std::size_t n) {
+  row_op(k, dst, src, c, n, /*assign=*/false);
+}
+
+void mul_row_with(Kernel k, std::uint8_t* dst, const std::uint8_t* src,
+                  std::uint8_t c, std::size_t n) {
+  row_op(k, dst, src, c, n, /*assign=*/true);
+}
+
+}  // namespace dl::gf256

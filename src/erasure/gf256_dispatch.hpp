@@ -1,0 +1,68 @@
+/// \file
+/// Runtime CPU dispatch for the GF(2^8) bulk row kernels.
+///
+/// `gf256::mul_add_row` / `gf256::mul_row` — the inner loops of
+/// Reed-Solomon encode and reconstruct — resolve through this layer to the
+/// widest kernel the host supports:
+///
+///   - \ref Kernel::Avx2   — 32 lanes/iteration, split low/high-nibble
+///                           16-entry tables via `vpshufb` (the
+///                           ISA-L / klauspost/reedsolomon technique);
+///   - \ref Kernel::Ssse3  — the same trick at 16 lanes via `pshufb`;
+///   - \ref Kernel::Scalar — a per-scalar 256-entry product table, portable
+///                           to any architecture.
+///
+/// ### Dispatch contract
+///
+/// - Every kernel produces **byte-identical output** for every (scalar,
+///   length, alignment) input. SIMD paths handle unaligned heads and tails
+///   with unaligned loads plus a scalar epilogue; there is **no alignment
+///   requirement** on `dst`/`src` and no minimum length.
+/// - `dst` and `src` must either not overlap, or be the identical pointer
+///   (in-place `mul_row`); partial overlap is undefined.
+/// - The default kernel is resolved once, at first use: the widest
+///   supported one, or \ref Kernel::Scalar when `dl::cpu::force_scalar()`
+///   is set (the `DL_FORCE_SCALAR` env var / `-DDL_FORCE_SCALAR=ON` build).
+/// - \ref set_active_kernel is a bench/test hook for measuring or
+///   differential-testing a specific tier; it is not thread-safe against
+///   concurrent row operations and must not be called from production code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dl::gf256 {
+
+/// Kernel tiers, narrowest to widest.
+enum class Kernel { Scalar, Ssse3, Avx2 };
+
+/// Human-readable tier name ("scalar", "ssse3", "avx2") for reports.
+const char* kernel_name(Kernel k);
+
+/// Kernels usable on this host, always starting with \ref Kernel::Scalar,
+/// in widening order. Compile-time scalar builds (`DL_FORCE_SCALAR_BUILD`)
+/// report only the scalar tier; the runtime `DL_FORCE_SCALAR` override does
+/// NOT shrink this list (the hardware still supports the kernels — they are
+/// just not picked by default), which is what lets differential tests
+/// exercise every tier even under the override.
+std::vector<Kernel> supported_kernels();
+
+/// The kernel `mul_add_row`/`mul_row` currently resolve to.
+Kernel active_kernel();
+
+/// Bench/test hook: pin the default kernel. Requesting an unsupported tier
+/// falls back to \ref Kernel::Scalar.
+void set_active_kernel(Kernel k);
+
+/// `dst[i] ^= c * src[i]` with an explicitly chosen kernel (differential
+/// tests and microbenches only — production code calls gf256::mul_add_row).
+/// An unsupported tier falls back to scalar.
+void mul_add_row_with(Kernel k, std::uint8_t* dst, const std::uint8_t* src,
+                      std::uint8_t c, std::size_t n);
+
+/// `dst[i] = c * src[i]` with an explicitly chosen kernel.
+void mul_row_with(Kernel k, std::uint8_t* dst, const std::uint8_t* src,
+                  std::uint8_t c, std::size_t n);
+
+}  // namespace dl::gf256

@@ -111,7 +111,9 @@ std::uint8_t ReedSolomon::matrix_at(int r, int c) const {
 }
 
 std::vector<Bytes> ReedSolomon::encode(ByteView block) const {
-  // Header: 4-byte little-endian original length, then the payload.
+  // Header: 4-byte little-endian original length, then the payload. The
+  // whole padded block is one contiguous buffer; stripes are slices of it,
+  // so the parity kernels stream linearly across the source.
   const std::size_t total = block.size() + 4;
   const std::size_t stripe = (total + static_cast<std::size_t>(k_) - 1) / static_cast<std::size_t>(k_);
   Bytes padded(stripe * static_cast<std::size_t>(k_), 0);
@@ -119,13 +121,26 @@ std::vector<Bytes> ReedSolomon::encode(ByteView block) const {
   for (int i = 0; i < 4; ++i) padded[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(len >> (8 * i));
   std::copy(block.begin(), block.end(), padded.begin() + 4);
 
-  std::vector<Bytes> data(static_cast<std::size_t>(k_));
-  for (int i = 0; i < k_; ++i) {
-    data[static_cast<std::size_t>(i)].assign(
-        padded.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) * stripe),
-        padded.begin() + static_cast<std::ptrdiff_t>((static_cast<std::size_t>(i) + 1) * stripe));
+  // Parity rows accumulate into one contiguous (N-K)*stripe buffer.
+  Bytes parity(static_cast<std::size_t>(n_ - k_) * stripe, 0);
+  for (int r = k_; r < n_; ++r) {
+    std::uint8_t* row = parity.data() + static_cast<std::size_t>(r - k_) * stripe;
+    for (int c = 0; c < k_; ++c) {
+      gf256::mul_add_row(row, padded.data() + static_cast<std::size_t>(c) * stripe,
+                         matrix_at(r, c), stripe);
+    }
   }
-  return encode_shards(data);
+
+  std::vector<Bytes> out(static_cast<std::size_t>(n_));
+  for (int i = 0; i < k_; ++i) {
+    const auto begin = padded.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) * stripe);
+    out[static_cast<std::size_t>(i)].assign(begin, begin + static_cast<std::ptrdiff_t>(stripe));
+  }
+  for (int i = k_; i < n_; ++i) {
+    const auto begin = parity.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i - k_) * stripe);
+    out[static_cast<std::size_t>(i)].assign(begin, begin + static_cast<std::ptrdiff_t>(stripe));
+  }
+  return out;
 }
 
 std::vector<Bytes> ReedSolomon::encode_shards(const std::vector<Bytes>& data) const {
@@ -149,33 +164,42 @@ std::vector<Bytes> ReedSolomon::encode_shards(const std::vector<Bytes>& data) co
   return out;
 }
 
-std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_data_shards(
-    const std::vector<Bytes>& chunks) const {
-  if (static_cast<int>(chunks.size()) != n_) return std::nullopt;
-  // Collect present chunk indices and validate sizes.
-  std::vector<int> present;
+std::size_t ReedSolomon::stripe_of(const std::vector<Bytes>& chunks) const {
+  if (static_cast<int>(chunks.size()) != n_) return 0;
+  int present = 0;
   std::size_t stripe = 0;
-  for (int i = 0; i < n_; ++i) {
+  for (int i = 0; i < n_ && present < k_; ++i) {
     const Bytes& c = chunks[static_cast<std::size_t>(i)];
     if (c.empty()) continue;
     if (stripe == 0) {
       stripe = c.size();
     } else if (c.size() != stripe) {
-      return std::nullopt;
+      return 0;
     }
-    present.push_back(i);
-    if (static_cast<int>(present.size()) == k_) break;
+    ++present;
   }
-  if (static_cast<int>(present.size()) < k_ || stripe == 0) return std::nullopt;
+  return present == k_ ? stripe : 0;
+}
 
-  std::vector<Bytes> data(static_cast<std::size_t>(k_));
+bool ReedSolomon::reconstruct_data_into(const std::vector<Bytes>& chunks,
+                                        std::uint8_t* dst,
+                                        std::size_t stripe) const {
+  if (stripe == 0) return false;
+  std::vector<int> present;
+  present.reserve(static_cast<std::size_t>(k_));
+  for (int i = 0; i < n_ && static_cast<int>(present.size()) < k_; ++i) {
+    if (!chunks[static_cast<std::size_t>(i)].empty()) present.push_back(i);
+  }
+  if (static_cast<int>(present.size()) < k_) return false;
+
   if (present[static_cast<std::size_t>(k_ - 1)] == k_ - 1) {
     // All K data chunks survived: the submatrix is the identity (systematic
-    // code), so "solving" is a straight copy.
+    // code), so "solving" is a straight copy into the contiguous output.
     for (int i = 0; i < k_; ++i) {
-      data[static_cast<std::size_t>(i)] = chunks[static_cast<std::size_t>(i)];
+      const Bytes& c = chunks[static_cast<std::size_t>(i)];
+      std::copy(c.begin(), c.end(), dst + static_cast<std::size_t>(i) * stripe);
     }
-    return data;
+    return true;
   }
 
   // Build the K×K submatrix of the rows we have and invert it.
@@ -185,17 +209,43 @@ std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_data_shards(
       sub[static_cast<std::size_t>(r * k_ + c)] = matrix_at(present[static_cast<std::size_t>(r)], c);
     }
   }
-  if (!invert_matrix(sub, k_)) return std::nullopt;
+  if (!invert_matrix(sub, k_)) return false;
 
-  // data_row_i = sum_j inv[i][j] * chunk[present[j]].
+  // data_row_i = sum_j inv[i][j] * chunk[present[j]], accumulated straight
+  // into the caller's contiguous buffer so the kernels stream.
   for (int i = 0; i < k_; ++i) {
-    Bytes& row = data[static_cast<std::size_t>(i)];
-    row.assign(stripe, 0);
+    std::uint8_t* row = dst + static_cast<std::size_t>(i) * stripe;
     for (int j = 0; j < k_; ++j) {
-      gf256::mul_add_row(row.data(),
+      gf256::mul_add_row(row,
                          chunks[static_cast<std::size_t>(present[static_cast<std::size_t>(j)])].data(),
                          sub[static_cast<std::size_t>(i * k_ + j)], stripe);
     }
+  }
+  return true;
+}
+
+std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_data_shards(
+    const std::vector<Bytes>& chunks) const {
+  const std::size_t stripe = stripe_of(chunks);
+  if (stripe == 0) return std::nullopt;
+  bool all_data_present = true;
+  for (int i = 0; i < k_; ++i) {
+    if (chunks[static_cast<std::size_t>(i)].empty()) {
+      all_data_present = false;
+      break;
+    }
+  }
+  if (all_data_present) {
+    // Straight per-chunk copy; no staging buffer needed.
+    std::vector<Bytes> data(chunks.begin(), chunks.begin() + k_);
+    return data;
+  }
+  Bytes buf(static_cast<std::size_t>(k_) * stripe, 0);
+  if (!reconstruct_data_into(chunks, buf.data(), stripe)) return std::nullopt;
+  std::vector<Bytes> data(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_; ++i) {
+    const auto begin = buf.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) * stripe);
+    data[static_cast<std::size_t>(i)].assign(begin, begin + static_cast<std::ptrdiff_t>(stripe));
   }
   return data;
 }
@@ -208,14 +258,12 @@ std::optional<std::vector<Bytes>> ReedSolomon::reconstruct_shards(
 }
 
 std::optional<Bytes> ReedSolomon::decode(const std::vector<Bytes>& chunks) const {
-  auto shards = reconstruct_data_shards(chunks);
-  if (!shards) return std::nullopt;
-  const std::size_t stripe = (*shards)[0].size();
-  Bytes padded;
-  padded.reserve(stripe * static_cast<std::size_t>(k_));
-  for (int i = 0; i < k_; ++i) {
-    append(padded, (*shards)[static_cast<std::size_t>(i)]);
-  }
+  const std::size_t stripe = stripe_of(chunks);
+  if (stripe == 0) return std::nullopt;
+  // Solve directly into one contiguous padded buffer — no per-shard
+  // vectors, no concatenation pass.
+  Bytes padded(static_cast<std::size_t>(k_) * stripe, 0);
+  if (!reconstruct_data_into(chunks, padded.data(), stripe)) return std::nullopt;
   if (padded.size() < 4) return std::nullopt;
   std::uint32_t len = 0;
   for (int i = 3; i >= 0; --i) len = len << 8 | padded[static_cast<std::size_t>(i)];

@@ -1,15 +1,30 @@
-// Systematic Reed-Solomon erasure code over GF(2^8).
-//
-// DispersedLedger disperses each block with an (N-2f, N) code: the block is
-// split into K = N-2f data chunks and extended with N-K parity chunks such
-// that ANY K chunks reconstruct the block. The code is systematic (chunks
-// 0..K-1 are the raw data stripes), built from a Vandermonde matrix
-// normalized so its top K×K block is the identity — the standard
-// construction, matching klauspost/reedsolomon used by the paper's prototype.
-//
-// Determinism matters for AVID-M: Encode is a pure function of the input, so
-// a retriever can re-encode a decoded block and compare Merkle roots
-// (Fig. 4, step 2-4 of the paper).
+/// \file
+/// Systematic Reed-Solomon erasure code over GF(2^8).
+///
+/// DispersedLedger disperses each block with an (N-2f, N) code: the block is
+/// split into K = N-2f data chunks and extended with N-K parity chunks such
+/// that ANY K chunks reconstruct the block. The code is systematic (chunks
+/// 0..K-1 are the raw data stripes), built from a Vandermonde matrix
+/// normalized so its top K×K block is the identity — the standard
+/// construction, matching klauspost/reedsolomon used by the paper's
+/// prototype.
+///
+/// ### Determinism
+///
+/// Encode is a pure function of the input — AVID-M needs this so a
+/// retriever can re-encode a decoded block and compare Merkle roots
+/// (Fig. 4, step 2-4 of the paper). The GF row kernels it calls are
+/// byte-identical across every SIMD dispatch tier (see
+/// `erasure/gf256_dispatch.hpp`), so encodings are also identical across
+/// hosts and across `DL_FORCE_SCALAR` settings.
+///
+/// ### Data layout
+///
+/// Encode and reconstruct stage their stripes in single contiguous buffers
+/// (one K·stripe source block, one contiguous output block) so the row
+/// kernels stream linearly; the `std::vector<Bytes>` chunk sets handed to
+/// callers are sliced out of those buffers at the end. No alignment
+/// requirements — chunk buffers may start anywhere.
 #pragma once
 
 #include <cstdint>
@@ -22,45 +37,55 @@ namespace dl {
 
 class ReedSolomon {
  public:
-  // data_shards = K >= 1, total_shards = N <= 255, K <= N.
-  // Throws std::invalid_argument on bad parameters.
+  /// data_shards = K >= 1, total_shards = N <= 255, K <= N.
+  /// Throws std::invalid_argument on bad parameters.
   ReedSolomon(int data_shards, int total_shards);
 
   int data_shards() const { return k_; }
   int total_shards() const { return n_; }
 
-  // Splits `block` into K equal stripes (zero-padding the last) and returns
-  // N chunks of identical size. A 4-byte little-endian length header is
-  // prepended so Decode can strip the padding; chunk size is therefore
-  // ceil((|block|+4) / K).
+  /// Splits `block` into K equal stripes (zero-padding the last) and returns
+  /// N chunks of identical size. A 4-byte little-endian length header is
+  /// prepended so decode() can strip the padding; chunk size is therefore
+  /// ceil((|block|+4) / K).
   std::vector<Bytes> encode(ByteView block) const;
 
-  // Encodes raw shards (no length header, no padding logic): `shards` must
-  // contain exactly K equal-length stripes; returns all N chunks.
+  /// Encodes raw shards (no length header, no padding logic): `shards` must
+  /// contain exactly K equal-length stripes; returns all N chunks.
   std::vector<Bytes> encode_shards(const std::vector<Bytes>& data) const;
 
-  // Reconstructs the original block from any K chunks. `chunks[i]` is either
-  // the i-th chunk or empty (missing). Returns std::nullopt if fewer than K
-  // chunks are present, sizes mismatch, or the length header is implausible.
+  /// Reconstructs the original block from any K chunks. `chunks[i]` is
+  /// either the i-th chunk or empty (missing). Returns std::nullopt if
+  /// fewer than K chunks are present, sizes mismatch, or the length header
+  /// is implausible.
   std::optional<Bytes> decode(const std::vector<Bytes>& chunks) const;
 
-  // Reconstructs all N raw shards from any K present shards (for tests and
-  // for re-encoding checks that need the full chunk set).
+  /// Reconstructs all N raw shards from any K present shards (for tests and
+  /// for re-encoding checks that need the full chunk set).
   std::optional<std::vector<Bytes>> reconstruct_shards(
       const std::vector<Bytes>& chunks) const;
 
-  // Reconstructs only the K data shards — skips re-deriving the N-K parity
-  // rows that a caller assembling the original block never reads. This is
-  // the decode() hot path: when all data chunks survive it degenerates to a
-  // copy, and otherwise it costs one K×K solve instead of a solve plus a
-  // full re-encode.
+  /// Reconstructs only the K data shards — skips re-deriving the N-K parity
+  /// rows that a caller assembling the original block never reads. This is
+  /// the decode() hot path: when all data chunks survive it degenerates to
+  /// a copy, and otherwise it costs one K×K solve instead of a solve plus a
+  /// full re-encode.
   std::optional<std::vector<Bytes>> reconstruct_data_shards(
       const std::vector<Bytes>& chunks) const;
 
-  // Row `r`, column `c` of the N×K encoding matrix.
+  /// Row `r`, column `c` of the N×K encoding matrix.
   std::uint8_t matrix_at(int r, int c) const;
 
  private:
+  // Solves for the K data stripes into the contiguous buffer `dst`
+  // (K*stripe bytes, with `stripe` from stripe_of()). Returns false if
+  // fewer than K chunks are present or sizes mismatch.
+  bool reconstruct_data_into(const std::vector<Bytes>& chunks,
+                             std::uint8_t* dst, std::size_t stripe) const;
+
+  // Validates chunk sizes and returns the stripe size (0 = unusable set).
+  std::size_t stripe_of(const std::vector<Bytes>& chunks) const;
+
   int k_;
   int n_;
   // Row-major N×K encoding matrix; top K×K block is identity.

@@ -8,32 +8,32 @@ namespace dl {
 
 namespace {
 
+// Inner nodes hash tag || left || right — a fixed 65-byte message, which the
+// single-pass tagged hasher folds in exactly two block compressions.
 Hash inner_hash(const Hash& l, const Hash& r) {
-  Sha256 h;
-  const std::uint8_t tag = 0x01;
-  h.update(ByteView(&tag, 1));
-  h.update(l.view());
-  h.update(r.view());
-  return h.finalize();
+  std::uint8_t lr[64];
+  __builtin_memcpy(lr, l.v.data(), 32);
+  __builtin_memcpy(lr + 32, r.v.data(), 32);
+  return sha256_tagged(0x01, ByteView(lr, 64));
 }
 
 }  // namespace
 
-Hash merkle_leaf_hash(ByteView leaf) {
-  Sha256 h;
-  const std::uint8_t tag = 0x00;
-  h.update(ByteView(&tag, 1));
-  h.update(leaf);
-  return h.finalize();
+Hash merkle_leaf_hash(ByteView leaf) { return sha256_tagged(0x00, leaf); }
+
+std::vector<Hash> merkle_leaf_hashes(const std::vector<Bytes>& leaves) {
+  std::vector<Hash> out;
+  out.reserve(leaves.size());
+  for (const Bytes& l : leaves) {
+    out.push_back(sha256_tagged(0x00, ByteView(l.data(), l.size())));
+  }
+  return out;
 }
 
 MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
     : leaf_count_(static_cast<std::uint32_t>(leaves.size())) {
   if (leaves.empty()) throw std::invalid_argument("MerkleTree: no leaves");
-  std::vector<Hash> level;
-  level.reserve(leaves.size());
-  for (const Bytes& l : leaves) level.push_back(merkle_leaf_hash(l));
-  levels_.push_back(level);
+  levels_.push_back(merkle_leaf_hashes(leaves));
   while (levels_.back().size() > 1) {
     const std::vector<Hash>& prev = levels_.back();
     std::vector<Hash> next;

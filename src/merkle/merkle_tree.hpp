@@ -49,6 +49,12 @@ class MerkleTree {
 // Hash of a leaf (domain-separated).
 Hash merkle_leaf_hash(ByteView leaf);
 
+// Batched leaf hashing: hashes of every leaf, in order. Equivalent to
+// calling merkle_leaf_hash per leaf but runs the whole set through the
+// dispatched single-pass tagged hasher — the shape MerkleTree construction
+// and AVID-M chunk commitment use (N equal-size erasure-coded chunks).
+std::vector<Hash> merkle_leaf_hashes(const std::vector<Bytes>& leaves);
+
 // Recomputes the root implied by (`leaf`, `proof`) and compares with `root`.
 // Returns false on any structural mismatch (wrong index, wrong depth).
 bool merkle_verify(const Hash& root, ByteView leaf, const MerkleProof& proof);

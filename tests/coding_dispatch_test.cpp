@@ -1,0 +1,251 @@
+// Differential tests for the SIMD coding/hashing data plane: every dispatch
+// tier must produce byte-identical output to the scalar reference for all
+// scalars × lengths × alignments, and whole-pipeline results (Reed-Solomon
+// encode/reconstruct, Merkle roots) must not depend on the active kernel.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/cpu.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "erasure/gf256.hpp"
+#include "erasure/gf256_dispatch.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "merkle/merkle_tree.hpp"
+
+namespace dl {
+namespace {
+
+// Saves and restores the pinned kernels so tests can't leak state.
+struct KernelGuard {
+  gf256::Kernel gf = gf256::active_kernel();
+  ShaKernel sha = sha256_active_kernel();
+  ~KernelGuard() {
+    gf256::set_active_kernel(gf);
+    sha256_set_active_kernel(sha);
+  }
+};
+
+TEST(CodingDispatch, ScalarKernelAlwaysSupported) {
+  const auto kernels = gf256::supported_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front(), gf256::Kernel::Scalar);
+  const auto sha = sha256_supported_kernels();
+  ASSERT_FALSE(sha.empty());
+  EXPECT_EQ(sha.front(), ShaKernel::Scalar);
+}
+
+TEST(CodingDispatch, ForceScalarPinsDefault) {
+  if (!cpu::force_scalar()) GTEST_SKIP() << "DL_FORCE_SCALAR not set";
+  EXPECT_EQ(gf256::active_kernel(), gf256::Kernel::Scalar);
+  EXPECT_EQ(sha256_active_kernel(), ShaKernel::Scalar);
+}
+
+// Every kernel, every scalar c, a battery of lengths that cover empty,
+// sub-vector, exactly-one-vector, vector+tail and multi-vector shapes, at
+// several misalignments of BOTH src and dst (the kernel runs in place
+// inside a pool at the offset, so unaligned loads and stores are both
+// exercised): must equal the mul()-per-byte reference, and bytes around
+// the target range must be untouched.
+TEST(CodingDispatch, MulAddRowAllKernelsAllScalars) {
+  const std::size_t lengths[] = {0, 1, 2, 3, 7, 15, 16, 17,
+                                 31, 32, 33, 63, 64, 65, 100, 257};
+  const Bytes src_pool = random_bytes(512 + 8, 100);
+  const Bytes dst_pool = random_bytes(512 + 8, 101);
+  for (const gf256::Kernel k : gf256::supported_kernels()) {
+    for (int c = 0; c < 256; ++c) {
+      for (const std::size_t n : lengths) {
+        for (const std::size_t offset : {0u, 1u, 3u, 7u}) {
+          const std::uint8_t* src = src_pool.data() + offset;
+          Bytes work = dst_pool;
+          std::uint8_t* dst = work.data() + offset;
+          Bytes expect = dst_pool;
+          for (std::size_t i = 0; i < n; ++i) {
+            expect[offset + i] ^= gf256::mul(static_cast<std::uint8_t>(c), src[i]);
+          }
+          gf256::mul_add_row_with(k, dst, src, static_cast<std::uint8_t>(c), n);
+          ASSERT_EQ(work, expect) << gf256::kernel_name(k) << " c=" << c
+                                  << " n=" << n << " off=" << offset;
+        }
+      }
+    }
+  }
+}
+
+TEST(CodingDispatch, MulRowAllKernelsAllScalars) {
+  const Bytes src_pool = random_bytes(512 + 8, 102);
+  for (const gf256::Kernel k : gf256::supported_kernels()) {
+    for (int c = 0; c < 256; ++c) {
+      for (const std::size_t n : {0u, 1u, 15u, 16u, 33u, 64u, 200u, 511u}) {
+        for (const std::size_t offset : {0u, 5u}) {
+          const std::uint8_t* src = src_pool.data() + offset;
+          // In-pool destination at the same offset: unaligned stores too.
+          Bytes work(512 + 8, 0xEE);
+          std::uint8_t* dst = work.data() + offset;
+          gf256::mul_row_with(k, dst, src, static_cast<std::uint8_t>(c), n);
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(dst[i], gf256::mul(static_cast<std::uint8_t>(c), src[i]))
+                << gf256::kernel_name(k) << " c=" << c << " n=" << n << " i=" << i;
+          }
+          for (std::size_t i = offset + n; i < work.size(); ++i) {
+            ASSERT_EQ(work[i], 0xEE) << "overrun at " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CodingDispatch, MulRowInPlaceAllKernels) {
+  for (const gf256::Kernel k : gf256::supported_kernels()) {
+    Bytes buf = random_bytes(321, 103);
+    Bytes expect = buf;
+    for (auto& b : expect) b = gf256::mul(29, b);
+    gf256::mul_row_with(k, buf.data(), buf.data(), 29, buf.size());
+    EXPECT_EQ(buf, expect) << gf256::kernel_name(k);
+  }
+}
+
+TEST(CodingDispatch, RandomizedLongRowsMatchScalar) {
+  Rng rng(104);
+  for (const gf256::Kernel k : gf256::supported_kernels()) {
+    if (k == gf256::Kernel::Scalar) continue;
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::size_t n = 1 + rng.next_below(65536);
+      const auto c = static_cast<std::uint8_t>(rng.next());
+      const Bytes src = random_bytes(n, 200 + static_cast<std::uint64_t>(trial));
+      Bytes simd = random_bytes(n, 300 + static_cast<std::uint64_t>(trial));
+      Bytes scalar = simd;
+      gf256::mul_add_row_with(k, simd.data(), src.data(), c, n);
+      gf256::mul_add_row_with(gf256::Kernel::Scalar, scalar.data(), src.data(), c, n);
+      ASSERT_EQ(simd, scalar) << gf256::kernel_name(k) << " trial=" << trial
+                              << " n=" << n << " c=" << int{c};
+    }
+  }
+}
+
+// Reed-Solomon encode → drop N-K chunks → reconstruct must round-trip at
+// the paper's (N, f) deployments under every kernel, and the encodings
+// themselves must be identical across kernels.
+TEST(CodingDispatch, ReedSolomonPipelineIdenticalAcrossKernels) {
+  KernelGuard guard;
+  struct P {
+    int n, f;
+  };
+  for (const P p : {P{4, 1}, P{16, 5}, P{32, 10}, P{64, 21}}) {
+    const int k = p.n - 2 * p.f;
+    const ReedSolomon rs(k, p.n);
+    const Bytes block = random_bytes(40961, static_cast<std::uint64_t>(p.n));
+
+    std::vector<std::vector<Bytes>> encodings;
+    for (const gf256::Kernel kern : gf256::supported_kernels()) {
+      gf256::set_active_kernel(kern);
+      encodings.push_back(rs.encode(block));
+    }
+    for (std::size_t i = 1; i < encodings.size(); ++i) {
+      ASSERT_EQ(encodings[i], encodings[0]) << "n=" << p.n;
+    }
+
+    // Drop a random max-size hole set, reconstruct under each kernel.
+    Rng rng(static_cast<std::uint64_t>(p.n) * 7);
+    std::vector<Bytes> holes = encodings[0];
+    int dropped = 0;
+    while (dropped < p.n - k) {
+      const auto i = static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(p.n)));
+      if (holes[i].empty()) continue;
+      holes[i].clear();
+      ++dropped;
+    }
+    for (const gf256::Kernel kern : gf256::supported_kernels()) {
+      gf256::set_active_kernel(kern);
+      const auto back = rs.decode(holes);
+      ASSERT_TRUE(back.has_value()) << "n=" << p.n << " " << gf256::kernel_name(kern);
+      ASSERT_EQ(*back, block) << "n=" << p.n << " " << gf256::kernel_name(kern);
+      const auto shards = rs.reconstruct_shards(holes);
+      ASSERT_TRUE(shards.has_value());
+      ASSERT_EQ(*shards, encodings[0]) << "n=" << p.n << " " << gf256::kernel_name(kern);
+    }
+  }
+}
+
+// SHA-256: every kernel must agree with the scalar rounds on lengths that
+// cover every padding shape (block boundaries ±1, the 55/56/57 pivot where
+// the length field spills into a second padding block).
+TEST(CodingDispatch, Sha256KernelsIdenticalAcrossLengths) {
+  KernelGuard guard;
+  const Bytes data = random_bytes(1 << 16, 105);
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 130; ++n) lengths.push_back(n);
+  for (const std::size_t n : {255u, 256u, 1000u, 4096u, 65536u}) lengths.push_back(n);
+
+  for (const std::size_t n : lengths) {
+    const ByteView view(data.data(), n);
+    sha256_set_active_kernel(ShaKernel::Scalar);
+    const Hash ref = sha256(view);
+    const Hash ref_tagged = sha256_tagged(0x00, view);
+    for (const ShaKernel k : sha256_supported_kernels()) {
+      sha256_set_active_kernel(k);
+      EXPECT_EQ(sha256(view), ref) << sha_kernel_name(k) << " n=" << n;
+      EXPECT_EQ(sha256_tagged(0x00, view), ref_tagged)
+          << sha_kernel_name(k) << " n=" << n;
+    }
+  }
+}
+
+// sha256_tagged must equal hashing the concatenation through the
+// incremental path — it is an optimization, not a different function.
+TEST(CodingDispatch, TaggedHashMatchesIncremental) {
+  Rng rng(106);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.next_below(300);
+    const auto tag = static_cast<std::uint8_t>(rng.next_below(2));
+    const Bytes data = random_bytes(n, 400 + static_cast<std::uint64_t>(trial));
+    Sha256 h;
+    h.update(ByteView(&tag, 1));
+    h.update(ByteView(data.data(), data.size()));
+    EXPECT_EQ(sha256_tagged(tag, ByteView(data.data(), data.size())), h.finalize())
+        << "n=" << n;
+  }
+}
+
+TEST(CodingDispatch, MerkleRootIdenticalAcrossShaKernels) {
+  KernelGuard guard;
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 17; ++i) {
+    leaves.push_back(random_bytes(1 + static_cast<std::size_t>(i) * 37,
+                                  500 + static_cast<std::uint64_t>(i)));
+  }
+  sha256_set_active_kernel(ShaKernel::Scalar);
+  const Hash ref = merkle_root(leaves);
+  const auto ref_leaves = merkle_leaf_hashes(leaves);
+  for (const ShaKernel k : sha256_supported_kernels()) {
+    sha256_set_active_kernel(k);
+    EXPECT_EQ(merkle_root(leaves), ref) << sha_kernel_name(k);
+    EXPECT_EQ(merkle_leaf_hashes(leaves), ref_leaves) << sha_kernel_name(k);
+    // Proofs built under one kernel verify under another.
+    MerkleTree tree(leaves);
+    for (std::uint32_t i = 0; i < tree.leaf_count(); ++i) {
+      EXPECT_TRUE(merkle_verify(ref, ByteView(leaves[i].data(), leaves[i].size()),
+                                tree.prove(i)))
+          << sha_kernel_name(k) << " leaf=" << i;
+    }
+  }
+}
+
+TEST(CodingDispatch, BatchedLeafHashesMatchSingle) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 9; ++i) {
+    leaves.push_back(random_bytes(static_cast<std::size_t>(i) * 63,
+                                  600 + static_cast<std::uint64_t>(i)));
+  }
+  const auto batch = merkle_leaf_hashes(leaves);
+  ASSERT_EQ(batch.size(), leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(batch[i], merkle_leaf_hash(ByteView(leaves[i].data(), leaves[i].size())))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace dl
