@@ -3,88 +3,215 @@
 # transaction workload, and verifies that every replica committed the same
 # ledger prefix.
 #
+# Two workload modes:
+#   default      each replica self-drives a synthetic workload (--selfdrive)
+#                and exits after committing EPOCHS epochs.
+#   -L           loadgen mode: replicas take NO synthetic load; dl_loadgen
+#                submits TXCOUNT transactions through the client ingress
+#                plane and must observe 100% of them committed. Replicas are
+#                then shut down gracefully (SIGTERM) and their common ledger
+#                prefix is required to be identical. BENCH_loadgen.{json,csv}
+#                (dl-perf-v1: commit throughput + submit→commit percentiles)
+#                land in the artifact directory.
+#
 # Usage: scripts/run_local_cluster.sh [options]
 #   -n N          cluster size                  (default 4)
-#   -e EPOCHS     epochs every replica must commit (default 120)
+#   -e EPOCHS     epochs every replica must commit (default 120; selfdrive mode)
 #   -b BUILD_DIR  directory containing dlnoded  (default build)
 #   -p BASE_PORT  first listen port             (default random high port)
 #   -t SECONDS    per-replica watchdog          (default 90)
+#   -L            loadgen mode (see above)
+#   -c TXCOUNT    transactions dl_loadgen submits (default 2000; -L only)
+#   -r RATE       offered load in payload bytes/sec (default 400000; -L only)
+#   -o DIR        where BENCH_loadgen.{json,csv} are copied (-L only)
 #   -k            keep the work directory on success
 #
-# Exit status: 0 iff every replica exited cleanly AND all committed-ledger
-# prefixes (epochs < EPOCHS) are byte-identical.
+# Port collisions: replicas exit 3 when they cannot bind; the script then
+# retries the whole boot on a fresh random port range (up to 5 attempts)
+# before giving up, so a busy ephemeral port cannot flake the smoke test.
+#
+# Exit status: 0 iff every replica exited cleanly AND the checked ledger
+# prefixes are byte-identical (and, with -L, dl_loadgen saw every submitted
+# transaction commit).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 N=4
 EPOCHS=120
 BUILD_DIR=build
-BASE_PORT=$((20000 + RANDOM % 20000))
+BASE_PORT=0
 WATCHDOG=90
+LOADGEN=0
+TXCOUNT=2000
+RATE=400000
+OUT_DIR=""
 KEEP=0
-while getopts "n:e:b:p:t:k" opt; do
+while getopts "n:e:b:p:t:Lc:r:o:k" opt; do
   case "$opt" in
     n) N="$OPTARG" ;;
     e) EPOCHS="$OPTARG" ;;
     b) BUILD_DIR="$OPTARG" ;;
     p) BASE_PORT="$OPTARG" ;;
     t) WATCHDOG="$OPTARG" ;;
+    L) LOADGEN=1 ;;
+    c) TXCOUNT="$OPTARG" ;;
+    r) RATE="$OPTARG" ;;
+    o) OUT_DIR="$OPTARG" ;;
     k) KEEP=1 ;;
     *) exit 2 ;;
   esac
 done
 
 DLNODED="$BUILD_DIR/dlnoded"
+DLLOADGEN="$BUILD_DIR/dl_loadgen"
 if [ ! -x "$DLNODED" ]; then
   echo "run_local_cluster: $DLNODED not found (build first)" >&2
   exit 2
 fi
+if [ "$LOADGEN" -eq 1 ] && [ ! -x "$DLLOADGEN" ]; then
+  echo "run_local_cluster: $DLLOADGEN not found (build first)" >&2
+  exit 2
+fi
 
 WORK=$(mktemp -d /tmp/dl_cluster.XXXXXX)
-echo "run_local_cluster: n=$N epochs=$EPOCHS base_port=$BASE_PORT work=$WORK"
 
-F=$(((N - 1) / 3))
-{
-  echo "[cluster]"
-  echo "n = $N"
-  echo "f = $F"
-  for ((i = 0; i < N; i++)); do
-    echo ""
-    echo "[[node]]"
-    echo "id = $i"
-    echo "host = \"127.0.0.1\""
-    echo "port = $((BASE_PORT + i))"
-  done
-} > "$WORK/cluster.toml"
+write_config() {
+  local base="$1"
+  local f=$(((N - 1) / 3))
+  {
+    echo "[cluster]"
+    echo "n = $N"
+    echo "f = $f"
+    for ((i = 0; i < N; i++)); do
+      echo ""
+      echo "[[node]]"
+      echo "id = $i"
+      echo "host = \"127.0.0.1\""
+      echo "port = $((base + i))"
+      if [ "$LOADGEN" -eq 1 ]; then
+        echo "client_port = $((base + N + i))"
+      fi
+    done
+  } > "$WORK/cluster.toml"
+}
 
+# Boots all replicas; on a bind collision (any replica exits 3 within the
+# grace window) kills the survivors and returns 3 so the caller can retry
+# on a fresh port range. On success, replica pids are in pids[].
 pids=()
-for ((i = 0; i < N; i++)); do
-  "$DLNODED" --config "$WORK/cluster.toml" --id "$i" \
-    --target-epochs "$EPOCHS" --ledger "$WORK/ledger_$i.log" \
-    --max-seconds "$WATCHDOG" \
-    > "$WORK/node_$i.out" 2>&1 &
-  pids+=($!)
+boot_replicas() {
+  local extra=()
+  if [ "$LOADGEN" -eq 1 ]; then
+    extra+=(--target-epochs 0)
+  else
+    extra+=(--selfdrive --target-epochs "$EPOCHS")
+  fi
+  pids=()
+  for ((i = 0; i < N; i++)); do
+    "$DLNODED" --config "$WORK/cluster.toml" --id "$i" \
+      --ledger "$WORK/ledger_$i.log" --max-seconds "$WATCHDOG" \
+      "${extra[@]}" > "$WORK/node_$i.out" 2>&1 &
+    pids+=($!)
+  done
+  # Bind failures surface within moments of exec; give them a beat.
+  sleep 1
+  for ((i = 0; i < N; i++)); do
+    if ! kill -0 "${pids[$i]}" 2>/dev/null; then
+      local rc=0
+      wait "${pids[$i]}" || rc=$?
+      if [ "$rc" -eq 3 ]; then
+        echo "run_local_cluster: replica $i could not bind (port collision)" >&2
+        for p in "${pids[@]}"; do kill "$p" 2>/dev/null || true; done
+        wait 2>/dev/null || true
+        return 3
+      fi
+    fi
+  done
+  return 0
+}
+
+booted=0
+for attempt in 1 2 3 4 5; do
+  if [ "$BASE_PORT" -ne 0 ] && [ "$attempt" -gt 1 ]; then
+    echo "run_local_cluster: fixed base port $BASE_PORT busy, giving up" >&2
+    break
+  fi
+  base=$BASE_PORT
+  [ "$base" -eq 0 ] && base=$((20000 + RANDOM % 20000))
+  echo "run_local_cluster: n=$N mode=$([ "$LOADGEN" -eq 1 ] && echo loadgen || echo selfdrive) base_port=$base attempt=$attempt work=$WORK"
+  write_config "$base"
+  if boot_replicas; then
+    booted=1
+    break
+  fi
 done
+if [ "$booted" -ne 1 ]; then
+  echo "run_local_cluster: FAIL — could not allocate ports after retries" >&2
+  exit 1
+fi
 
 fail=0
+
+if [ "$LOADGEN" -eq 1 ]; then
+  # Drive the cluster purely through the client ingress plane.
+  lg_rc=0
+  "$DLLOADGEN" --config "$WORK/cluster.toml" --connections $((2 * N)) \
+    --count "$TXCOUNT" --rate-bytes "$RATE" --tx-bytes 200 \
+    --out "$WORK" --max-seconds "$WATCHDOG" \
+    > "$WORK/loadgen.out" 2>&1 || lg_rc=$?
+  tail -3 "$WORK/loadgen.out"
+  if [ "$lg_rc" -ne 0 ]; then
+    echo "run_local_cluster: dl_loadgen FAILED (rc=$lg_rc):" >&2
+    tail -10 "$WORK/loadgen.out" >&2
+    fail=1
+  fi
+  # Graceful shutdown; replicas must exit 0 (flushing their ledgers).
+  for p in "${pids[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
+fi
+
+# Collect and propagate every replica's exit code.
+rcs=()
 for ((i = 0; i < N; i++)); do
-  if ! wait "${pids[$i]}"; then
-    echo "run_local_cluster: replica $i FAILED:" >&2
+  rc=0
+  wait "${pids[$i]}" || rc=$?
+  rcs+=("$rc")
+  if [ "$rc" -ne 0 ]; then
+    echo "run_local_cluster: replica $i FAILED (exit $rc):" >&2
     tail -5 "$WORK/node_$i.out" >&2
     fail=1
   fi
 done
+echo "run_local_cluster: replica exit codes: ${rcs[*]}"
 
-# Every replica delivered epochs [0, EPOCHS) completely before exiting, so
-# the ledger lines with delivered-at-epoch < EPOCHS must be identical files.
+# Ledger agreement. Selfdrive mode: every replica delivered epochs
+# [0, EPOCHS) completely before exiting, so the lines with
+# delivered-at-epoch < EPOCHS must be identical files. Loadgen mode:
+# replicas were stopped asynchronously, so compare the longest common
+# (min-length) prefix instead — it must cover every committed transaction.
 if [ "$fail" -eq 0 ]; then
-  for ((i = 0; i < N; i++)); do
-    awk -v e="$EPOCHS" '$1 < e' "$WORK/ledger_$i.log" > "$WORK/prefix_$i.log"
-  done
-  lines=$(wc -l < "$WORK/prefix_0.log")
-  if [ "$lines" -lt "$EPOCHS" ]; then
-    echo "run_local_cluster: replica 0 prefix has only $lines lines" >&2
-    fail=1
+  if [ "$LOADGEN" -eq 1 ]; then
+    min_lines=$(wc -l < "$WORK/ledger_0.log")
+    for ((i = 1; i < N; i++)); do
+      l=$(wc -l < "$WORK/ledger_$i.log")
+      [ "$l" -lt "$min_lines" ] && min_lines=$l
+    done
+    if [ "$min_lines" -lt 1 ]; then
+      echo "run_local_cluster: empty ledger prefix" >&2
+      fail=1
+    fi
+    for ((i = 0; i < N; i++)); do
+      head -n "$min_lines" "$WORK/ledger_$i.log" > "$WORK/prefix_$i.log"
+    done
+    lines=$min_lines
+  else
+    for ((i = 0; i < N; i++)); do
+      awk -v e="$EPOCHS" '$1 < e' "$WORK/ledger_$i.log" > "$WORK/prefix_$i.log"
+    done
+    lines=$(wc -l < "$WORK/prefix_0.log")
+    if [ "$lines" -lt "$EPOCHS" ]; then
+      echo "run_local_cluster: replica 0 prefix has only $lines lines" >&2
+      fail=1
+    fi
   fi
   for ((i = 1; i < N; i++)); do
     if ! cmp -s "$WORK/prefix_0.log" "$WORK/prefix_$i.log"; then
@@ -95,9 +222,30 @@ if [ "$fail" -eq 0 ]; then
   done
 fi
 
+# Loadgen mode: the perf artifact must exist with non-empty percentiles.
+if [ "$LOADGEN" -eq 1 ] && [ "$fail" -eq 0 ]; then
+  if [ ! -s "$WORK/BENCH_loadgen.json" ]; then
+    echo "run_local_cluster: missing BENCH_loadgen.json" >&2
+    fail=1
+  elif grep -q '"name":"submit_commit_p50","unit":"ns","ops":0,' \
+      "$WORK/BENCH_loadgen.json"; then
+    echo "run_local_cluster: empty latency percentiles in BENCH_loadgen.json" >&2
+    fail=1
+  fi
+  if [ -n "$OUT_DIR" ] && [ "$fail" -eq 0 ]; then
+    mkdir -p "$OUT_DIR"
+    cp "$WORK/BENCH_loadgen.json" "$WORK/BENCH_loadgen.csv" "$OUT_DIR/"
+  fi
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "run_local_cluster: PASS — $N replicas committed an identical" \
-       "$lines-block prefix covering $EPOCHS epochs"
+  if [ "$LOADGEN" -eq 1 ]; then
+    echo "run_local_cluster: PASS — $N replicas agree on a $lines-block" \
+         "prefix; dl_loadgen committed $TXCOUNT/$TXCOUNT transactions"
+  else
+    echo "run_local_cluster: PASS — $N replicas committed an identical" \
+         "$lines-block prefix covering $EPOCHS epochs"
+  fi
   [ "$KEEP" -eq 1 ] || rm -rf "$WORK"
 else
   echo "run_local_cluster: FAIL — logs kept in $WORK" >&2

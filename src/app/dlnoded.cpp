@@ -1,22 +1,46 @@
 // dlnoded — one DispersedLedger replica as a real process over TCP.
 //
 // Loads a cluster config (see net/cluster_config.hpp), runs a DlNode on a
-// net::TcpEnv, drives a synthetic transaction workload, and streams the
-// committed ledger to a file: one line per delivered block,
+// net::TcpEnv, and streams the committed ledger to a file: one line per
+// delivered block,
 //
 //   <delivered-at-epoch> <block-epoch> <proposer> <sha256 of block bytes>
 //
 // in delivery order — identical across correct replicas (the smoke test in
-// scripts/run_local_cluster.sh diffs these files). The process exits 0 once
-// it has delivered --target-epochs epochs, after a short --linger-seconds
-// grace period during which it keeps serving retrieval chunks to replicas
-// that are still catching up; --max-seconds is a hard watchdog that exits 1.
+// scripts/run_local_cluster.sh diffs these files).
+//
+// Transactions come from one of two sources:
+//
+//   - The client ingress plane (default when the config gives this node a
+//     client_port): a client::Gateway on the same event loop accepts
+//     dl_client/dl_loadgen connections, admits transactions through a
+//     client::Mempool, and notifies submitters when their transactions
+//     commit. See docs/DEPLOY.md.
+//   - --selfdrive: the legacy synthetic generator (one transaction every
+//     --tx-interval-ms), for self-contained smoke runs with no external
+//     load source.
+//
+// Lifecycle: with --target-epochs E the process exits 0 once it delivered E
+// epochs, after a --linger-seconds grace during which it keeps serving
+// retrieval chunks to stragglers; E = 0 means run until signalled.
+// SIGINT/SIGTERM trigger a graceful shutdown — close client connections
+// with a final Goodbye frame, flush the ledger stream, exit 0 — instead of
+// dying mid-write. --max-seconds is a hard watchdog that exits 1.
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "client/gateway.hpp"
 #include "crypto/sha256.hpp"
 #include "dl/node.hpp"
 #include "net/tcp_env.hpp"
@@ -26,7 +50,8 @@ namespace {
 struct Flags {
   std::string config;
   int id = -1;
-  std::uint64_t target_epochs = 100;
+  std::uint64_t target_epochs = 100;  // 0 = run until signalled
+  bool selfdrive = false;
   std::size_t tx_bytes = 256;
   double tx_interval = 0.005;     // seconds
   double propose_delay = 0.020;   // seconds
@@ -44,9 +69,10 @@ void usage(const char* argv0) {
       "usage: %s --config FILE --id N [options]\n"
       "  --config FILE          cluster TOML (required)\n"
       "  --id N                 this replica's node id (required)\n"
-      "  --target-epochs E      deliver E epochs, then exit (default 100)\n"
+      "  --target-epochs E      deliver E epochs, then exit (default 100; 0 = until signal)\n"
+      "  --selfdrive            drive a synthetic workload (no client plane needed)\n"
       "  --tx-bytes B           synthetic transaction payload size (default 256)\n"
-      "  --tx-interval-ms M     submit one transaction every M ms (default 5)\n"
+      "  --tx-interval-ms M     submit one synthetic tx every M ms (default 5)\n"
       "  --propose-delay-ms M   proposal pacing delay (default 20)\n"
       "  --propose-size B       proposal pacing size trigger (default 32768)\n"
       "  --max-block-bytes B    block size cap (default 262144)\n"
@@ -70,6 +96,8 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       f.id = std::atoi(v);
     } else if (a == "--target-epochs" && (v = next())) {
       f.target_epochs = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--selfdrive") {
+      f.selfdrive = true;
     } else if (a == "--tx-bytes" && (v = next())) {
       f.tx_bytes = static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--tx-interval-ms" && (v = next())) {
@@ -139,74 +167,155 @@ int main(int argc, char** argv) {
     }
   }
 
-  net::EventLoop loop;
-  net::TcpEnv env(loop, *cluster, flags.id);
+  const net::NodeAddr& me = cluster->nodes[static_cast<std::size_t>(flags.id)];
 
-  core::NodeConfig cfg =
-      core::NodeConfig::dispersed_ledger(cluster->n, cluster->f, flags.id);
-  cfg.propose_delay = flags.propose_delay;
-  cfg.propose_size = flags.propose_size;
-  cfg.max_block_bytes = flags.max_block_bytes;
-  core::DlNode node(cfg, env);
+  net::EventLoop loop;
+  std::unique_ptr<net::TcpEnv> env;
+  std::unique_ptr<core::DlNode> node;
+  std::unique_ptr<client::Gateway> gateway;
+  try {
+    env = std::make_unique<net::TcpEnv>(loop, *cluster, flags.id);
+
+    core::NodeConfig cfg =
+        core::NodeConfig::dispersed_ledger(cluster->n, cluster->f, flags.id);
+    cfg.propose_delay = flags.propose_delay;
+    cfg.propose_size = flags.propose_size;
+    cfg.max_block_bytes = flags.max_block_bytes;
+    node = std::make_unique<core::DlNode>(cfg, *env);
+
+    if (me.client_port != 0) {
+      client::Gateway::Options gopt;
+      // A transaction must fit into a block next to its header.
+      gopt.mempool.max_tx_bytes =
+          std::min(gopt.mempool.max_tx_bytes, flags.max_block_bytes / 2);
+      gateway = std::make_unique<client::Gateway>(loop, *node, me.host,
+                                                  me.client_port, gopt);
+    }
+  } catch (const std::exception& e) {
+    // Distinct exit code: the launcher retries bind collisions on a fresh
+    // port range (see scripts/run_local_cluster.sh).
+    std::fprintf(stderr, "dlnoded[%d]: startup failed: %s\n", flags.id,
+                 e.what());
+    if (ledger != nullptr) std::fclose(ledger);
+    return 3;
+  }
 
   bool done = false;
   bool timed_out = false;
-  node.set_delivery_callback([&](std::uint64_t at_epoch, core::BlockKey key,
-                                 const core::Block& block, double) {
+  bool signalled = false;
+
+  auto finish = [&](const char* why) {
+    if (done) return;
+    done = true;
+    if (!flags.quiet) {
+      std::fprintf(stderr,
+                   "dlnoded[%d]: %s at t=%.2fs (epochs=%" PRIu64
+                   "); lingering %.1fs\n",
+                   flags.id, why, env->now(), node->stats().delivered_epochs,
+                   flags.linger);
+    }
+    // Keep answering retrieval requests while slower replicas catch up.
+    env->after(flags.linger, [&loop] { loop.stop(); });
+  };
+
+  node->set_delivery_callback([&](std::uint64_t at_epoch, core::BlockKey key,
+                                  const core::Block& block, double now) {
     if (ledger != nullptr) {
       std::fprintf(ledger, "%" PRIu64 " %" PRIu64 " %d %s\n", at_epoch,
                    key.epoch, key.proposer,
                    sha256(block.encode()).hex().c_str());
     }
-    if (!done && node.stats().delivered_epochs >= flags.target_epochs) {
-      done = true;
-      if (!flags.quiet) {
-        std::fprintf(stderr,
-                     "dlnoded[%d]: %" PRIu64 " epochs delivered at t=%.2fs; "
-                     "lingering %.1fs\n",
-                     flags.id, node.stats().delivered_epochs, env.now(),
-                     flags.linger);
-      }
-      // Keep answering retrieval requests while slower replicas catch up.
-      env.after(flags.linger, [&loop] { loop.stop(); });
+    if (gateway != nullptr) {
+      gateway->on_block_delivered(at_epoch, key, block, now);
+    }
+    if (flags.target_epochs != 0 &&
+        node->stats().delivered_epochs >= flags.target_epochs) {
+      finish("target epochs delivered");
     }
   });
 
-  // Synthetic client: one transaction every tx_interval seconds.
+  // Synthetic self-driven workload (legacy smoke mode).
   std::uint64_t tx_seq = 0;
   std::function<void()> submit_tick = [&] {
     if (done) return;
-    node.submit(random_bytes(flags.tx_bytes,
-                             (static_cast<std::uint64_t>(flags.id) << 40) | tx_seq++));
-    env.after(flags.tx_interval, submit_tick);
+    node->submit(random_bytes(flags.tx_bytes,
+                              (static_cast<std::uint64_t>(flags.id) << 40) | tx_seq++));
+    env->after(flags.tx_interval, submit_tick);
   };
-  env.after(flags.tx_interval, submit_tick);
+  if (flags.selfdrive) env->after(flags.tx_interval, submit_tick);
+
+  // Graceful SIGINT/SIGTERM: flush the ledger, say Goodbye to clients, exit
+  // cleanly — never die mid-ledger-line. Signals arrive on a signalfd
+  // multiplexed on the same epoll loop, so no async-signal-safety games.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigprocmask(SIG_BLOCK, &mask, nullptr);
+  const int sfd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  if (sfd < 0) {
+    // No graceful path — restore default delivery so the process at least
+    // stays killable instead of silently swallowing blocked signals.
+    sigprocmask(SIG_UNBLOCK, &mask, nullptr);
+  }
+  if (sfd >= 0) {
+    loop.add_fd(sfd, EPOLLIN, [&](std::uint32_t) {
+      signalfd_siginfo si;
+      while (read(sfd, &si, sizeof si) == sizeof si) {
+      }
+      if (signalled) return;
+      signalled = true;
+      if (!flags.quiet) {
+        std::fprintf(stderr, "dlnoded[%d]: signal: graceful shutdown\n",
+                     flags.id);
+      }
+      if (gateway != nullptr) gateway->shutdown();
+      if (ledger != nullptr) std::fflush(ledger);
+      loop.stop();
+    });
+  }
 
   // Watchdog.
-  env.after(flags.max_seconds, [&] {
-    if (!done) {
+  env->after(flags.max_seconds, [&] {
+    if (!done && !signalled) {
       timed_out = true;
       std::fprintf(stderr,
                    "dlnoded[%d]: TIMEOUT after %.0fs: delivered_epochs=%" PRIu64
                    " (target %" PRIu64 "), connected_peers=%d\n",
-                   flags.id, flags.max_seconds, node.stats().delivered_epochs,
-                   flags.target_epochs, env.connected_peers());
+                   flags.id, flags.max_seconds, node->stats().delivered_epochs,
+                   flags.target_epochs, env->connected_peers());
       loop.stop();
     }
   });
 
-  env.start();
+  env->start();
+  if (gateway != nullptr) gateway->start();
   loop.run();
 
+  if (gateway != nullptr) gateway->shutdown();
+  if (sfd >= 0) {
+    loop.del_fd(sfd);
+    close(sfd);
+  }
   if (ledger != nullptr) std::fclose(ledger);
-  const auto& st = node.stats();
+  const auto& st = node->stats();
   if (!flags.quiet) {
     std::fprintf(stderr,
                  "dlnoded[%d]: exit: epochs=%" PRIu64 " blocks=%" PRIu64
                  " payload_bytes=%" PRIu64 " fingerprint=%s\n",
                  flags.id, st.delivered_epochs, st.delivered_blocks,
                  st.delivered_payload_bytes,
-                 node.delivery_fingerprint().hex().substr(0, 16).c_str());
+                 node->delivery_fingerprint().hex().substr(0, 16).c_str());
+    if (gateway != nullptr) {
+      const auto& gs = gateway->stats();
+      const auto& ms = gateway->mempool().stats();
+      std::fprintf(stderr,
+                   "dlnoded[%d]: ingress: submits=%" PRIu64
+                   " admitted=%" PRIu64 " committed=%" PRIu64
+                   " dup=%" PRIu64 " full=%" PRIu64 " notified=%" PRIu64 "\n",
+                   flags.id, gs.submits, ms.admitted, ms.committed,
+                   ms.dropped_duplicate, ms.dropped_full, gs.commits_notified);
+    }
   }
   return timed_out ? 1 : 0;
 }

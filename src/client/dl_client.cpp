@@ -1,0 +1,285 @@
+#include "client/dl_client.hpp"
+
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket_util.hpp"
+
+namespace dl::client {
+
+using net::resolve_ipv4;
+using net::set_nodelay;
+using net::set_nonblocking;
+
+DlClient::DlClient(net::EventLoop& loop, std::string host, std::uint16_t port,
+                   Options opt)
+    : loop_(loop),
+      host_(std::move(host)),
+      port_(port),
+      opt_(opt),
+      reader_(opt.max_frame_bytes) {
+  if (opt_.nonce == 0) {
+    // Distinct per live client object; mixed so two clients allocated at
+    // the same recycled address in sequence still differ.
+    opt_.nonce = reinterpret_cast<std::uintptr_t>(this) ^
+                 (static_cast<std::uint64_t>(port) << 48) ^ 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+DlClient::~DlClient() { close(); }
+
+void DlClient::start() {
+  if (closed_ || fd_ >= 0 || redial_timer_ != 0) return;
+  dial();
+}
+
+void DlClient::close() {
+  closed_ = true;
+  if (redial_timer_ != 0) {
+    loop_.cancel_timer(redial_timer_);
+    redial_timer_ = 0;
+  }
+  if (fd_ >= 0) {
+    loop_.del_fd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  connecting_ = false;
+  want_write_ = false;
+  out_.clear();
+  out_off_ = 0;
+}
+
+std::uint64_t DlClient::submit(Bytes payload) {
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.submitted;
+  Outstanding tx;
+  tx.payload = std::move(payload);
+  const auto it = outstanding_.emplace(seq, std::move(tx)).first;
+  stats_.outstanding = outstanding_.size();
+  if (connected()) send_frame(net::encode_submit_tx(seq, it->second.payload));
+  // Not connected: on_connected() resubmits everything outstanding.
+  return seq;
+}
+
+// --- connection lifecycle ----------------------------------------------------
+
+void DlClient::schedule_dial() {
+  if (closed_ || remote_closed_ || redial_timer_ != 0) return;
+  backoff_ = backoff_ <= 0 ? opt_.reconnect_min
+                           : std::min(backoff_ * 2, opt_.reconnect_max);
+  redial_timer_ = loop_.after(backoff_, [this] {
+    redial_timer_ = 0;
+    dial();
+  });
+}
+
+void DlClient::dial() {
+  if (closed_ || fd_ >= 0) return;
+  sockaddr_in addr{};
+  if (!resolve_ipv4(host_, port_, addr)) {
+    schedule_dial();
+    return;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0 || !set_nonblocking(fd)) {
+    if (fd >= 0) ::close(fd);
+    schedule_dial();
+    return;
+  }
+  set_nodelay(fd);
+  const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    schedule_dial();
+    return;
+  }
+  fd_ = fd;
+  connecting_ = rc != 0;
+  want_write_ = true;
+  loop_.add_fd(fd, EPOLLIN | EPOLLOUT,
+               [this](std::uint32_t ev) { handle_event(ev); });
+  if (rc == 0) on_connected();
+}
+
+void DlClient::on_connected() {
+  connecting_ = false;
+  backoff_ = 0;
+  reader_.reset();
+  out_.clear();
+  out_off_ = 0;
+  send_frame(net::encode_client_hello(opt_.nonce));
+  // Resubmit every outstanding transaction in seq order; the gateway dedups
+  // by hash (Duplicate) or replays the commit (Committed).
+  for (const auto& [seq, tx] : outstanding_) {
+    ++stats_.resubmits;
+    send_frame(net::encode_submit_tx(seq, tx.payload));
+  }
+}
+
+void DlClient::disconnect() {
+  if (fd_ < 0) return;
+  loop_.del_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  connecting_ = false;
+  want_write_ = false;
+  reader_.reset();
+  out_.clear();
+  out_off_ = 0;
+  if (!closed_ && !remote_closed_) {
+    ++stats_.reconnects;
+    schedule_dial();
+  }
+}
+
+void DlClient::handle_event(std::uint32_t events) {
+  if (fd_ < 0) return;
+  if (connecting_) {
+    if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        disconnect();
+        return;
+      }
+      on_connected();
+    }
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    disconnect();
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    handle_readable();
+    if (fd_ < 0) return;
+  }
+  if ((events & EPOLLOUT) != 0) flush_writes();
+}
+
+// --- read path ---------------------------------------------------------------
+
+void DlClient::handle_readable() {
+  std::uint8_t buf[65536];
+  while (fd_ >= 0) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      if (!reader_.feed(ByteView(buf, static_cast<std::size_t>(n)))) {
+        disconnect();  // oversized frame: poisoned
+        return;
+      }
+      if (!drain_frames()) return;
+      continue;
+    }
+    if (n == 0) {
+      disconnect();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    disconnect();
+    return;
+  }
+}
+
+bool DlClient::drain_frames() {
+  Bytes fr;
+  while (fd_ >= 0 && reader_.next(fr)) {
+    net::WireFrame wf;
+    if (!net::decode_wire(fr, wf)) {
+      disconnect();  // malformed: poison the connection
+      return false;
+    }
+    switch (wf.kind) {
+      case net::WireKind::TxAck: {
+        ++stats_.acked;
+        if (wf.status == net::TxStatus::Full ||
+            wf.status == net::TxStatus::TooLarge) {
+          // Terminal rejection: the node will never commit this payload.
+          // Forget it — retrying is the caller's policy decision.
+          ++stats_.rejected;
+          outstanding_.erase(wf.client_seq);
+          stats_.outstanding = outstanding_.size();
+        } else if (wf.status == net::TxStatus::Duplicate) {
+          ++stats_.duplicates;
+        }
+        if (on_ack_) on_ack_(wf.client_seq, wf.status);
+        break;
+      }
+      case net::WireKind::TxCommitted:
+        handle_commit(wf);
+        break;
+      case net::WireKind::Goodbye:
+        remote_closed_ = true;
+        disconnect();
+        return false;
+      default:
+        disconnect();  // the node never sends anything else
+        return false;
+    }
+  }
+  if (fd_ >= 0 && reader_.failed()) {
+    disconnect();
+    return false;
+  }
+  return fd_ >= 0;
+}
+
+void DlClient::handle_commit(const net::WireFrame& wf) {
+  auto it = outstanding_.find(wf.client_seq);
+  if (it == outstanding_.end()) return;  // replayed commit: already observed
+  outstanding_.erase(it);
+  stats_.outstanding = outstanding_.size();
+  ++stats_.committed;
+  if (on_commit_) {
+    on_commit_(wf.client_seq, wf.epoch, wf.proposer,
+               static_cast<double>(wf.latency_us) / 1e6);
+  }
+}
+
+// --- write path --------------------------------------------------------------
+
+void DlClient::send_frame(Bytes frame) {
+  if (fd_ < 0) return;
+  out_.push_back(std::move(frame));
+  flush_writes();
+}
+
+void DlClient::flush_writes() {
+  while (fd_ >= 0 && !out_.empty()) {
+    const Bytes& buf = out_.front();
+    const ssize_t n = ::send(fd_, buf.data() + out_off_, buf.size() - out_off_,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      out_off_ += static_cast<std::size_t>(n);
+      if (out_off_ == buf.size()) {
+        out_.pop_front();
+        out_off_ = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    disconnect();
+    return;
+  }
+  update_interest();
+}
+
+void DlClient::update_interest() {
+  if (fd_ < 0) return;
+  const bool want = connecting_ || !out_.empty();
+  if (want == want_write_) return;
+  want_write_ = want;
+  loop_.mod_fd(fd_, EPOLLIN | (want ? static_cast<std::uint32_t>(EPOLLOUT) : 0u));
+}
+
+}  // namespace dl::client

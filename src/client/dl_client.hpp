@@ -1,0 +1,125 @@
+// DlClient — the client-side library of the ingress plane.
+//
+// One DlClient is one pipelined connection to one replica's client port:
+// submit transactions without waiting for acks, observe admission verdicts
+// (TxAck) and commit notifications (TxCommitted) through callbacks, and let
+// the library handle connect/reconnect with exponential backoff.
+//
+// Reliability model: every submitted transaction is remembered until its
+// commit notification arrives. On reconnect the client re-sends its
+// ClientHello (same session nonce — the gateway re-binds in-flight commit
+// subscriptions to the new socket) and resubmits every outstanding
+// transaction; the node-side mempool dedups by payload hash and replays
+// commits for payloads that committed while the connection was down, so a
+// transaction is never lost and never observed committed twice (commit
+// callbacks fire exactly once per seq).
+//
+// Single-threaded: runs on a net::EventLoop shared with whatever else the
+// process multiplexes (dl_loadgen runs many DlClients on one loop).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+
+namespace dl::client {
+
+class DlClient {
+ public:
+  struct Options {
+    std::uint64_t nonce = 0;  // 0 = derive one from the address of *this
+    std::size_t max_frame_bytes = 2u * 1024 * 1024;
+    double reconnect_min = 0.05;  // seconds, doubles per failure
+    double reconnect_max = 2.0;
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;   // submit() calls
+    std::uint64_t acked = 0;       // TxAck received (any status)
+    std::uint64_t committed = 0;   // TxCommitted received (first per seq)
+    std::uint64_t rejected = 0;    // acked Full/TooLarge (terminal)
+    std::uint64_t duplicates = 0;  // acked Duplicate (original will commit)
+    std::uint64_t resubmits = 0;   // frames re-sent after a reconnect
+    std::uint64_t reconnects = 0;
+    std::uint64_t outstanding = 0;  // submitted, not yet committed/rejected
+  };
+
+  // Fired once per seq. `epoch` is the monotone delivery epoch, `proposer`
+  // the committed block's proposer, `node_latency` the node-measured
+  // submit→commit seconds (client-side latency is the caller's clock).
+  using CommitFn = std::function<void(std::uint64_t seq, std::uint64_t epoch,
+                                      std::uint32_t proposer,
+                                      double node_latency)>;
+  using AckFn = std::function<void(std::uint64_t seq, net::TxStatus status)>;
+
+  DlClient(net::EventLoop& loop, std::string host, std::uint16_t port,
+           Options opt);
+  DlClient(net::EventLoop& loop, std::string host, std::uint16_t port)
+      : DlClient(loop, std::move(host), port, Options()) {}
+  ~DlClient();
+  DlClient(const DlClient&) = delete;
+  DlClient& operator=(const DlClient&) = delete;
+
+  // Begins dialing; safe to submit() before the connection is up (frames
+  // queue and flush on connect).
+  void start();
+  // Tears the connection down and stops reconnecting.
+  void close();
+
+  // Pipelined submit; returns the transaction's sequence number.
+  std::uint64_t submit(Bytes payload);
+
+  void set_commit_callback(CommitFn fn) { on_commit_ = std::move(fn); }
+  void set_ack_callback(AckFn fn) { on_ack_ = std::move(fn); }
+
+  bool connected() const { return fd_ >= 0 && !connecting_; }
+  // True once the node said Goodbye (graceful shutdown): no reconnects.
+  bool remote_closed() const { return remote_closed_; }
+  std::uint64_t nonce() const { return opt_.nonce; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Outstanding {
+    Bytes payload;
+  };
+
+  void dial();
+  void schedule_dial();
+  void on_connected();
+  void handle_event(std::uint32_t events);
+  void handle_readable();
+  bool drain_frames();  // false once the connection was torn down
+  void handle_commit(const net::WireFrame& wf);
+  void send_frame(Bytes frame);
+  void flush_writes();
+  void update_interest();
+  void disconnect();  // tear down + schedule redial (unless closed)
+
+  net::EventLoop& loop_;
+  std::string host_;
+  std::uint16_t port_;
+  Options opt_;
+  int fd_ = -1;
+  bool connecting_ = false;
+  bool want_write_ = false;
+  bool closed_ = false;
+  bool remote_closed_ = false;
+  double backoff_ = 0;
+  std::uint64_t redial_timer_ = 0;
+  net::FrameReader reader_;
+  std::deque<Bytes> out_;
+  std::size_t out_off_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, Outstanding> outstanding_;  // seq → tx
+  CommitFn on_commit_;
+  AckFn on_ack_;
+  Stats stats_;
+};
+
+}  // namespace dl::client

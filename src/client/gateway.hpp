@@ -1,0 +1,147 @@
+// Gateway — the node-side server of the client ingress plane.
+//
+// Listens on the node's `client_port` (net::ClusterConfig), multiplexed on
+// the SAME epoll EventLoop as the replica's TcpEnv, and turns external
+// SubmitTx frames into mempool admissions and DlNode submissions:
+//
+//   client ──SubmitTx──▶ Mempool.admit ──pump──▶ DlNode::submit ──▶ blocks
+//          ◀──TxAck────            (watermarked)
+//          ◀──TxCommitted── on_block_delivered (hash-matched per tx)
+//
+// Hardening mirrors the replica transport: accepted sockets must complete a
+// ClientHello within a deadline and a small pre-auth byte budget; frames are
+// length-checked before buffering; a malformed or oversized frame poisons
+// the connection (dropped, never UB). Per-client write queues are byte-
+// bounded — a client that stops reading its acks is disconnected rather
+// than allowed to pin node memory.
+//
+// Clients identify themselves with a session nonce (net::ClientHello). A
+// reconnecting client presents the same nonce and adopts its predecessor's
+// identity, so TxCommitted notifications for transactions admitted on the
+// old connection reach the new one; commits for clients that never return
+// are counted and dropped.
+//
+// The pump: admitted payloads do NOT go straight into DlNode's unbounded
+// input queue. They sit in the mempool (whose caps implement backpressure)
+// and are drained into the node only while the node's input queue is below
+// a watermark — on admission, after every delivered block, and on a slow
+// refill timer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "client/mempool.hpp"
+#include "dl/block.hpp"
+#include "dl/node.hpp"
+#include "net/cluster_config.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+
+namespace dl::client {
+
+class Gateway {
+ public:
+  struct Options {
+    MempoolOptions mempool;
+    // Client frames are one transaction at most; far below the replica
+    // frame ceiling.
+    std::size_t max_frame_bytes = 2u * 1024 * 1024;
+    // Per-client outbound queue cap; exceeding it disconnects the client.
+    std::size_t max_client_queue_bytes = 8u * 1024 * 1024;
+    double handshake_timeout = 5.0;
+    std::size_t max_clients = 1024;
+    // Stop pumping mempool → node while the node's input queue holds at
+    // least this many bytes (0 = derive 2×max_block_bytes from the node).
+    std::size_t node_queue_watermark = 0;
+    double pump_interval = 0.005;  // refill timer, seconds
+  };
+
+  struct Stats {
+    std::uint64_t accepted = 0;          // sockets past ClientHello
+    std::uint64_t active = 0;            // currently connected clients
+    std::uint64_t submits = 0;           // SubmitTx frames received
+    std::uint64_t commits_notified = 0;  // TxCommitted frames queued
+    std::uint64_t commits_clientless = 0;  // owner gone, notify dropped
+    std::uint64_t disconnects_slow = 0;    // write-queue cap exceeded
+    std::uint64_t disconnects_bad = 0;     // malformed/oversized frames
+  };
+
+  // Binds the listen socket immediately (port may be 0: read the actual
+  // port back via listen_port()); registers with the loop in start().
+  Gateway(net::EventLoop& loop, core::DlNode& node, const std::string& host,
+          std::uint16_t port, Options opt);
+  Gateway(net::EventLoop& loop, core::DlNode& node, const std::string& host,
+          std::uint16_t port)
+      : Gateway(loop, node, host, port, Options()) {}
+  ~Gateway();
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  std::uint16_t listen_port() const { return listen_port_; }
+  void start();
+
+  // Wire this into (or call it from) the node's delivery callback: matches
+  // every transaction of the block against the mempool and notifies owning
+  // clients. `at_epoch` is the monotone delivery epoch clients see.
+  void on_block_delivered(std::uint64_t at_epoch, const core::BlockKey& key,
+                          const core::Block& block, double now);
+
+  // Graceful shutdown: stop accepting, send each client a Goodbye, flush
+  // what the sockets will take synchronously, close everything.
+  void shutdown();
+
+  Mempool& mempool() { return mempool_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t nonce = 0;
+    net::FrameReader reader;
+    std::deque<Bytes> out;
+    std::size_t out_off = 0;  // partial write offset into out.front()
+    std::size_t out_bytes = 0;
+    bool want_write = false;
+  };
+  struct PendingAccept {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::uint64_t timer = 0;
+    net::FrameReader reader;
+  };
+
+  void pump();
+  void drain_into_node();
+  void handle_listener(std::uint32_t events);
+  void handle_pending(int fd, std::uint32_t events);
+  void close_pending(int fd);
+  void adopt(int fd, std::uint64_t nonce, net::FrameReader&& reader);
+  void handle_client_event(std::uint64_t nonce, std::uint32_t events);
+  void handle_readable(Conn& c);
+  bool drain_frames(Conn& c);  // false once the connection was closed
+  void handle_submit(Conn& c, const net::WireFrame& wf);
+  bool enqueue(Conn& c, Bytes frame);  // false: queue cap hit, disconnected
+  void flush_writes(Conn& c);
+  void update_interest(Conn& c);
+  void close_client(Conn& c);
+
+  net::EventLoop& loop_;
+  core::DlNode& node_;
+  Options opt_;
+  Mempool mempool_;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  bool started_ = false;
+  bool shut_down_ = false;
+  std::size_t watermark_ = 0;
+  std::uint64_t pump_timer_ = 0;
+  std::uint64_t next_pending_id_ = 1;
+  std::map<int, PendingAccept> pending_;      // fd → pre-auth state
+  std::map<std::uint64_t, Conn> clients_;     // nonce → connection
+  Stats stats_;
+};
+
+}  // namespace dl::client

@@ -1,0 +1,109 @@
+#include "client/mempool.hpp"
+
+namespace dl::client {
+
+Mempool::Mempool(MempoolOptions opt) : opt_(opt) {
+  if (opt_.committed_ring == 0) opt_.committed_ring = 1;
+}
+
+AdmitResult Mempool::admit(Bytes payload, double now,
+                           std::uint64_t client_nonce,
+                           std::uint64_t client_seq, Hash* out_hash) {
+  if (payload.size() > opt_.max_tx_bytes) {
+    ++stats_.dropped_oversize;
+    return AdmitResult::TooLarge;
+  }
+  // Dedup BEFORE the capacity check: a resubmission of a transaction that
+  // is already pending, in flight, or committed must be answered Duplicate/
+  // Committed even when the pool is full — a Full verdict is terminal at
+  // the client and would make it drop a transaction that still commits.
+  const Hash h = sha256(payload);
+  if (out_hash != nullptr) *out_hash = h;
+  if (committed_.contains(h)) {
+    ++stats_.committed_replays;
+    return AdmitResult::Committed;
+  }
+  if (tracked_.contains(h)) {
+    ++stats_.dropped_duplicate;
+    return AdmitResult::Duplicate;
+  }
+  if (fifo_.size() >= opt_.max_pending_txs ||
+      pending_bytes_ + payload.size() > opt_.max_pending_bytes) {
+    ++stats_.dropped_full;
+    stats_.dropped_full_bytes += payload.size();
+    return AdmitResult::Full;
+  }
+  ++stats_.admitted;
+  stats_.admitted_bytes += payload.size();
+  pending_bytes_ += payload.size();
+  Entry e;
+  e.client_nonce = client_nonce;
+  e.client_seq = client_seq;
+  e.submit_time = now;
+  e.payload = std::move(payload);
+  fifo_.push_back(h);
+  tracked_.emplace(h, std::move(e));
+  return AdmitResult::Admitted;
+}
+
+std::optional<Bytes> Mempool::pop() {
+  if (fifo_.empty()) return std::nullopt;
+  const Hash h = fifo_.front();
+  fifo_.pop_front();
+  Entry& e = tracked_.at(h);
+  e.popped = true;
+  pending_bytes_ -= e.payload.size();
+  Bytes payload = std::move(e.payload);
+  e.payload = Bytes{};
+  return payload;
+}
+
+std::optional<CommitRecord> Mempool::match_commit(const Hash& h,
+                                                  std::uint64_t epoch,
+                                                  std::uint32_t proposer,
+                                                  double now) {
+  auto it = tracked_.find(h);
+  if (it == tracked_.end()) return std::nullopt;
+  // A commit can land while the payload is still pending here (the same
+  // payload reached another node's block first); drop the stale queue slot
+  // so it is not packed a second time.
+  if (!it->second.popped) {
+    pending_bytes_ -= it->second.payload.size();
+    for (auto f = fifo_.begin(); f != fifo_.end(); ++f) {
+      if (*f == h) {
+        fifo_.erase(f);
+        break;
+      }
+    }
+  }
+  CommitRecord rec;
+  rec.client_nonce = it->second.client_nonce;
+  rec.client_seq = it->second.client_seq;
+  rec.epoch = epoch;
+  rec.proposer = proposer;
+  const double lat = now - it->second.submit_time;
+  rec.latency_us = lat > 0 ? static_cast<std::uint64_t>(lat * 1e6) : 0;
+  tracked_.erase(it);
+  ++stats_.committed;
+  remember_committed(h, rec);
+  return rec;
+}
+
+std::optional<CommitRecord> Mempool::committed_record(const Hash& h) const {
+  auto it = committed_.find(h);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Mempool::remember_committed(const Hash& h, const CommitRecord& record) {
+  if (committed_order_.size() < opt_.committed_ring) {
+    committed_order_.push_back(h);
+  } else {
+    committed_.erase(committed_order_[committed_next_]);
+    committed_order_[committed_next_] = h;
+    committed_next_ = (committed_next_ + 1) % opt_.committed_ring;
+  }
+  committed_[h] = record;
+}
+
+}  // namespace dl::client

@@ -109,6 +109,10 @@ class DlNode : public runtime::Receiver {
 
   const NodeStats& stats() const { return stats_; }
   const NodeConfig& config() const { return cfg_; }
+  // Live backlog of submitted-but-not-yet-proposed transactions (wire
+  // bytes). The client gateway uses this as its pump watermark so the
+  // mempool, not this unbounded queue, absorbs ingress bursts.
+  std::size_t input_queue_bytes() const { return input_queue_bytes_; }
   // Delivered-prefix fingerprint: hash chain over (epoch, proposer, bytes).
   // Two correct nodes agree on every prefix (tests compare at equal counts).
   Hash delivery_fingerprint() const { return fingerprint_; }

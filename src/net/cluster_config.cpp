@@ -117,6 +117,8 @@ std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
         current.host = std::string(value.substr(1, value.size() - 2));
       } else if (key == "port" && is_num && num >= 1 && num <= 65535) {
         current.port = static_cast<std::uint16_t>(num);
+      } else if (key == "client_port" && is_num && num >= 0 && num <= 65535) {
+        current.client_port = static_cast<std::uint16_t>(num);
       } else {
         fail(err, line_no, "bad [[node]] entry: " + std::string(line));
         return std::nullopt;

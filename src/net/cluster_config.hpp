@@ -11,6 +11,7 @@
 //   id = 0
 //   host = "127.0.0.1"
 //   port = 9000
+//   client_port = 9100   # optional; 0/absent = no client ingress plane
 //
 // Supported: the two tables above, integer values, double-quoted strings,
 // '#' comments, blank lines. Anything else is a parse error with a line
@@ -30,6 +31,9 @@ struct NodeAddr {
   int id = -1;
   std::string host;
   std::uint16_t port = 0;
+  // Where this node's client ingress gateway listens (dl_client / dl_loadgen
+  // connect here, replicas never do). 0 = the node serves no clients.
+  std::uint16_t client_port = 0;
 };
 
 struct ClusterConfig {

@@ -22,6 +22,25 @@ std::uint32_t get_u32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+void put_u64(Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+// Starts a frame whose final payload length is already known exactly.
+Bytes begin_frame(std::size_t payload_len, WireKind kind) {
+  Bytes frame;
+  frame.reserve(kFrameHeaderBytes + payload_len);
+  put_u32(frame, static_cast<std::uint32_t>(payload_len));
+  frame.push_back(static_cast<std::uint8_t>(kind));
+  return frame;
+}
+
 }  // namespace
 
 bool append_frame(Bytes& out, ByteView payload, std::size_t max_frame) {
@@ -52,6 +71,40 @@ Bytes encode_data_frame(ByteView envelope_bytes) {
   return frame;
 }
 
+Bytes encode_client_hello(std::uint64_t client_nonce) {
+  Bytes frame = begin_frame(1 + 4 + 4 + 8, WireKind::ClientHello);
+  put_u32(frame, kWireMagic);
+  put_u32(frame, kWireVersion);
+  put_u64(frame, client_nonce);
+  return frame;
+}
+
+Bytes encode_submit_tx(std::uint64_t client_seq, ByteView payload) {
+  Bytes frame = begin_frame(1 + 8 + payload.size(), WireKind::SubmitTx);
+  put_u64(frame, client_seq);
+  append(frame, payload);
+  return frame;
+}
+
+Bytes encode_tx_ack(std::uint64_t client_seq, TxStatus status) {
+  Bytes frame = begin_frame(1 + 8 + 1, WireKind::TxAck);
+  put_u64(frame, client_seq);
+  frame.push_back(static_cast<std::uint8_t>(status));
+  return frame;
+}
+
+Bytes encode_tx_committed(std::uint64_t client_seq, std::uint64_t epoch,
+                          std::uint32_t proposer, std::uint64_t latency_us) {
+  Bytes frame = begin_frame(1 + 8 + 8 + 4 + 8, WireKind::TxCommitted);
+  put_u64(frame, client_seq);
+  put_u64(frame, epoch);
+  put_u32(frame, proposer);
+  put_u64(frame, latency_us);
+  return frame;
+}
+
+Bytes encode_goodbye() { return begin_frame(1, WireKind::Goodbye); }
+
 bool decode_wire(ByteView payload, WireFrame& out) {
   if (payload.empty()) return false;
   switch (static_cast<WireKind>(payload[0])) {
@@ -59,15 +112,55 @@ bool decode_wire(ByteView payload, WireFrame& out) {
       if (payload.size() != 1 + 3 * 4) return false;
       if (get_u32(payload.data() + 1) != kWireMagic) return false;
       if (get_u32(payload.data() + 5) != kWireVersion) return false;
+      out = WireFrame{};
       out.kind = WireKind::Hello;
       out.hello_node = get_u32(payload.data() + 9);
-      out.data = {};
       return true;
     }
     case WireKind::Data:
+      out = WireFrame{};
       out.kind = WireKind::Data;
-      out.hello_node = 0;
       out.data = payload.subspan(1);
+      return true;
+    case WireKind::ClientHello: {
+      if (payload.size() != 1 + 4 + 4 + 8) return false;
+      if (get_u32(payload.data() + 1) != kWireMagic) return false;
+      if (get_u32(payload.data() + 5) != kWireVersion) return false;
+      out = WireFrame{};
+      out.kind = WireKind::ClientHello;
+      out.client_nonce = get_u64(payload.data() + 9);
+      return true;
+    }
+    case WireKind::SubmitTx:
+      if (payload.size() < 1 + 8) return false;
+      out = WireFrame{};
+      out.kind = WireKind::SubmitTx;
+      out.client_seq = get_u64(payload.data() + 1);
+      out.data = payload.subspan(1 + 8);
+      return true;
+    case WireKind::TxAck: {
+      if (payload.size() != 1 + 8 + 1) return false;
+      const std::uint8_t status = payload[9];
+      if (status > kMaxTxStatus) return false;
+      out = WireFrame{};
+      out.kind = WireKind::TxAck;
+      out.client_seq = get_u64(payload.data() + 1);
+      out.status = static_cast<TxStatus>(status);
+      return true;
+    }
+    case WireKind::TxCommitted:
+      if (payload.size() != 1 + 8 + 8 + 4 + 8) return false;
+      out = WireFrame{};
+      out.kind = WireKind::TxCommitted;
+      out.client_seq = get_u64(payload.data() + 1);
+      out.epoch = get_u64(payload.data() + 9);
+      out.proposer = get_u32(payload.data() + 17);
+      out.latency_us = get_u64(payload.data() + 21);
+      return true;
+    case WireKind::Goodbye:
+      if (payload.size() != 1) return false;
+      out = WireFrame{};
+      out.kind = WireKind::Goodbye;
       return true;
     default:
       return false;

@@ -3,10 +3,27 @@
 // Stream layout: each frame is a u32 little-endian payload length followed
 // by that many payload bytes. The payload's first byte is the wire kind:
 //
-//   Hello — the connection handshake. Sent once by the dialing side so the
-//           acceptor learns which replica is calling: magic, protocol
+//   Hello — the replica-to-replica handshake. Sent once by the dialing side
+//           so the acceptor learns which replica is calling: magic, protocol
 //           version, node id.
 //   Data  — one protocol Envelope (encoded by common/envelope.hpp).
+//
+// The client ingress plane (src/client/, served on a separate per-node
+// client_port) speaks five more kinds over the same framing:
+//
+//   ClientHello — client handshake: magic, version, and a client-chosen
+//                 session nonce. The nonce survives reconnects, so commit
+//                 notifications for in-flight transactions reach the new
+//                 connection.
+//   SubmitTx    — client → node: client-assigned sequence number plus the
+//                 raw transaction payload (the rest of the frame).
+//   TxAck       — node → client: admission verdict for one SubmitTx
+//                 (see TxStatus).
+//   TxCommitted — node → client: the transaction was delivered in a
+//                 committed block — epoch, proposer, and the node-measured
+//                 submit→commit latency in microseconds.
+//   Goodbye     — node → client: orderly shutdown; nothing further will be
+//                 acked or committed on this connection.
 //
 // Every byte here arrives from the network and is attacker-controlled, so
 // decoding is total: oversized lengths, truncations, and garbage kinds are
@@ -28,10 +45,29 @@ namespace dl::net {
 inline constexpr std::size_t kMaxFrameBytes = 16u * 1024 * 1024;
 inline constexpr std::size_t kFrameHeaderBytes = 4;
 
-enum class WireKind : std::uint8_t { Hello = 1, Data = 2 };
+enum class WireKind : std::uint8_t {
+  Hello = 1,
+  Data = 2,
+  ClientHello = 3,
+  SubmitTx = 4,
+  TxAck = 5,
+  TxCommitted = 6,
+  Goodbye = 7,
+};
 
 inline constexpr std::uint32_t kWireMagic = 0x444C4E31;  // "DLN1"
 inline constexpr std::uint32_t kWireVersion = 1;
+
+// Admission verdict carried by TxAck. Values are wire format — renumbering
+// is a protocol break.
+enum class TxStatus : std::uint8_t {
+  Accepted = 0,   // queued in the mempool; a TxCommitted will follow
+  Duplicate = 1,  // hash already pending/in-flight (original still commits)
+  Full = 2,       // mempool at capacity; resubmit later
+  TooLarge = 3,   // payload above the per-transaction cap
+  Committed = 4,  // already committed earlier; TxCommitted replayed behind
+};
+inline constexpr std::uint8_t kMaxTxStatus = 4;
 
 // Appends one frame (header + payload) to `out`. Returns false (appending
 // nothing) if `payload` exceeds `max_frame`.
@@ -40,6 +76,16 @@ bool append_frame(Bytes& out, ByteView payload,
 
 // A complete Hello payload: kind, magic, version, node id.
 Bytes encode_hello(std::uint32_t node_id);
+
+// --- client-plane frames (each returns a complete frame, ready to write) ---
+Bytes encode_client_hello(std::uint64_t client_nonce);
+// SubmitTx: the payload occupies the rest of the frame, no length prefix.
+inline constexpr std::size_t kSubmitTxOverhead = kFrameHeaderBytes + 1 + 8;
+Bytes encode_submit_tx(std::uint64_t client_seq, ByteView payload);
+Bytes encode_tx_ack(std::uint64_t client_seq, TxStatus status);
+Bytes encode_tx_committed(std::uint64_t client_seq, std::uint64_t epoch,
+                          std::uint32_t proposer, std::uint64_t latency_us);
+Bytes encode_goodbye();
 
 // A complete Data frame (header + kind + envelope bytes), ready to write to
 // a socket. The envelope bytes start at offset kDataPayloadOffset — local
@@ -50,12 +96,19 @@ Bytes encode_data_frame(ByteView envelope_bytes);
 // One decoded frame payload. `data` points into the caller's buffer.
 struct WireFrame {
   WireKind kind{};
-  std::uint32_t hello_node = 0;  // valid when kind == Hello
-  ByteView data;                 // valid when kind == Data
+  std::uint32_t hello_node = 0;    // valid when kind == Hello
+  ByteView data;                   // Data: envelope bytes; SubmitTx: payload
+  std::uint64_t client_nonce = 0;  // valid when kind == ClientHello
+  std::uint64_t client_seq = 0;    // SubmitTx / TxAck / TxCommitted
+  TxStatus status{};               // valid when kind == TxAck
+  std::uint64_t epoch = 0;         // valid when kind == TxCommitted
+  std::uint32_t proposer = 0;      // valid when kind == TxCommitted
+  std::uint64_t latency_us = 0;    // valid when kind == TxCommitted
 };
 
-// Decodes one frame payload. False on empty input, unknown kind, or a
-// malformed Hello (bad magic/version/length).
+// Decodes one frame payload. False on empty input, unknown kind, a
+// malformed Hello/ClientHello (bad magic/version/length), a wrong fixed
+// length, or an out-of-range TxAck status.
 bool decode_wire(ByteView payload, WireFrame& out);
 
 // Streaming deframer with strict bounds checks.

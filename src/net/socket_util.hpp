@@ -1,0 +1,28 @@
+// Small shared socket helpers for the TCP runtime and the client plane.
+//
+// Every component that owns sockets (net::TcpEnv, client::Gateway,
+// client::DlClient) needs the same three operations; keeping them here
+// means address-resolution or option-setting fixes land everywhere at once.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <string>
+
+namespace dl::net {
+
+// O_NONBLOCK via fcntl. False if fcntl failed.
+bool set_nonblocking(int fd);
+
+// TCP_NODELAY (best-effort; failures are ignored — Nagle only costs
+// latency, it cannot break correctness).
+void set_nodelay(int fd);
+
+// Resolves host (name or dotted quad) to an IPv4 sockaddr with `port`
+// filled in. Blocking getaddrinfo; false on failure. IPv4-only is a known
+// v1 limitation (docs/DEPLOY.md).
+bool resolve_ipv4(const std::string& host, std::uint16_t port,
+                  sockaddr_in& out);
+
+}  // namespace dl::net

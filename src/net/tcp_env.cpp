@@ -1,9 +1,6 @@
 #include "net/tcp_env.hpp"
 
-#include <fcntl.h>
-#include <netdb.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -13,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/socket_util.hpp"
+
 namespace dl::net {
 
 namespace {
@@ -21,31 +20,6 @@ constexpr std::size_t kMaxPendingAccepts = 64;
 // A Hello is ~21 bytes; an accepted connection that buffers more than this
 // without completing one is not a replica.
 constexpr std::size_t kMaxPreAuthBytes = 4096;
-
-bool set_nonblocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
-
-void set_nodelay(int fd) {
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-}
-
-// Resolves host:port to an IPv4 sockaddr. Returns false on failure.
-bool resolve(const std::string& host, std::uint16_t port, sockaddr_in& out) {
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* res = nullptr;
-  if (getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || res == nullptr) {
-    return false;
-  }
-  out = *reinterpret_cast<sockaddr_in*>(res->ai_addr);
-  out.sin_port = htons(port);
-  freeaddrinfo(res);
-  return true;
-}
 
 ByteView frame_payload(const Bytes& frame) {
   return ByteView(frame.data() + kDataPayloadOffset,
@@ -75,7 +49,7 @@ TcpEnv::TcpEnv(EventLoop& loop, ClusterConfig cfg, int self, Options opt)
   int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
-  if (!resolve(me.host, me.port, addr)) {
+  if (!resolve_ipv4(me.host, me.port, addr)) {
     close(listen_fd_);
     throw std::runtime_error("TcpEnv: cannot resolve own address " + me.host);
   }
@@ -381,7 +355,7 @@ void TcpEnv::schedule_dial(Peer& p) {
 void TcpEnv::dial(Peer& p) {
   if (p.fd >= 0) return;
   sockaddr_in addr{};
-  if (!resolve(p.addr.host, p.addr.port, addr)) {
+  if (!resolve_ipv4(p.addr.host, p.addr.port, addr)) {
     schedule_dial(p);
     return;
   }

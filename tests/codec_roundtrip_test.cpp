@@ -156,6 +156,111 @@ TEST(CodecRoundTrip, TypedBodiesReEncodeIdentically) {
   }
 }
 
+// Client-plane wire kinds: encode → (split) frame stream → decode is the
+// identity on every field, for every kind the ingress plane speaks.
+TEST(CodecRoundTrip, ClientWireKindsThroughFramedTransport) {
+  struct ClientSample {
+    const char* name;
+    Bytes frame;  // complete frame (header + payload)
+    net::WireKind kind;
+  };
+  const Bytes payload = random_bytes(333, 5);
+  std::vector<ClientSample> samples;
+  samples.push_back({"ClientHello", net::encode_client_hello(0xFEEDFACE12345678ULL),
+                     net::WireKind::ClientHello});
+  samples.push_back({"SubmitTx", net::encode_submit_tx(77, payload),
+                     net::WireKind::SubmitTx});
+  samples.push_back({"SubmitTx-empty", net::encode_submit_tx(1, {}),
+                     net::WireKind::SubmitTx});
+  samples.push_back({"TxAck", net::encode_tx_ack(99, net::TxStatus::Duplicate),
+                     net::WireKind::TxAck});
+  samples.push_back(
+      {"TxCommitted",
+       net::encode_tx_committed(12345, 678, 3, 250'000),
+       net::WireKind::TxCommitted});
+  samples.push_back({"Goodbye", net::encode_goodbye(), net::WireKind::Goodbye});
+
+  // Concatenate and feed in awkward splits; every frame must reappear in
+  // order with every field intact.
+  Bytes stream;
+  for (const auto& s : samples) append(stream, s.frame);
+  net::FrameReader reader;
+  std::uint64_t chunk_seed = 7;
+  std::size_t pos = 0;
+  std::size_t next_sample = 0;
+  Bytes fr;
+  while (pos < stream.size()) {
+    chunk_seed = chunk_seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::size_t step = 1 + static_cast<std::size_t>(chunk_seed % 13);
+    const std::size_t len = std::min(step, stream.size() - pos);
+    ASSERT_TRUE(reader.feed(ByteView(stream.data() + pos, len)));
+    pos += len;
+    while (reader.next(fr)) {
+      ASSERT_LT(next_sample, samples.size());
+      SCOPED_TRACE(samples[next_sample].name);
+      net::WireFrame wf;
+      ASSERT_TRUE(net::decode_wire(fr, wf));
+      EXPECT_EQ(wf.kind, samples[next_sample].kind);
+      ++next_sample;
+    }
+  }
+  EXPECT_EQ(next_sample, samples.size());
+
+  // Field-exact checks per kind.
+  net::WireFrame wf;
+  ASSERT_TRUE(net::decode_wire(
+      ByteView(samples[0].frame).subspan(net::kFrameHeaderBytes), wf));
+  EXPECT_EQ(wf.client_nonce, 0xFEEDFACE12345678ULL);
+  ASSERT_TRUE(net::decode_wire(
+      ByteView(samples[1].frame).subspan(net::kFrameHeaderBytes), wf));
+  EXPECT_EQ(wf.client_seq, 77u);
+  ASSERT_TRUE(equal(wf.data, payload));
+  ASSERT_TRUE(net::decode_wire(
+      ByteView(samples[2].frame).subspan(net::kFrameHeaderBytes), wf));
+  EXPECT_EQ(wf.client_seq, 1u);
+  EXPECT_TRUE(wf.data.empty());
+  ASSERT_TRUE(net::decode_wire(
+      ByteView(samples[3].frame).subspan(net::kFrameHeaderBytes), wf));
+  EXPECT_EQ(wf.client_seq, 99u);
+  EXPECT_EQ(wf.status, net::TxStatus::Duplicate);
+  ASSERT_TRUE(net::decode_wire(
+      ByteView(samples[4].frame).subspan(net::kFrameHeaderBytes), wf));
+  EXPECT_EQ(wf.client_seq, 12345u);
+  EXPECT_EQ(wf.epoch, 678u);
+  EXPECT_EQ(wf.proposer, 3u);
+  EXPECT_EQ(wf.latency_us, 250'000u);
+}
+
+// Malformed client frames must decode to failure, not garbage: bad magic,
+// wrong fixed sizes, out-of-range ack status.
+TEST(CodecRoundTrip, MalformedClientFramesRejected) {
+  net::WireFrame wf;
+  // ClientHello with corrupted magic.
+  Bytes hello = net::encode_client_hello(42);
+  hello[net::kFrameHeaderBytes + 1] ^= 0xFF;
+  EXPECT_FALSE(net::decode_wire(
+      ByteView(hello).subspan(net::kFrameHeaderBytes), wf));
+  // Truncated SubmitTx (seq cut short).
+  const Bytes submit = net::encode_submit_tx(7, random_bytes(10, 1));
+  EXPECT_FALSE(net::decode_wire(
+      ByteView(submit).subspan(net::kFrameHeaderBytes, 5), wf));
+  // TxAck with an undefined status byte.
+  Bytes ack = net::encode_tx_ack(7, net::TxStatus::Accepted);
+  ack.back() = net::kMaxTxStatus + 1;
+  EXPECT_FALSE(net::decode_wire(
+      ByteView(ack).subspan(net::kFrameHeaderBytes), wf));
+  // TxCommitted with a trailing extra byte (fixed-length kind).
+  Bytes committed = net::encode_tx_committed(1, 2, 3, 4);
+  committed.push_back(0);
+  EXPECT_FALSE(net::decode_wire(
+      ByteView(committed).subspan(net::kFrameHeaderBytes), wf));
+  // Goodbye with a body.
+  Bytes goodbye = net::encode_goodbye();
+  goodbye.push_back(0);
+  EXPECT_FALSE(net::decode_wire(
+      ByteView(goodbye).subspan(net::kFrameHeaderBytes), wf));
+}
+
 // A whole conversation's worth of frames through one reader preserves
 // ordering and content.
 TEST(CodecRoundTrip, BackToBackFramesKeepOrder) {

@@ -147,6 +147,36 @@ TEST(FuzzDecode, FramedTransportMutatedValidStreams) {
   }
 }
 
+TEST(FuzzDecode, ClientFramedStreamsMutatedAndTruncated) {
+  // A realistic client-plane conversation: hello, pipelined submits, acks,
+  // commits, goodbye. Mutated and truncated variants must never crash and
+  // must at worst poison the stream (the gateway/client drops the
+  // connection on the first bad frame).
+  Bytes stream = net::encode_client_hello(0xABCDEF0123456789ULL);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    append(stream, net::encode_submit_tx(i, random_bytes(64 + i * 17, i)));
+    append(stream, net::encode_tx_ack(i, net::TxStatus::Accepted));
+    append(stream, net::encode_tx_committed(i, i / 2, static_cast<std::uint32_t>(i % 4),
+                                            1000 * i));
+  }
+  append(stream, net::encode_goodbye());
+
+  Rng rng(29);
+  for (int trial = 0; trial < 150; ++trial) {
+    Bytes mutated = stream;
+    const int flips = 1 + static_cast<int>(rng.next_below(16));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(rng.next_below(mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    feed_framed_stream(mutated, rng);
+  }
+  for (std::size_t len = 0; len < stream.size(); len += 5) {
+    Rng r2(len);
+    feed_framed_stream(ByteView(stream.data(), len), r2);
+  }
+}
+
 TEST(FuzzDecode, ProtocolAutomataSurviveGarbage) {
   // Random kind/bodies into live automata.
   vid::AvidMServer server({4, 1}, 0);

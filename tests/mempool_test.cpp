@@ -1,0 +1,167 @@
+// Mempool admission semantics: FIFO order, count/byte caps, duplicate-hash
+// rejection, drop accounting, and exactly-once commit matching with the
+// recently-committed replay ring.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "client/mempool.hpp"
+
+namespace dl::client {
+namespace {
+
+Bytes tx(const std::string& s) { return bytes_of(s); }
+
+TEST(Mempool, FifoOrderAndPopTracking) {
+  Mempool mp;
+  EXPECT_EQ(mp.admit(tx("a"), 1.0, 7, 1), AdmitResult::Admitted);
+  EXPECT_EQ(mp.admit(tx("b"), 1.1, 7, 2), AdmitResult::Admitted);
+  EXPECT_EQ(mp.admit(tx("c"), 1.2, 8, 1), AdmitResult::Admitted);
+  EXPECT_EQ(mp.pending_txs(), 3u);
+  EXPECT_EQ(mp.pending_bytes(), 3u);
+  EXPECT_EQ(mp.tracked_txs(), 3u);
+
+  EXPECT_EQ(to_string(ByteView(*mp.pop())), "a");
+  EXPECT_EQ(to_string(ByteView(*mp.pop())), "b");
+  EXPECT_EQ(to_string(ByteView(*mp.pop())), "c");
+  EXPECT_FALSE(mp.pop().has_value());
+  // Popped transactions stay tracked (in flight) until committed.
+  EXPECT_EQ(mp.pending_txs(), 0u);
+  EXPECT_EQ(mp.tracked_txs(), 3u);
+}
+
+TEST(Mempool, DuplicateRejectedWhilePendingOrInFlight) {
+  Mempool mp;
+  EXPECT_EQ(mp.admit(tx("dup"), 1.0, 1, 1), AdmitResult::Admitted);
+  // Pending duplicate.
+  EXPECT_EQ(mp.admit(tx("dup"), 1.1, 2, 9), AdmitResult::Duplicate);
+  // In-flight duplicate (popped but not committed).
+  ASSERT_TRUE(mp.pop().has_value());
+  EXPECT_EQ(mp.admit(tx("dup"), 1.2, 3, 5), AdmitResult::Duplicate);
+  EXPECT_EQ(mp.stats().dropped_duplicate, 2u);
+  EXPECT_EQ(mp.stats().admitted, 1u);
+}
+
+TEST(Mempool, CountCapWithDropAccounting) {
+  MempoolOptions opt;
+  opt.max_pending_txs = 2;
+  Mempool mp(opt);
+  EXPECT_EQ(mp.admit(tx("1"), 0, 1, 1), AdmitResult::Admitted);
+  EXPECT_EQ(mp.admit(tx("2"), 0, 1, 2), AdmitResult::Admitted);
+  EXPECT_EQ(mp.admit(tx("3"), 0, 1, 3), AdmitResult::Full);
+  EXPECT_EQ(mp.stats().dropped_full, 1u);
+  EXPECT_EQ(mp.stats().dropped_full_bytes, 1u);
+  // Popping frees a pending slot (the cap is on the queue, not in-flight).
+  ASSERT_TRUE(mp.pop().has_value());
+  EXPECT_EQ(mp.admit(tx("3"), 0, 1, 3), AdmitResult::Admitted);
+}
+
+TEST(Mempool, ResubmitsDecidedBeforeCapacity) {
+  // A reconnecting client resubmits while the pool is full: the verdict
+  // must be Duplicate/Committed (non-terminal), never Full — a Full ack
+  // makes the client forget a transaction that still commits.
+  MempoolOptions opt;
+  opt.max_pending_txs = 1;
+  Mempool mp(opt);
+  EXPECT_EQ(mp.admit(tx("inflight"), 0, 1, 1), AdmitResult::Admitted);
+  EXPECT_EQ(mp.admit(tx("other"), 0, 1, 2), AdmitResult::Full);
+  EXPECT_EQ(mp.admit(tx("inflight"), 0, 1, 1), AdmitResult::Duplicate);
+  ASSERT_TRUE(mp.pop().has_value());
+  ASSERT_TRUE(mp.match_commit(sha256(tx("inflight")), 2, 0, 1.0).has_value());
+  EXPECT_EQ(mp.admit(tx("filler"), 0, 1, 3), AdmitResult::Admitted);  // full again
+  EXPECT_EQ(mp.admit(tx("inflight"), 0, 1, 1), AdmitResult::Committed);
+}
+
+TEST(Mempool, ByteCapWithDropAccounting) {
+  MempoolOptions opt;
+  opt.max_pending_bytes = 10;
+  Mempool mp(opt);
+  EXPECT_EQ(mp.admit(Bytes(6, 0x11), 0, 1, 1), AdmitResult::Admitted);
+  EXPECT_EQ(mp.admit(Bytes(6, 0x22), 0, 1, 2), AdmitResult::Full);
+  EXPECT_EQ(mp.stats().dropped_full_bytes, 6u);
+  EXPECT_EQ(mp.admit(Bytes(4, 0x33), 0, 1, 3), AdmitResult::Admitted);
+  EXPECT_EQ(mp.pending_bytes(), 10u);
+}
+
+TEST(Mempool, OversizeRejected) {
+  MempoolOptions opt;
+  opt.max_tx_bytes = 8;
+  Mempool mp(opt);
+  EXPECT_EQ(mp.admit(Bytes(9, 0), 0, 1, 1), AdmitResult::TooLarge);
+  EXPECT_EQ(mp.stats().dropped_oversize, 1u);
+  EXPECT_EQ(mp.admit(Bytes(8, 0), 0, 1, 2), AdmitResult::Admitted);
+}
+
+TEST(Mempool, CommitMatchingIsExactlyOnceWithLatency) {
+  Mempool mp;
+  const Bytes payload = tx("commit-me");
+  EXPECT_EQ(mp.admit(payload, 2.0, 42, 17), AdmitResult::Admitted);
+  ASSERT_TRUE(mp.pop().has_value());
+
+  const Hash h = sha256(payload);
+  auto rec = mp.match_commit(h, 5, 3, 2.25);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->client_nonce, 42u);
+  EXPECT_EQ(rec->client_seq, 17u);
+  EXPECT_EQ(rec->epoch, 5u);
+  EXPECT_EQ(rec->proposer, 3u);
+  EXPECT_EQ(rec->latency_us, 250'000u);
+  EXPECT_EQ(mp.tracked_txs(), 0u);
+  EXPECT_EQ(mp.stats().committed, 1u);
+
+  // Second sighting of the same hash: not ours anymore.
+  EXPECT_FALSE(mp.match_commit(h, 6, 0, 2.5).has_value());
+  // Foreign hash: never ours.
+  EXPECT_FALSE(mp.match_commit(sha256(tx("other")), 5, 0, 2.5).has_value());
+}
+
+TEST(Mempool, ResubmitAfterCommitIsReplayedNotReadmitted) {
+  Mempool mp;
+  const Bytes payload = tx("replayed");
+  EXPECT_EQ(mp.admit(payload, 1.0, 9, 4), AdmitResult::Admitted);
+  ASSERT_TRUE(mp.pop().has_value());
+  ASSERT_TRUE(mp.match_commit(sha256(payload), 11, 2, 1.5).has_value());
+
+  // The client resubmits (it lost the notification): the pool must answer
+  // Committed and expose the stored record — never commit twice.
+  Hash h;
+  EXPECT_EQ(mp.admit(payload, 2.0, 9, 4, &h), AdmitResult::Committed);
+  EXPECT_EQ(mp.stats().committed_replays, 1u);
+  auto rec = mp.committed_record(h);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->epoch, 11u);
+  EXPECT_EQ(rec->client_seq, 4u);
+  EXPECT_EQ(mp.pending_txs(), 0u);
+}
+
+TEST(Mempool, CommitOfStillPendingPayloadDropsQueueSlot) {
+  // The same payload committed via another node's block while still queued
+  // here: the pending copy must leave the FIFO so it is not packed again.
+  Mempool mp;
+  const Bytes payload = tx("raced");
+  EXPECT_EQ(mp.admit(tx("first"), 0, 1, 1), AdmitResult::Admitted);
+  EXPECT_EQ(mp.admit(payload, 0, 1, 2), AdmitResult::Admitted);
+  ASSERT_TRUE(mp.match_commit(sha256(payload), 3, 1, 1.0).has_value());
+  EXPECT_EQ(mp.pending_txs(), 1u);
+  EXPECT_EQ(to_string(ByteView(*mp.pop())), "first");
+  EXPECT_FALSE(mp.pop().has_value());
+}
+
+TEST(Mempool, CommittedRingEvictsOldestRecords) {
+  MempoolOptions opt;
+  opt.committed_ring = 2;
+  Mempool mp(opt);
+  Bytes p1 = tx("r1"), p2 = tx("r2"), p3 = tx("r3");
+  for (const Bytes* p : {&p1, &p2, &p3}) {
+    ASSERT_EQ(mp.admit(*p, 0, 1, 1), AdmitResult::Admitted);
+    ASSERT_TRUE(mp.pop().has_value());
+    ASSERT_TRUE(mp.match_commit(sha256(*p), 1, 0, 1.0).has_value());
+  }
+  // r1 was evicted by r3; r2 and r3 still replay.
+  EXPECT_EQ(mp.admit(p1, 0, 1, 1), AdmitResult::Admitted);  // forgotten
+  EXPECT_EQ(mp.admit(p2, 0, 1, 2), AdmitResult::Committed);
+  EXPECT_EQ(mp.admit(p3, 0, 1, 3), AdmitResult::Committed);
+}
+
+}  // namespace
+}  // namespace dl::client
