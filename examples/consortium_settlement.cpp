@@ -32,6 +32,7 @@ int main() {
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     auto node = std::make_unique<DlNode>(NodeConfig::dispersed_ledger(n, f, i),
                                          *envs.back());
+    envs.back()->attach(*node);
     auto* lat = &latency[static_cast<std::size_t>(i)];
     const auto self = static_cast<std::uint32_t>(i);
     node->set_delivery_callback([lat, self](std::uint64_t, BlockKey, const Block& b,

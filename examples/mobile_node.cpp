@@ -40,6 +40,7 @@ int main() {
     cfg.max_block_bytes = 60'000;
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     auto node = std::make_unique<DlNode>(cfg, *envs.back());
+    envs.back()->attach(*node);
     nodes.push_back(std::move(node));
   }
 

@@ -32,6 +32,7 @@ int main() {
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     auto node = std::make_unique<DlNode>(NodeConfig::dispersed_ledger(n, f, i),
                                          *envs.back());
+    envs.back()->attach(*node);
     // Print node 0's view of the log as it executes blocks.
     if (i == 0) {
       node->set_delivery_callback([](std::uint64_t at_epoch, BlockKey key,

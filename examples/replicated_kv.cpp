@@ -24,6 +24,7 @@ int main() {
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     nodes.push_back(std::make_unique<core::DlNode>(
         core::NodeConfig::dispersed_ledger(n, f, i), *envs.back()));
+    envs.back()->attach(*nodes.back());
     kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
   }
 

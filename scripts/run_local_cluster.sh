@@ -24,6 +24,8 @@
 #   -c TXCOUNT    transactions dl_loadgen submits (default 2000; -L only)
 #   -r RATE       offered load in payload bytes/sec (default 400000; -L only)
 #   -o DIR        where BENCH_loadgen.{json,csv} are copied (-L only)
+#   -l LOOPS      client ingress loops per replica (dlnoded --loops, default 1)
+#   -w WORKERS    coding/hashing worker threads (dlnoded --workers, default 0)
 #   -k            keep the work directory on success
 #
 # Port collisions: replicas exit 3 when they cannot bind; the script then
@@ -45,8 +47,10 @@ LOADGEN=0
 TXCOUNT=2000
 RATE=400000
 OUT_DIR=""
+LOOPS=1
+WORKERS=0
 KEEP=0
-while getopts "n:e:b:p:t:Lc:r:o:k" opt; do
+while getopts "n:e:b:p:t:Lc:r:o:l:w:k" opt; do
   case "$opt" in
     n) N="$OPTARG" ;;
     e) EPOCHS="$OPTARG" ;;
@@ -57,6 +61,8 @@ while getopts "n:e:b:p:t:Lc:r:o:k" opt; do
     c) TXCOUNT="$OPTARG" ;;
     r) RATE="$OPTARG" ;;
     o) OUT_DIR="$OPTARG" ;;
+    l) LOOPS="$OPTARG" ;;
+    w) WORKERS="$OPTARG" ;;
     k) KEEP=1 ;;
     *) exit 2 ;;
   esac
@@ -100,7 +106,7 @@ write_config() {
 # on a fresh port range. On success, replica pids are in pids[].
 pids=()
 boot_replicas() {
-  local extra=()
+  local extra=(--loops "$LOOPS" --workers "$WORKERS")
   if [ "$LOADGEN" -eq 1 ]; then
     extra+=(--target-epochs 0)
   else

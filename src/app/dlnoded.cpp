@@ -12,10 +12,17 @@
 // Transactions come from one of two sources:
 //
 //   - The client ingress plane (default when the config gives this node a
-//     client_port): a client::Gateway on the same event loop accepts
-//     dl_client/dl_loadgen connections, admits transactions through a
-//     client::Mempool, and notifies submitters when their transactions
-//     commit. See docs/DEPLOY.md.
+//     client_port): a client::Gateway accepts dl_client/dl_loadgen
+//     connections, admits transactions through a client::Mempool, and
+//     notifies submitters when their transactions commit. With --loops 1
+//     (default) the gateway shares the node's event loop; --loops N >= 2
+//     runs N gateway shards on their own threads behind one SO_REUSEPORT
+//     listen port (client::IngressShards). See docs/DEPLOY.md.
+//
+// --workers M >= 1 adds a fixed pool of M coding threads: erasure
+// encode/decode and Merkle hashing run off the node loop (runtime::Env::
+// offload), completions post back to it. M = 0 (default) keeps all coding
+// inline on the node loop.
 //   - --selfdrive: the legacy synthetic generator (one transaction every
 //     --tx-interval-ms), for self-contained smoke runs with no external
 //     load source.
@@ -41,9 +48,11 @@
 #include <string>
 
 #include "client/gateway.hpp"
+#include "client/ingress.hpp"
 #include "crypto/sha256.hpp"
 #include "dl/node.hpp"
 #include "net/tcp_env.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace {
 
@@ -61,6 +70,8 @@ struct Flags {
   double linger = 3.0;
   double max_seconds = 120.0;
   bool quiet = false;
+  int loops = 1;    // gateway ingress shards (>= 2: own threads)
+  int workers = 0;  // coding worker pool threads (0: inline)
 };
 
 void usage(const char* argv0) {
@@ -76,6 +87,10 @@ void usage(const char* argv0) {
       "  --propose-delay-ms M   proposal pacing delay (default 20)\n"
       "  --propose-size B       proposal pacing size trigger (default 32768)\n"
       "  --max-block-bytes B    block size cap (default 262144)\n"
+      "  --loops N              client ingress event loops (default 1; >=2 shards the\n"
+      "                         client port across N threads via SO_REUSEPORT)\n"
+      "  --workers M            coding worker threads for erasure/Merkle work\n"
+      "                         (default 0: inline on the node loop)\n"
       "  --ledger FILE          write the committed-ledger log here\n"
       "  --linger-seconds S     keep serving after target before exit (default 3)\n"
       "  --max-seconds S        watchdog: exit 1 if not done by then (default 120)\n"
@@ -108,6 +123,10 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       f.propose_size = static_cast<std::size_t>(std::atoll(v));
     } else if (a == "--max-block-bytes" && (v = next())) {
       f.max_block_bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--loops" && (v = next())) {
+      f.loops = std::atoi(v);
+    } else if (a == "--workers" && (v = next())) {
+      f.workers = std::atoi(v);
     } else if (a == "--ledger" && (v = next())) {
       f.ledger_path = v;
     } else if (a == "--linger-seconds" && (v = next())) {
@@ -121,7 +140,7 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       return false;
     }
   }
-  if (f.config.empty() || f.id < 0) {
+  if (f.config.empty() || f.id < 0 || f.loops < 1 || f.workers < 0) {
     usage(argv[0]);
     return false;
   }
@@ -169,12 +188,30 @@ int main(int argc, char** argv) {
 
   const net::NodeAddr& me = cluster->nodes[static_cast<std::size_t>(flags.id)];
 
+  // Block SIGINT/SIGTERM before ANY thread exists (worker pool, ingress
+  // shards): spawned threads inherit the mask, so a signal can only ever be
+  // consumed through the signalfd below — never delivered to a pool thread
+  // where the default disposition would kill the process mid-ledger-line.
+  sigset_t sigmask;
+  sigemptyset(&sigmask);
+  sigaddset(&sigmask, SIGINT);
+  sigaddset(&sigmask, SIGTERM);
+  sigprocmask(SIG_BLOCK, &sigmask, nullptr);
+
   net::EventLoop loop;
+  // Destroyed after the env: pending pool jobs post their (dead)
+  // completions into the still-live loop mailbox on teardown.
+  std::unique_ptr<runtime::WorkerPool> pool;
   std::unique_ptr<net::TcpEnv> env;
   std::unique_ptr<core::DlNode> node;
-  std::unique_ptr<client::Gateway> gateway;
+  std::unique_ptr<client::Gateway> gateway;      // --loops 1
+  std::unique_ptr<client::IngressShards> shards; // --loops >= 2
   try {
     env = std::make_unique<net::TcpEnv>(loop, *cluster, flags.id);
+    if (flags.workers > 0) {
+      pool = std::make_unique<runtime::WorkerPool>(flags.workers);
+      env->set_worker_pool(pool.get());
+    }
 
     core::NodeConfig cfg =
         core::NodeConfig::dispersed_ledger(cluster->n, cluster->f, flags.id);
@@ -188,8 +225,16 @@ int main(int argc, char** argv) {
       // A transaction must fit into a block next to its header.
       gopt.mempool.max_tx_bytes =
           std::min(gopt.mempool.max_tx_bytes, flags.max_block_bytes / 2);
-      gateway = std::make_unique<client::Gateway>(loop, *node, me.host,
-                                                  me.client_port, gopt);
+      if (flags.loops >= 2) {
+        client::IngressShards::Options sopt;
+        sopt.shards = flags.loops;
+        sopt.gateway = gopt;
+        shards = std::make_unique<client::IngressShards>(
+            *node, *env, me.host, me.client_port, sopt);
+      } else {
+        gateway = std::make_unique<client::Gateway>(loop, *node, me.host,
+                                                    me.client_port, gopt);
+      }
     }
   } catch (const std::exception& e) {
     // Distinct exit code: the launcher retries bind collisions on a fresh
@@ -228,6 +273,9 @@ int main(int argc, char** argv) {
     if (gateway != nullptr) {
       gateway->on_block_delivered(at_epoch, key, block, now);
     }
+    if (shards != nullptr) {
+      shards->on_block_delivered(at_epoch, key, block, now);
+    }
     if (flags.target_epochs != 0 &&
         node->stats().delivered_epochs >= flags.target_epochs) {
       finish("target epochs delivered");
@@ -245,18 +293,14 @@ int main(int argc, char** argv) {
   if (flags.selfdrive) env->after(flags.tx_interval, submit_tick);
 
   // Graceful SIGINT/SIGTERM: flush the ledger, say Goodbye to clients, exit
-  // cleanly — never die mid-ledger-line. Signals arrive on a signalfd
+  // cleanly — never die mid-ledger-line. The signals were blocked before
+  // any thread was spawned (see above); they arrive on a signalfd
   // multiplexed on the same epoll loop, so no async-signal-safety games.
-  sigset_t mask;
-  sigemptyset(&mask);
-  sigaddset(&mask, SIGINT);
-  sigaddset(&mask, SIGTERM);
-  sigprocmask(SIG_BLOCK, &mask, nullptr);
-  const int sfd = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  const int sfd = signalfd(-1, &sigmask, SFD_NONBLOCK | SFD_CLOEXEC);
   if (sfd < 0) {
     // No graceful path — restore default delivery so the process at least
     // stays killable instead of silently swallowing blocked signals.
-    sigprocmask(SIG_UNBLOCK, &mask, nullptr);
+    sigprocmask(SIG_UNBLOCK, &sigmask, nullptr);
   }
   if (sfd >= 0) {
     loop.add_fd(sfd, EPOLLIN, [&](std::uint32_t) {
@@ -270,6 +314,7 @@ int main(int argc, char** argv) {
                      flags.id);
       }
       if (gateway != nullptr) gateway->shutdown();
+      if (shards != nullptr) shards->shutdown();
       if (ledger != nullptr) std::fflush(ledger);
       loop.stop();
     });
@@ -288,11 +333,16 @@ int main(int argc, char** argv) {
     }
   });
 
-  env->start();
+  env->start(*node);
   if (gateway != nullptr) gateway->start();
+  if (shards != nullptr) shards->start();
   loop.run();
 
+  // Teardown order: ingress first (shard threads join; no new submissions
+  // or commit fan-outs), then the node/env with the loop stopped, then the
+  // worker pool (its destructor drains pending jobs).
   if (gateway != nullptr) gateway->shutdown();
+  if (shards != nullptr) shards->shutdown();
   if (sfd >= 0) {
     loop.del_fd(sfd);
     close(sfd);
@@ -306,14 +356,18 @@ int main(int argc, char** argv) {
                  flags.id, st.delivered_epochs, st.delivered_blocks,
                  st.delivered_payload_bytes,
                  node->delivery_fingerprint().hex().substr(0, 16).c_str());
-    if (gateway != nullptr) {
-      const auto& gs = gateway->stats();
-      const auto& ms = gateway->mempool().stats();
+    if (gateway != nullptr || shards != nullptr) {
+      const client::Gateway::Stats gs =
+          shards != nullptr ? shards->aggregate_stats() : gateway->stats();
+      const client::MempoolStats ms = shards != nullptr
+                                          ? shards->aggregate_mempool_stats()
+                                          : gateway->mempool().stats();
       std::fprintf(stderr,
-                   "dlnoded[%d]: ingress: submits=%" PRIu64
+                   "dlnoded[%d]: ingress: loops=%d submits=%" PRIu64
                    " admitted=%" PRIu64 " committed=%" PRIu64
                    " dup=%" PRIu64 " full=%" PRIu64 " notified=%" PRIu64 "\n",
-                   flags.id, gs.submits, ms.admitted, ms.committed,
+                   flags.id, shards != nullptr ? shards->shard_count() : 1,
+                   gs.submits, ms.admitted, ms.committed,
                    ms.dropped_duplicate, ms.dropped_full, gs.commits_notified);
     }
   }

@@ -15,6 +15,9 @@
 //   submit_commit_p50   ns    client-measured latency percentile
 //   submit_commit_p95   ns      "
 //   submit_commit_p99   ns      "
+//   stage_<s>_p50       ns    node-reported per-stage latency median, for
+//                             s in ingress/disperse/ba/retrieve/notify
+//                             (the TxCommitted StageLatencies breakdown)
 //
 // Exit status: 0 iff every submitted transaction was acked and observed
 // committed exactly once within --max-seconds.
@@ -26,9 +29,9 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "client/dl_client.hpp"
@@ -148,7 +151,11 @@ int main(int argc, char** argv) {
   std::vector<Stream> streams(static_cast<std::size_t>(flags.connections));
   metrics::Percentile latency;           // client-measured, seconds
   metrics::Percentile node_latency;      // node-measured, seconds
-  std::map<std::uint64_t, double> submit_times;  // (conn<<32|seq) … per conn
+  // Node-reported stage breakdown (seconds); index matches kStageNames.
+  constexpr const char* kStageNames[] = {"ingress", "disperse", "ba",
+                                         "retrieve", "notify"};
+  metrics::Percentile stage_lat[5];
+  std::unordered_map<std::uint64_t, double> submit_times;  // (conn<<32|seq)
   std::uint64_t total_submitted = 0, total_committed = 0, total_rejected = 0;
   std::uint64_t committed_bytes = 0;
   double first_submit_at = -1, last_commit_at = 0;
@@ -193,7 +200,8 @@ int main(int argc, char** argv) {
     Stream& s = streams[c];
     s.cli->set_commit_callback([&, c](std::uint64_t seq, std::uint64_t epoch,
                                       std::uint32_t /*proposer*/,
-                                      double node_lat) {
+                                      double node_lat,
+                                      const net::StageLatencies& st) {
       const auto key = (static_cast<std::uint64_t>(c) << 32) | seq;
       const auto it = submit_times.find(key);
       if (it != submit_times.end()) {
@@ -201,6 +209,10 @@ int main(int argc, char** argv) {
         submit_times.erase(it);
       }
       node_latency.add(node_lat);
+      const std::uint32_t stage_us[5] = {st.ingress_us, st.disperse_us,
+                                         st.ba_us, st.retrieve_us,
+                                         st.notify_us};
+      for (int k = 0; k < 5; ++k) stage_lat[k].add(stage_us[k] / 1e6);
       ++total_committed;
       committed_bytes += flags.load.tx_bytes;
       last_commit_at = loop.now();
@@ -215,7 +227,11 @@ int main(int argc, char** argv) {
   }
 
   // Poisson submission: each stream self-schedules on the shared loop.
-  const double stop_at = flags.count == 0 ? flags.duration : 1e18;
+  // Duration mode measures ELAPSED time from here — the loop clock counts
+  // from the process-wide epoch, not from this call.
+  const double t0 = loop.now();
+  const double stop_at =
+      flags.count == 0 ? t0 + flags.duration : 1e18;
   std::vector<std::function<void()>> arrival(streams.size());
   for (std::size_t c = 0; c < streams.size(); ++c) {
     arrival[c] = [&, c] {
@@ -314,6 +330,14 @@ int main(int argc, char** argv) {
   lat_row("submit_commit_p50", 0.50);
   lat_row("submit_commit_p95", 0.95);
   lat_row("submit_commit_p99", 0.99);
+  for (int k = 0; k < 5; ++k) {
+    const std::uint64_t ns =
+        stage_lat[k].empty()
+            ? 0
+            : static_cast<std::uint64_t>(stage_lat[k].quantile(0.5) * 1e9);
+    rows.push_back({std::string("stage_") + kStageNames[k] + "_p50", "ns", ns,
+                    1.0});
+  }
 
   const std::string json_path = flags.out_dir + "/BENCH_" + flags.name + ".json";
   const std::string csv_path = flags.out_dir + "/BENCH_" + flags.name + ".csv";
@@ -342,6 +366,14 @@ int main(int argc, char** argv) {
                    latency.quantile(0.5) * 1e3, latency.quantile(0.95) * 1e3,
                    latency.quantile(0.99) * 1e3,
                    node_latency.empty() ? 0 : node_latency.quantile(0.5) * 1e3);
+    }
+    if (!stage_lat[0].empty()) {
+      std::fprintf(stderr, "dl_loadgen: node stages p50 (ms):");
+      for (int k = 0; k < 5; ++k) {
+        std::fprintf(stderr, " %s=%.1f", kStageNames[k],
+                     stage_lat[k].quantile(0.5) * 1e3);
+      }
+      std::fprintf(stderr, "\n");
     }
     std::fprintf(stderr, "dl_loadgen: wrote %s and %s\n", json_path.c_str(),
                  csv_path.c_str());

@@ -241,7 +241,7 @@ void DlClient::handle_commit(const net::WireFrame& wf) {
   ++stats_.committed;
   if (on_commit_) {
     on_commit_(wf.client_seq, wf.epoch, wf.proposer,
-               static_cast<double>(wf.latency_us) / 1e6);
+               static_cast<double>(wf.latency_us) / 1e6, wf.stages);
   }
 }
 

@@ -52,10 +52,13 @@ class DlClient {
 
   // Fired once per seq. `epoch` is the monotone delivery epoch, `proposer`
   // the committed block's proposer, `node_latency` the node-measured
-  // submit→commit seconds (client-side latency is the caller's clock).
+  // submit→commit seconds (client-side latency is the caller's clock), and
+  // `stages` the node's per-stage breakdown of that latency (zeros where
+  // the node could not attribute a stage — see net::StageLatencies).
   using CommitFn = std::function<void(std::uint64_t seq, std::uint64_t epoch,
                                       std::uint32_t proposer,
-                                      double node_latency)>;
+                                      double node_latency,
+                                      const net::StageLatencies& stages)>;
   using AckFn = std::function<void(std::uint64_t seq, net::TxStatus status)>;
 
   DlClient(net::EventLoop& loop, std::string host, std::uint16_t port,

@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -23,18 +24,59 @@ constexpr std::size_t kMaxPendingAccepts = 64;
 // A ClientHello is 21 bytes; more than this without one is not a client.
 constexpr std::size_t kMaxPreAuthBytes = 4096;
 
+// Single-loop wiring: the node shares the gateway's loop, so the sink is a
+// direct call and the gauge is the same-thread read of the atomic.
+Gateway::Sink make_node_sink(core::DlNode& node) {
+  Gateway::Sink s;
+  s.submit = [&node](std::vector<Bytes> batch) {
+    for (Bytes& payload : batch) node.submit(std::move(payload));
+  };
+  s.queue_bytes = [&node] { return node.input_queue_bytes(); };
+  s.max_block_bytes = node.config().max_block_bytes;
+  return s;
+}
+
+// Clamped microseconds between two checkpoints; 0 when either is unset.
+std::uint32_t stage_us(double from, double to) {
+  if (from <= 0 || to <= from) return 0;
+  const double us = (to - from) * 1e6;
+  return us >= 4294967295.0 ? 4294967295u : static_cast<std::uint32_t>(us);
+}
+
+net::StageLatencies stage_breakdown(const CommitRecord& rec,
+                                    const CommitBatch& batch, double now) {
+  net::StageLatencies s;
+  s.ingress_us = stage_us(rec.submit_time, batch.stages.proposed);
+  s.disperse_us = stage_us(batch.stages.proposed, batch.stages.vid_done);
+  s.ba_us = stage_us(batch.stages.vid_done, batch.stages.ba_done);
+  s.retrieve_us = stage_us(batch.stages.ba_done, batch.stages.delivered);
+  s.notify_us = stage_us(batch.delivered_at, now);
+  return s;
+}
+
 }  // namespace
 
 Gateway::Gateway(net::EventLoop& loop, core::DlNode& node,
                  const std::string& host, std::uint16_t port, Options opt)
-    : loop_(loop), node_(node), opt_(opt), mempool_(opt.mempool) {
+    : Gateway(loop, make_node_sink(node), host, port, opt) {
+  node_ = &node;
+}
+
+Gateway::Gateway(net::EventLoop& loop, Sink sink, const std::string& host,
+                 std::uint16_t port, Options opt)
+    : loop_(loop), sink_(std::move(sink)), opt_(opt), mempool_(opt.mempool) {
   watermark_ = opt_.node_queue_watermark != 0
                    ? opt_.node_queue_watermark
-                   : 2 * node_.config().max_block_bytes;
+                   : 2 * sink_.max_block_bytes;
   listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) throw std::runtime_error("Gateway: socket() failed");
   int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (opt_.reuse_port) {
+    // Shard mode: every shard binds the same port; the kernel load-balances
+    // incoming connections across the listeners.
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+  }
   sockaddr_in addr{};
   if (!resolve_ipv4(host, port, addr)) {
     close(listen_fd_);
@@ -67,11 +109,19 @@ void Gateway::start() {
 // --- mempool → node ----------------------------------------------------------
 
 void Gateway::drain_into_node() {
-  while (node_.input_queue_bytes() < watermark_) {
+  // One sink call per drain: on a shared loop the batch is submitted
+  // in place, in shard mode it becomes ONE cross-thread post instead of one
+  // per transaction. `batch_bytes` accounts for what this drain already
+  // claimed, since a posted batch is not yet visible in the gauge.
+  std::size_t batch_bytes = 0;
+  std::vector<Bytes> batch;
+  while (sink_.queue_bytes() + batch_bytes < watermark_) {
     auto payload = mempool_.pop();
     if (!payload.has_value()) break;
-    node_.submit(std::move(*payload));
+    batch_bytes += payload->size();
+    batch.push_back(std::move(*payload));
   }
+  if (!batch.empty()) sink_.submit(std::move(batch));
 }
 
 void Gateway::pump() {
@@ -91,10 +141,31 @@ void Gateway::on_block_delivered(std::uint64_t at_epoch,
     drain_into_node();
     return;
   }
+  CommitBatch batch;
+  batch.at_epoch = at_epoch;
+  batch.proposer = static_cast<std::uint32_t>(key.proposer);
+  batch.delivered_at = now;
+  if (node_ != nullptr && key.proposer == node_->config().self) {
+    if (const auto* st = node_->own_block_stages(key.epoch)) batch.stages = *st;
+  }
+  auto hashes = std::make_shared<std::vector<Hash>>();
+  hashes->reserve(block.txs.size());
   for (const core::Transaction& tx : block.txs) {
-    auto rec = mempool_.match_commit(
-        sha256(tx.payload), at_epoch,
-        static_cast<std::uint32_t>(key.proposer), now);
+    hashes->push_back(sha256(tx.payload));
+  }
+  batch.tx_hashes = std::move(hashes);
+  on_commit_batch(batch);
+}
+
+void Gateway::on_commit_batch(const CommitBatch& batch) {
+  if (batch.tx_hashes == nullptr || mempool_.tracked_txs() == 0) {
+    drain_into_node();
+    return;
+  }
+  const double now = loop_.now();
+  std::vector<std::uint64_t> touched;  // notified clients, flushed once below
+  for (const Hash& h : *batch.tx_hashes) {
+    auto rec = mempool_.match_commit(h, batch.at_epoch, batch.proposer, now);
     if (!rec.has_value()) continue;
     auto it = clients_.find(rec->client_nonce);
     if (it == clients_.end() || it->second.fd < 0) {
@@ -102,9 +173,18 @@ void Gateway::on_block_delivered(std::uint64_t at_epoch,
       continue;
     }
     ++stats_.commits_notified;
-    enqueue(it->second,
-            net::encode_tx_committed(rec->client_seq, rec->epoch,
-                                     rec->proposer, rec->latency_us));
+    if (enqueue(it->second,
+                net::encode_tx_committed(rec->client_seq, rec->epoch,
+                                         rec->proposer, rec->latency_us,
+                                         stage_breakdown(*rec, batch, now)))) {
+      touched.push_back(rec->client_nonce);
+    }
+  }
+  update_tracked_gauge();
+  // One send() burst per client per delivered block, not per transaction.
+  for (const std::uint64_t nonce : touched) {
+    auto it = clients_.find(nonce);
+    if (it != clients_.end() && it->second.fd >= 0) flush_writes(it->second);
   }
   // Block packing freed input-queue space; refill eagerly.
   drain_into_node();
@@ -279,6 +359,8 @@ bool Gateway::drain_frames(Conn& c) {
     close_client(c);
     return false;
   }
+  // Acks queued above go out in one send() burst per read batch.
+  if (c.fd >= 0) flush_writes(c);
   return c.fd >= 0;
 }
 
@@ -294,13 +376,15 @@ void Gateway::handle_submit(Conn& c, const net::WireFrame& wf) {
   }
   switch (r) {
     case AdmitResult::Admitted:
+      update_tracked_gauge();
       // Feed the node up to the watermark right away (keeps latency low at
       // light load; the caps + watermark govern heavy load).
       drain_into_node();
       break;
     case AdmitResult::Committed: {
       // Already committed earlier (e.g. resubmitted after a reconnect that
-      // lost the notification): replay the commit.
+      // lost the notification): replay the commit. Stage stamps were not
+      // retained in the committed ring; the replay carries zeros.
       auto rec = mempool_.committed_record(h);
       if (rec.has_value()) {
         ++stats_.commits_notified;
@@ -327,21 +411,43 @@ bool Gateway::enqueue(Conn& c, Bytes frame) {
   }
   c.out_bytes += frame.size();
   c.out.push_back(std::move(frame));
-  flush_writes(c);
-  return c.fd >= 0;
+  // No syscall here: the caller flushes once per batch (read burst, commit
+  // batch, shutdown), collapsing many small frames into few send() calls.
+  return true;
 }
 
 void Gateway::flush_writes(Conn& c) {
   while (c.fd >= 0 && !c.out.empty()) {
-    const Bytes& buf = c.out.front();
-    const ssize_t n = ::send(c.fd, buf.data() + c.out_off,
-                             buf.size() - c.out_off, MSG_NOSIGNAL);
+    // Gather-write: acks and commit notifications are tiny (tens of bytes),
+    // so one syscall per queued frame would dominate the ingress CPU cost.
+    iovec iov[64];
+    std::size_t cnt = 0;
+    std::size_t off = c.out_off;
+    for (const Bytes& b : c.out) {
+      if (cnt == 64) break;
+      iov[cnt].iov_base = const_cast<std::uint8_t*>(b.data()) + off;
+      iov[cnt].iov_len = b.size() - off;
+      ++cnt;
+      off = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      c.out_off += static_cast<std::size_t>(n);
-      if (c.out_off == buf.size()) {
-        c.out_bytes -= buf.size();
-        c.out.pop_front();
-        c.out_off = 0;
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        Bytes& front = c.out.front();
+        const std::size_t avail = front.size() - c.out_off;
+        if (left >= avail) {
+          left -= avail;
+          c.out_bytes -= front.size();
+          c.out.pop_front();
+          c.out_off = 0;
+        } else {
+          c.out_off += left;
+          left = 0;
+        }
       }
       continue;
     }

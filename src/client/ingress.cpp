@@ -1,0 +1,135 @@
+#include "client/ingress.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dl::client {
+
+IngressShards::IngressShards(core::DlNode& node, runtime::Env& env,
+                             const std::string& host, std::uint16_t port,
+                             Options opt)
+    : node_(node), env_(env) {
+  const int n = std::max(1, opt.shards);
+  opt.gateway.reuse_port = true;
+
+  Gateway::Sink sink;
+  sink.max_block_bytes = node_.config().max_block_bytes;
+  // Atomic gauge: safe from any shard thread. It lags in-flight posted
+  // batches, which the gateway's drain accounts for locally.
+  sink.queue_bytes = [this] { return node_.input_queue_bytes(); };
+  // One cross-thread post per drained batch, not per transaction.
+  sink.submit = [this](std::vector<Bytes> batch) {
+    env_.defer([this, batch = std::move(batch)]() mutable {
+      for (Bytes& payload : batch) node_.submit(std::move(payload));
+    });
+  };
+
+  shards_.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    s.loop = std::make_unique<net::EventLoop>();
+    // Shard 0 resolves a port-0 bind; the rest must join the same port, and
+    // every socket carries SO_REUSEPORT from birth so the group forms.
+    const std::uint16_t p = i == 0 ? port : listen_port_;
+    s.gateway = std::make_unique<Gateway>(*s.loop, sink, host, p, opt.gateway);
+    if (i == 0) listen_port_ = s.gateway->listen_port();
+  }
+}
+
+IngressShards::~IngressShards() { shutdown(); }
+
+void IngressShards::start() {
+  if (started_ || shut_down_) return;
+  started_ = true;
+  for (Shard& s : shards_) {
+    // Gateway::start touches the loop's epoll/timers, so it must run on the
+    // shard thread: posted tasks drain at the top of run().
+    s.loop->post([g = s.gateway.get()] { g->start(); });
+    s.thread = std::thread([lp = s.loop.get()] { lp->run(); });
+  }
+}
+
+void IngressShards::on_block_delivered(std::uint64_t at_epoch,
+                                       const core::BlockKey& key,
+                                       const core::Block& block, double now) {
+  if (shut_down_) return;
+  // No shard has a client awaiting a commit: skip the hashing and the
+  // fan-out (shards refill the node from their pump timers).
+  std::size_t tracked = 0;
+  for (const Shard& s : shards_) tracked += s.gateway->tracked_gauge();
+  if (tracked == 0) return;
+
+  CommitBatch batch;
+  batch.at_epoch = at_epoch;
+  batch.proposer = static_cast<std::uint32_t>(key.proposer);
+  batch.delivered_at = now;
+  if (key.proposer == node_.config().self) {
+    if (const auto* st = node_.own_block_stages(key.epoch)) batch.stages = *st;
+  }
+  // sha256 of every transaction, computed ONCE here, shared read-only by
+  // every shard's matcher.
+  auto hashes = std::make_shared<std::vector<Hash>>();
+  hashes->reserve(block.txs.size());
+  for (const core::Transaction& tx : block.txs) {
+    hashes->push_back(sha256(tx.payload));
+  }
+  batch.tx_hashes = std::move(hashes);
+
+  for (Shard& s : shards_) {
+    s.loop->post([g = s.gateway.get(), batch] { g->on_commit_batch(batch); });
+  }
+}
+
+void IngressShards::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (Shard& s : shards_) {
+    if (s.thread.joinable()) {
+      // Run the Goodbye/flush sequence on the shard's own thread, then stop
+      // its loop; join before touching the next shard so teardown is
+      // deterministic.
+      net::EventLoop* lp = s.loop.get();
+      Gateway* g = s.gateway.get();
+      lp->post([g, lp] {
+        g->shutdown();
+        lp->stop();
+      });
+      s.thread.join();
+    } else {
+      s.gateway->shutdown();  // never started: still single-threaded
+    }
+  }
+}
+
+Gateway::Stats IngressShards::aggregate_stats() const {
+  Gateway::Stats total;
+  for (const Shard& s : shards_) {
+    const Gateway::Stats& st = s.gateway->stats();
+    total.accepted += st.accepted;
+    total.active += st.active;
+    total.submits += st.submits;
+    total.commits_notified += st.commits_notified;
+    total.commits_clientless += st.commits_clientless;
+    total.disconnects_slow += st.disconnects_slow;
+    total.disconnects_bad += st.disconnects_bad;
+  }
+  return total;
+}
+
+MempoolStats IngressShards::aggregate_mempool_stats() const {
+  MempoolStats total;
+  for (const Shard& s : shards_) {
+    const MempoolStats& st = s.gateway->mempool().stats();
+    total.admitted += st.admitted;
+    total.admitted_bytes += st.admitted_bytes;
+    total.dropped_duplicate += st.dropped_duplicate;
+    total.dropped_full += st.dropped_full;
+    total.dropped_full_bytes += st.dropped_full_bytes;
+    total.dropped_oversize += st.dropped_oversize;
+    total.committed += st.committed;
+    total.committed_replays += st.committed_replays;
+  }
+  return total;
+}
+
+}  // namespace dl::client

@@ -1,0 +1,97 @@
+// IngressShards — the multi-core client ingress plane.
+//
+// N client::Gateways, each owning a dedicated net::EventLoop + thread, all
+// bound to ONE client port via SO_REUSEPORT: the kernel spreads accepted
+// connections across the shard listeners, and every connection then lives
+// on its shard's loop for its whole life (per-connection loop affinity — no
+// socket ever migrates between threads).
+//
+//                       ┌─ shard 0: EventLoop ── Gateway ── Mempool ─┐
+//   clients ──accept──▶ ├─ shard 1: EventLoop ── Gateway ── Mempool ─┤
+//    (SO_REUSEPORT)     └─ ...                                       │
+//                                 admitted batches (Env::defer)      ▼
+//                                              node loop: DlNode::submit
+//                                 CommitBatch fan-out (EventLoop::post)
+//                                              ◀ delivery callback
+//
+// Cross-thread traffic is batched in both directions: a shard posts one
+// submit batch per drain to the node loop, and the node loop hashes each
+// delivered block's transactions ONCE, then posts the shared CommitBatch to
+// every shard (skipped entirely while no shard tracks a client commit).
+//
+// Exactly-once caveat: mempools are per-shard, so a client that reconnects
+// onto a different shard and resubmits an in-flight payload is re-admitted
+// there (the old shard's dedup record is invisible). The payload can then
+// commit twice at the LEDGER level; the client-visible exactly-once
+// contract still holds because DlClient drops commit notifications for
+// unknown seqs. Single-shard deployments keep ledger-level dedup exactly
+// as before.
+//
+// Thread affinity: construct, start(), on_block_delivered(), shutdown() and
+// the aggregate accessors all belong to the node loop's thread. Aggregate
+// stats are exact only after shutdown() (shard threads joined); before
+// that they are racy-but-monotone gauges, good enough for progress logs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/gateway.hpp"
+#include "net/event_loop.hpp"
+#include "runtime/env.hpp"
+
+namespace dl::client {
+
+class IngressShards {
+ public:
+  struct Options {
+    int shards = 1;  // clamped to >= 1
+    Gateway::Options gateway;
+  };
+
+  // Binds all shard listen sockets immediately (port 0: shard 0 picks the
+  // port, the rest join it via SO_REUSEPORT). `env` must be the node's Env
+  // (its defer() posts to the node's home loop).
+  IngressShards(core::DlNode& node, runtime::Env& env, const std::string& host,
+                std::uint16_t port, Options opt);
+  ~IngressShards();
+  IngressShards(const IngressShards&) = delete;
+  IngressShards& operator=(const IngressShards&) = delete;
+
+  std::uint16_t listen_port() const { return listen_port_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  // Spawns one thread per shard and starts accepting clients.
+  void start();
+
+  // Node-loop delivery hook: hash the block's transactions once, fan the
+  // CommitBatch out to every shard. Call from the delivery callback.
+  void on_block_delivered(std::uint64_t at_epoch, const core::BlockKey& key,
+                          const core::Block& block, double now);
+
+  // Orderly shutdown: each shard says Goodbye to its clients, stops its
+  // loop, and is joined. Idempotent.
+  void shutdown();
+
+  Gateway::Stats aggregate_stats() const;
+  MempoolStats aggregate_mempool_stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<net::EventLoop> loop;
+    std::unique_ptr<Gateway> gateway;
+    std::thread thread;
+  };
+
+  core::DlNode& node_;
+  runtime::Env& env_;
+  std::vector<Shard> shards_;
+  std::uint16_t listen_port_ = 0;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace dl::client

@@ -81,6 +81,7 @@ std::optional<CommitRecord> Mempool::match_commit(const Hash& h,
   rec.client_seq = it->second.client_seq;
   rec.epoch = epoch;
   rec.proposer = proposer;
+  rec.submit_time = it->second.submit_time;
   const double lat = now - it->second.submit_time;
   rec.latency_us = lat > 0 ? static_cast<std::uint64_t>(lat * 1e6) : 0;
   tracked_.erase(it);

@@ -71,6 +71,7 @@ struct CommitRecord {
   std::uint64_t epoch = 0;
   std::uint32_t proposer = 0;
   std::uint64_t latency_us = 0;  // node-clock submit→commit
+  double submit_time = 0;        // admit-time stamp (for stage breakdowns)
 };
 
 class Mempool {

@@ -59,9 +59,7 @@ DlNode::DlNode(NodeConfig cfg, runtime::Env& env)
       retrievals_(vid_params_, cfg.self),
       completed_prefix_(static_cast<std::size_t>(cfg.n), 0),
       completed_gaps_(static_cast<std::size_t>(cfg.n)),
-      linked_scanned_(static_cast<std::size_t>(cfg.n), 0) {
-  env_.bind(this);
-}
+      linked_scanned_(static_cast<std::size_t>(cfg.n), 0) {}
 
 DLEpoch& DlNode::epoch_state(std::uint64_t e) {
   auto it = epochs_.find(e);
@@ -78,7 +76,7 @@ void DlNode::submit(Bytes payload) {
   tx.submit_time = env_.now();
   tx.origin = static_cast<std::uint32_t>(cfg_.self);
   tx.payload = std::move(payload);
-  input_queue_bytes_ += tx.wire_size();
+  input_queue_bytes_.fetch_add(tx.wire_size(), std::memory_order_relaxed);
   input_queue_.push_back(std::move(tx));
   maybe_propose();
 }
@@ -149,7 +147,8 @@ void DlNode::maybe_propose() {
   if (!can_start_next_epoch()) return;
   const double now = env_.now();
   const bool size_ready =
-      cfg_.backlog_tx_bytes > 0 || input_queue_bytes_ >= cfg_.propose_size;
+      cfg_.backlog_tx_bytes > 0 ||
+      input_queue_bytes_.load(std::memory_order_relaxed) >= cfg_.propose_size;
   const bool time_ready = now - last_propose_time_ >= cfg_.propose_delay;
   if (size_ready || time_ready) {
     propose_now();
@@ -200,7 +199,8 @@ Block DlNode::build_block() {
   while (!input_queue_.empty() &&
          used + input_queue_.front().wire_size() <= cfg_.max_block_bytes) {
     used += input_queue_.front().wire_size();
-    input_queue_bytes_ -= input_queue_.front().wire_size();
+    input_queue_bytes_.fetch_sub(input_queue_.front().wire_size(),
+                                 std::memory_order_relaxed);
     b.txs.push_back(std::move(input_queue_.front()));
     input_queue_.pop_front();
   }
@@ -245,18 +245,28 @@ void DlNode::propose_now() {
   Bytes encoded = b.encode();
   own_blocks_.emplace(e, std::move(b));
   retrievals_.put_local(BlockKey{e, cfg_.self}, encoded);
+  own_stages_[e].proposed = last_propose_time_;
 
-  // Disperse(B) as the client of our own VID instance.
-  auto chunks = avid_m_disperse(vid_params_, encoded);
-  Outbox out;
-  for (int i = 0; i < cfg_.n; ++i) {
-    OutMsg m;
-    m.to = i;
-    m.env.kind = MsgKind::VidChunk;
-    m.env.body = chunks[static_cast<std::size_t>(i)].encode();
-    out.push_back(std::move(m));
-  }
-  flush(std::move(out), e, static_cast<std::uint32_t>(cfg_.self));
+  // Disperse(B) as the client of our own VID instance. The erasure encode
+  // and Merkle build (one batched tree per block) are the CPU-heavy half of
+  // proposing, so they go through the executor seam: off-loop when the Env
+  // has a worker pool, inline (identical event order) otherwise. The work
+  // closure touches only value captures and immutable config.
+  auto enc = std::make_shared<const Bytes>(std::move(encoded));
+  auto chunks = std::make_shared<std::vector<vid::ChunkMsg>>();
+  env_.offload(
+      [this, enc, chunks] { *chunks = avid_m_disperse(vid_params_, *enc); },
+      [this, e, chunks] {
+        Outbox out;
+        for (int i = 0; i < cfg_.n; ++i) {
+          OutMsg m;
+          m.to = i;
+          m.env.kind = MsgKind::VidChunk;
+          m.env.body = (*chunks)[static_cast<std::size_t>(i)].encode();
+          out.push_back(std::move(m));
+        }
+        flush(std::move(out), e, static_cast<std::uint32_t>(cfg_.self));
+      });
 }
 
 // --- message handling --------------------------------------------------------
@@ -308,17 +318,32 @@ void DlNode::handle_return_chunk(int from, const Envelope& env) {
   vid::ReturnChunkMsg m;
   if (!vid::ReturnChunkMsg::decode(env.body, m)) return;
   const BlockKey key{env.epoch, static_cast<int>(env.instance)};
-  if (!retrievals_.on_return_chunk(from, key, m)) return;
-  // Newly decoded: tell the other servers to stop sending chunks (§6.3).
-  if (cfg_.cancel_on_decode) {
-    Outbox out;
-    OutMsg cancel;
-    cancel.to = OutMsg::kAll;
-    cancel.env.kind = MsgKind::VidCancel;
-    out.push_back(std::move(cancel));
-    flush(std::move(out), env.epoch, env.instance);
+  if (retrievals_.feed_chunk(from, key, m) != RetrievalManager::Feed::kReady) {
+    return;
   }
-  on_block_available(key);
+  // Enough chunks: run the RS decode + re-encode + Merkle check through the
+  // executor seam. The job owns value copies of its inputs; the retrieval
+  // stays active (rejecting further chunks) until the continuation installs
+  // the outcome, which re-checks liveness in case it was released meanwhile.
+  auto job = std::make_shared<const vid::DecodeJob>(retrievals_.decode_job(key));
+  auto result = std::make_shared<vid::DecodeResult>();
+  const std::uint64_t e = env.epoch;
+  const std::uint32_t instance = env.instance;
+  env_.offload(
+      [job, result] { *result = vid::avid_m_run_decode(*job); },
+      [this, key, e, instance, result] {
+        if (!retrievals_.finish_decode(key, std::move(*result))) return;
+        // Newly decoded: tell the other servers to stop sending (§6.3).
+        if (cfg_.cancel_on_decode) {
+          Outbox out;
+          OutMsg cancel;
+          cancel.to = OutMsg::kAll;
+          cancel.env.kind = MsgKind::VidCancel;
+          out.push_back(std::move(cancel));
+          flush(std::move(out), e, instance);
+        }
+        on_block_available(key);
+      });
 }
 
 void DlNode::handle_cancel(int from, const Envelope& env) {
@@ -334,6 +359,12 @@ void DlNode::after_vid_activity(std::uint64_t e, int instance) {
 }
 
 void DlNode::note_vid_complete(std::uint64_t e, int instance) {
+  if (instance == cfg_.self) {
+    auto it = own_stages_.find(e);
+    if (it != own_stages_.end() && it->second.vid_done == 0) {
+      it->second.vid_done = env_.now();
+    }
+  }
   // Track the V array: V[j] = number of leading epochs of j all complete.
   auto& prefix = completed_prefix_[static_cast<std::size_t>(instance)];
   auto& gaps = completed_gaps_[static_cast<std::size_t>(instance)];
@@ -387,6 +418,11 @@ void DlNode::after_ba_activity(std::uint64_t e) {
 
   if (!st.all_ba_output()) return;
 
+  if (auto it = own_stages_.find(e);
+      it != own_stages_.end() && it->second.ba_done == 0) {
+    it->second.ba_done = env_.now();
+  }
+
   // Commit set decided. Kick off retrieval of committed blocks and account
   // for our own block's fate.
   for (int j : st.commit_set()) start_retrieval(BlockKey{e, j});
@@ -401,12 +437,13 @@ void DlNode::after_ba_activity(std::uint64_t e) {
       // Plain HoneyBadger: the dropped block will never be delivered, so
       // its transactions go back to the head of the queue.
       for (auto it = own->second.txs.rbegin(); it != own->second.txs.rend(); ++it) {
-        input_queue_bytes_ += it->wire_size();
+        input_queue_bytes_.fetch_add(it->wire_size(), std::memory_order_relaxed);
         stats_.reproposed_tx++;
         input_queue_.push_front(std::move(*it));
       }
       retrievals_.release(BlockKey{e, cfg_.self});
       own_blocks_.erase(own);
+      own_stages_.erase(e);
     }
   }
 
@@ -533,7 +570,7 @@ void DlNode::deliver_block(std::uint64_t at_epoch, BlockKey key) {
   if (retrievals_.has(key) && retrievals_.is_bad(key)) ++stats_.bad_uploader_blocks;
   stats_.delivered_payload_bytes += block.payload_bytes();
   stats_.delivered_tx_count += block.txs.size();
-  stats_.input_queue_bytes = input_queue_bytes_;
+  stats_.input_queue_bytes = input_queue_bytes_.load(std::memory_order_relaxed);
 
   // Chain a fingerprint so tests can compare delivery order across nodes.
   Writer w;
@@ -543,10 +580,18 @@ void DlNode::deliver_block(std::uint64_t at_epoch, BlockKey key) {
   if (retrievals_.has(key)) w.raw(sha256(retrievals_.get(key)).view());
   fingerprint_ = sha256(w.data());
 
+  if (key.proposer == cfg_.self) {
+    auto it = own_stages_.find(key.epoch);
+    if (it != own_stages_.end()) it->second.delivered = env_.now();
+  }
+
   if (on_deliver_) on_deliver_(at_epoch, key, block, env_.now());
 
   retrievals_.release(key);
-  if (key.proposer == cfg_.self) own_blocks_.erase(key.epoch);
+  if (key.proposer == cfg_.self) {
+    own_blocks_.erase(key.epoch);
+    own_stages_.erase(key.epoch);
+  }
 }
 
 }  // namespace dl::core

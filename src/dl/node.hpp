@@ -18,6 +18,7 @@
 // the coupling DispersedLedger removes.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -88,11 +89,25 @@ struct NodeStats {
   std::size_t input_queue_bytes = 0;
 };
 
+// Pipeline checkpoints of one own-proposal, in home-loop seconds (0 = not
+// reached). The gateway turns consecutive differences into the per-stage
+// latency rows of BENCH_loadgen: ingress (admit→proposed), disperse
+// (proposed→vid_done), ba (vid_done→ba_done), retrieve (ba_done→delivered),
+// notify (delivered→commit frame flushed).
+struct OwnBlockStages {
+  double proposed = 0;   // propose_now() built and dispersed the block
+  double vid_done = 0;   // our own VID instance completed
+  double ba_done = 0;    // every BA of the proposal epoch output
+  double delivered = 0;  // block executed/delivered
+};
+
 class DlNode : public runtime::Receiver {
  public:
-  // Binds itself to `env` (one node per Env). The backend decides what the
-  // node runs on: runtime::SimEnv for the simulator, net::TcpEnv for real
-  // sockets — the protocol logic below cannot tell the difference.
+  // One node per Env. The caller injects the node into its backend at start
+  // time (SimEnv::attach / TcpEnv::start); the protocol logic below cannot
+  // tell the backends apart. Every method of this class — including the
+  // Receiver callbacks and submit() — is home-loop-affine; cross-thread
+  // producers go through Env::defer or EventLoop::post.
   DlNode(NodeConfig cfg, runtime::Env& env);
 
   // --- client interface -------------------------------------------------
@@ -111,8 +126,18 @@ class DlNode : public runtime::Receiver {
   const NodeConfig& config() const { return cfg_; }
   // Live backlog of submitted-but-not-yet-proposed transactions (wire
   // bytes). The client gateway uses this as its pump watermark so the
-  // mempool, not this unbounded queue, absorbs ingress bursts.
-  std::size_t input_queue_bytes() const { return input_queue_bytes_; }
+  // mempool, not this unbounded queue, absorbs ingress bursts. Thread-safe
+  // gauge: gateway shards on other loops read it without posting.
+  std::size_t input_queue_bytes() const {
+    return input_queue_bytes_.load(std::memory_order_relaxed);
+  }
+  // Stage checkpoints of the own-block proposed in epoch `e`; nullptr once
+  // pruned (after delivery) or if nothing was proposed there. Valid during
+  // the delivery callback for the block being delivered. Home-loop only.
+  const OwnBlockStages* own_block_stages(std::uint64_t e) const {
+    auto it = own_stages_.find(e);
+    return it == own_stages_.end() ? nullptr : &it->second;
+  }
   // Delivered-prefix fingerprint: hash chain over (epoch, proposer, bytes).
   // Two correct nodes agree on every prefix (tests compare at equal counts).
   Hash delivery_fingerprint() const { return fingerprint_; }
@@ -164,15 +189,17 @@ class DlNode : public runtime::Receiver {
   std::map<std::uint64_t, DLEpoch> epochs_;
   RetrievalManager retrievals_;
 
-  // Input queue.
+  // Input queue. The byte gauge is atomic only so off-loop gateway shards
+  // can read the watermark; all mutation happens on the home loop.
   std::deque<Transaction> input_queue_;
-  std::size_t input_queue_bytes_ = 0;
+  std::atomic<std::size_t> input_queue_bytes_{0};
 
   // Dispersal pipeline state.
   std::uint64_t propose_epoch_ = 0;  // next epoch to propose into
   double last_propose_time_ = -1e18;
   bool propose_timer_armed_ = false;
   std::map<std::uint64_t, Block> own_blocks_;  // until delivered
+  std::map<std::uint64_t, OwnBlockStages> own_stages_;  // until delivered
 
   // VID completion tracking for the V array (§4.3).
   std::vector<std::uint64_t> completed_prefix_;        // V[j]

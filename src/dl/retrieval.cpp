@@ -15,12 +15,21 @@ bool RetrievalManager::ensure_started(BlockKey key, Outbox& out) {
   return inserted;
 }
 
-bool RetrievalManager::on_return_chunk(int from, BlockKey key,
-                                       const vid::ReturnChunkMsg& m) {
+RetrievalManager::Feed RetrievalManager::feed_chunk(
+    int from, BlockKey key, const vid::ReturnChunkMsg& m) {
   auto it = active_.find(key);
-  if (it == active_.end()) return false;  // stale or never requested
-  it->second.handle_return_chunk(from, m);
-  if (!it->second.done()) return false;
+  if (it == active_.end()) return Feed::kNotReady;  // stale or never requested
+  return it->second.offer_chunk(from, m) ? Feed::kReady : Feed::kNotReady;
+}
+
+vid::DecodeJob RetrievalManager::decode_job(BlockKey key) const {
+  return active_.at(key).make_decode_job();
+}
+
+bool RetrievalManager::finish_decode(BlockKey key, vid::DecodeResult r) {
+  auto it = active_.find(key);
+  if (it == active_.end()) return false;  // released while decoding
+  it->second.complete(std::move(r));
   done_keys_.insert(key);
   if (it->second.bad_uploader()) bad_.insert(key);
   content_.emplace(key, it->second.result());

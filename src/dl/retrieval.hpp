@@ -45,9 +45,19 @@ class RetrievalManager {
   bool in_flight(BlockKey key) const { return active_.contains(key); }
   std::size_t active_count() const { return active_.size(); }
 
-  // Feeds one ReturnChunk. Returns true if this completed the retrieval
-  // (content now available; caller should broadcast VidCancel).
-  bool on_return_chunk(int from, BlockKey key, const vid::ReturnChunkMsg& m);
+  // Feeds one ReturnChunk. kReady means enough chunks are buffered to
+  // decode: the caller snapshots decode_job(), runs avid_m_run_decode
+  // (inline or offloaded), and installs the outcome via finish_decode.
+  // While a decode is pending the retrieval rejects further chunks.
+  enum class Feed { kNotReady, kReady };
+  Feed feed_chunk(int from, BlockKey key, const vid::ReturnChunkMsg& m);
+
+  // Value snapshot of the decode inputs for a key feed_chunk reported ready.
+  vid::DecodeJob decode_job(BlockKey key) const;
+
+  // Installs a decode outcome. Returns true if the retrieval was still live
+  // (content is now available; caller should broadcast VidCancel).
+  bool finish_decode(BlockKey key, vid::DecodeResult r);
 
   // Frees the stored bytes of a delivered block.
   void release(BlockKey key);

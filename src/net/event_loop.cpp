@@ -1,6 +1,7 @@
 #include "net/event_loop.hpp"
 
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/timerfd.h>
 #include <time.h>
 #include <unistd.h>
@@ -20,6 +21,13 @@ double monotonic_seconds() {
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
+// All loops in a process share one clock epoch (anchored by whichever loop
+// is constructed first) so timestamps taken on different loops compare.
+double process_epoch() {
+  static const double t0 = monotonic_seconds();
+  return t0;
+}
+
 std::uint64_t pack_fd(int fd, std::uint32_t gen) {
   return (static_cast<std::uint64_t>(gen) << 32) |
          static_cast<std::uint32_t>(fd);
@@ -35,18 +43,33 @@ EventLoop::EventLoop() {
     close(ep_);
     throw std::runtime_error("EventLoop: timerfd_create failed");
   }
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    close(tfd_);
+    close(ep_);
+    throw std::runtime_error("EventLoop: eventfd failed");
+  }
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.u64 = pack_fd(tfd_, 0);
   if (epoll_ctl(ep_, EPOLL_CTL_ADD, tfd_, &ev) != 0) {
+    close(wake_fd_);
     close(tfd_);
     close(ep_);
     throw std::runtime_error("EventLoop: cannot register timerfd");
   }
-  t0_ = monotonic_seconds();
+  ev.data.u64 = pack_fd(wake_fd_, 0);
+  if (epoll_ctl(ep_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    close(wake_fd_);
+    close(tfd_);
+    close(ep_);
+    throw std::runtime_error("EventLoop: cannot register eventfd");
+  }
+  t0_ = process_epoch();
 }
 
 EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
   if (tfd_ >= 0) close(tfd_);
   if (ep_ >= 0) close(ep_);
 }
@@ -70,7 +93,32 @@ bool EventLoop::cancel_timer(std::uint64_t id) {
   return timers_.erase(id) > 0;
 }
 
-void EventLoop::post(std::function<void()> fn) { posted_.push_back(std::move(fn)); }
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // Best effort: EAGAIN means the counter is already nonzero (wakeup
+  // pending), which is all we need.
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  // The loop thread re-checks the mailbox before sleeping, so only other
+  // threads need the eventfd kick.
+  if (!in_loop_thread()) wake();
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+bool EventLoop::posted_empty() const {
+  std::lock_guard<std::mutex> lk(post_mu_);
+  return posted_.empty();
+}
 
 void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler h) {
   const std::uint32_t gen = next_fd_gen_++;
@@ -134,30 +182,41 @@ void EventLoop::drain_posted() {
   // One generation per iteration: tasks posted by these tasks run on the
   // next spin, so a self-posting task cannot starve the loop.
   std::vector<std::function<void()>> batch;
-  batch.swap(posted_);
+  {
+    std::lock_guard<std::mutex> lk(post_mu_);
+    batch.swap(posted_);
+  }
   for (auto& fn : batch) fn();
 }
 
 void EventLoop::run() {
-  stop_ = false;
+  stop_.store(false, std::memory_order_release);
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   epoll_event evs[64];
-  while (!stop_) {
+  while (!stopped()) {
     drain_posted();
-    if (stop_) break;
+    if (stopped()) break;
     run_due_timers();
-    if (stop_) break;
+    if (stopped()) break;
     arm_timerfd();
-    // Posted work wants an immediate pass; otherwise sleep until an fd or
-    // the timerfd fires.
-    const int timeout = posted_.empty() ? -1 : 0;
+    // Posted work wants an immediate pass; otherwise sleep until an fd, the
+    // timerfd, or the cross-thread eventfd fires.
+    const int timeout = posted_empty() ? -1 : 0;
     const int nev = epoll_wait(ep_, evs, 64, timeout);
     if (nev < 0) {
       if (errno == EINTR) continue;
+      loop_thread_.store(std::thread::id(), std::memory_order_release);
       throw std::runtime_error("EventLoop: epoll_wait failed");
     }
-    for (int i = 0; i < nev && !stop_; ++i) {
+    for (int i = 0; i < nev && !stopped(); ++i) {
       const int fd = static_cast<int>(evs[i].data.u64 & 0xFFFFFFFFu);
       const auto gen = static_cast<std::uint32_t>(evs[i].data.u64 >> 32);
+      if (fd == wake_fd_) {
+        std::uint64_t count = 0;
+        while (read(wake_fd_, &count, sizeof count) > 0) {
+        }
+        continue;  // mailbox drains at the top of the loop
+      }
       if (fd == tfd_) {
         std::uint64_t expirations = 0;
         while (read(tfd_, &expirations, sizeof expirations) > 0) {
@@ -175,6 +234,7 @@ void EventLoop::run() {
       h(evs[i].events);
     }
   }
+  loop_thread_.store(std::thread::id(), std::memory_order_release);
 }
 
 }  // namespace dl::net

@@ -1,10 +1,29 @@
-// Single-threaded epoll event loop with timerfd-backed timers.
+// Epoll event loop with timerfd-backed timers and a thread-safe mailbox.
 //
-// This is the real-time analogue of sim::EventQueue: one thread, a clock
-// that starts near zero, ordered timers, and fd readiness callbacks. All
-// methods must be called from the loop thread (or before run() starts) —
-// there is no cross-thread wakeup machinery, matching the one-loop-per-node
-// process model of dlnoded.
+// This is the real-time analogue of sim::EventQueue: a clock that starts
+// near zero, ordered timers, and fd readiness callbacks. A process may run
+// several loops (dlnoded shards client ingress across N of them); all loops
+// in one process share a single clock epoch, so `now()` values taken on
+// different loops are directly comparable (cross-loop stage timing depends
+// on this).
+//
+// Threading contract (enforced by convention, checked under TSan):
+//
+//   loop-affine — callable only from the loop thread, or from any thread
+//   before run() starts / after it returns:
+//     now() (reads are safe anywhere; listed for completeness: always safe),
+//     at(), after(), cancel_timer(), add_fd(), mod_fd(), del_fd(), run()
+//
+//   thread-safe — callable from any thread at any time:
+//     post()  — enqueues fn into a mutex-guarded mailbox and kicks an
+//               eventfd so a sleeping loop wakes immediately; tasks run
+//               FIFO on the loop thread, never inline in the caller.
+//     stop()  — atomically requests shutdown and kicks the eventfd; a loop
+//               blocked in epoll_wait returns promptly.
+//     stopped(), in_loop_thread()
+//
+// Cross-thread interaction with loop-affine state therefore goes through
+// post(): `loop.post([&]{ loop.after(...); })`.
 //
 // Timers keep the EventQueue contract: a (time, sequence) min-heap ordered
 // FIFO among equal deadlines, O(1) cancellation by id, and a single timerfd
@@ -12,9 +31,12 @@
 // without polling.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -22,44 +44,58 @@ namespace dl::net {
 
 class EventLoop {
  public:
-  EventLoop();  // throws std::runtime_error if epoll/timerfd creation fails
+  EventLoop();  // throws std::runtime_error if epoll/timerfd/eventfd creation fails
   ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  // Seconds since construction (CLOCK_MONOTONIC).
+  // Seconds since the process clock epoch (CLOCK_MONOTONIC, anchored when
+  // the first EventLoop of the process is constructed). Shared across all
+  // loops in the process so cross-loop timestamps are comparable.
   double now() const;
 
-  // Timers. `at` is absolute loop time (clamped to now), `after` relative.
-  // Ids are never reused; 0 is never returned.
+  // Timers (loop-affine). `at` is absolute loop time (clamped to now),
+  // `after` relative. Ids are never reused; 0 is never returned.
   std::uint64_t at(double t, std::function<void()> fn);
   std::uint64_t after(double delay, std::function<void()> fn);
-  // False if the timer already fired or was cancelled.
+  // False if the timer already fired or was cancelled. Loop-affine.
   bool cancel_timer(std::uint64_t id);
 
-  // Runs `fn` on the next loop iteration, before blocking again. FIFO.
+  // Runs `fn` on a later loop iteration, FIFO, never inline. Thread-safe:
+  // this is the one sanctioned way to hand work to another loop's thread.
   void post(std::function<void()> fn);
 
   // Fd readiness callbacks (EPOLLIN/EPOLLOUT/... bitmask from epoll).
+  // Loop-affine.
   using FdHandler = std::function<void(std::uint32_t events)>;
   void add_fd(int fd, std::uint32_t events, FdHandler h);
   void mod_fd(int fd, std::uint32_t events);
   void del_fd(int fd);  // unregister only; does not close
 
-  // Dispatches until stop() is called.
+  // Dispatches until stop() is called. Records the running thread so
+  // in_loop_thread() works while the loop spins.
   void run();
-  void stop() { stop_ = true; }
-  bool stopped() const { return stop_; }
+  // Thread-safe: requests shutdown and wakes a loop sleeping in epoll_wait.
+  void stop();
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+  // True when the calling thread is currently inside this loop's run().
+  bool in_loop_thread() const {
+    return loop_thread_.load(std::memory_order_acquire) == std::this_thread::get_id();
+  }
 
  private:
   void arm_timerfd();
   void run_due_timers();
   void drain_posted();
+  void wake();
+  bool posted_empty() const;
 
   int ep_ = -1;
   int tfd_ = -1;
+  int wake_fd_ = -1;  // eventfd: written by post()/stop(), drained by run()
   double t0_ = 0;
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
 
   struct Due {
     double t;
@@ -82,7 +118,9 @@ class EventLoop {
   };
   std::uint32_t next_fd_gen_ = 1;
   std::unordered_map<int, FdEntry> fds_;
-  std::vector<std::function<void()>> posted_;
+
+  mutable std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;  // guarded by post_mu_
 };
 
 }  // namespace dl::net

@@ -94,12 +94,18 @@ Bytes encode_tx_ack(std::uint64_t client_seq, TxStatus status) {
 }
 
 Bytes encode_tx_committed(std::uint64_t client_seq, std::uint64_t epoch,
-                          std::uint32_t proposer, std::uint64_t latency_us) {
-  Bytes frame = begin_frame(1 + 8 + 8 + 4 + 8, WireKind::TxCommitted);
+                          std::uint32_t proposer, std::uint64_t latency_us,
+                          const StageLatencies& stages) {
+  Bytes frame = begin_frame(1 + 8 + 8 + 4 + 8 + 5 * 4, WireKind::TxCommitted);
   put_u64(frame, client_seq);
   put_u64(frame, epoch);
   put_u32(frame, proposer);
   put_u64(frame, latency_us);
+  put_u32(frame, stages.ingress_us);
+  put_u32(frame, stages.disperse_us);
+  put_u32(frame, stages.ba_us);
+  put_u32(frame, stages.retrieve_us);
+  put_u32(frame, stages.notify_us);
   return frame;
 }
 
@@ -149,13 +155,18 @@ bool decode_wire(ByteView payload, WireFrame& out) {
       return true;
     }
     case WireKind::TxCommitted:
-      if (payload.size() != 1 + 8 + 8 + 4 + 8) return false;
+      if (payload.size() != 1 + 8 + 8 + 4 + 8 + 5 * 4) return false;
       out = WireFrame{};
       out.kind = WireKind::TxCommitted;
       out.client_seq = get_u64(payload.data() + 1);
       out.epoch = get_u64(payload.data() + 9);
       out.proposer = get_u32(payload.data() + 17);
       out.latency_us = get_u64(payload.data() + 21);
+      out.stages.ingress_us = get_u32(payload.data() + 29);
+      out.stages.disperse_us = get_u32(payload.data() + 33);
+      out.stages.ba_us = get_u32(payload.data() + 37);
+      out.stages.retrieve_us = get_u32(payload.data() + 41);
+      out.stages.notify_us = get_u32(payload.data() + 45);
       return true;
     case WireKind::Goodbye:
       if (payload.size() != 1) return false;

@@ -20,8 +20,9 @@
 //   TxAck       — node → client: admission verdict for one SubmitTx
 //                 (see TxStatus).
 //   TxCommitted — node → client: the transaction was delivered in a
-//                 committed block — epoch, proposer, and the node-measured
-//                 submit→commit latency in microseconds.
+//                 committed block — epoch, proposer, the node-measured
+//                 submit→commit latency in microseconds, and the per-stage
+//                 breakdown of that latency (StageLatencies, v2).
 //   Goodbye     — node → client: orderly shutdown; nothing further will be
 //                 acked or committed on this connection.
 //
@@ -56,7 +57,10 @@ enum class WireKind : std::uint8_t {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x444C4E31;  // "DLN1"
-inline constexpr std::uint32_t kWireVersion = 1;
+// v2: TxCommitted grew the five StageLatencies fields. Handshakes check the
+// version exactly, so v1 clients are rejected at connect time rather than
+// misparsing the longer commit frame.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 // Admission verdict carried by TxAck. Values are wire format — renumbering
 // is a protocol break.
@@ -68,6 +72,19 @@ enum class TxStatus : std::uint8_t {
   Committed = 4,  // already committed earlier; TxCommitted replayed behind
 };
 inline constexpr std::uint8_t kMaxTxStatus = 4;
+
+// Where one transaction's submit→commit latency was spent, in microseconds
+// on the node's clock (saturated at ~71 minutes per stage — far beyond any
+// real pipeline stage). Stages not measured for this transaction (e.g. the
+// block was proposed by another replica) are zero; consumers treat the five
+// fields as best-effort diagnostics, not an exact partition of latency_us.
+struct StageLatencies {
+  std::uint32_t ingress_us = 0;   // mempool admit → packed into a proposal
+  std::uint32_t disperse_us = 0;  // proposed → own VID instance complete
+  std::uint32_t ba_us = 0;        // VID complete → all BAs of the epoch done
+  std::uint32_t retrieve_us = 0;  // BA done → block delivered
+  std::uint32_t notify_us = 0;    // delivered → commit frame queued to client
+};
 
 // Appends one frame (header + payload) to `out`. Returns false (appending
 // nothing) if `payload` exceeds `max_frame`.
@@ -84,7 +101,8 @@ inline constexpr std::size_t kSubmitTxOverhead = kFrameHeaderBytes + 1 + 8;
 Bytes encode_submit_tx(std::uint64_t client_seq, ByteView payload);
 Bytes encode_tx_ack(std::uint64_t client_seq, TxStatus status);
 Bytes encode_tx_committed(std::uint64_t client_seq, std::uint64_t epoch,
-                          std::uint32_t proposer, std::uint64_t latency_us);
+                          std::uint32_t proposer, std::uint64_t latency_us,
+                          const StageLatencies& stages = {});
 Bytes encode_goodbye();
 
 // A complete Data frame (header + kind + envelope bytes), ready to write to
@@ -104,6 +122,7 @@ struct WireFrame {
   std::uint64_t epoch = 0;         // valid when kind == TxCommitted
   std::uint32_t proposer = 0;      // valid when kind == TxCommitted
   std::uint64_t latency_us = 0;    // valid when kind == TxCommitted
+  StageLatencies stages;           // valid when kind == TxCommitted
 };
 
 // Decodes one frame payload. False on empty input, unknown kind, a

@@ -89,9 +89,10 @@ void TcpEnv::set_peer_port(int id, std::uint16_t port) {
   peer(id).addr.port = port;
 }
 
-void TcpEnv::start() {
+void TcpEnv::start(runtime::Receiver& r) {
   if (started_) return;
   started_ = true;
+  receiver_ = &r;  // published by the post below before any callback fires
   loop_.post([this] {
     loop_.add_fd(listen_fd_, EPOLLIN,
                  [this](std::uint32_t ev) { handle_listener(ev); });
@@ -149,6 +150,20 @@ void TcpEnv::cancel_send(std::uint64_t tag) {
     }
     if (p.fd >= 0 && !p.connecting) update_interest(p);
   }
+}
+
+void TcpEnv::offload(std::function<void()> work, std::function<void()> done) {
+  if (pool_ == nullptr) {
+    // No pool configured: run the simulator's synchronous schedule.
+    work();
+    done();
+    return;
+  }
+  pool_->submit(
+      [this, work = std::move(work), done = std::move(done)]() mutable {
+        work();
+        loop_.post(std::move(done));
+      });
 }
 
 void TcpEnv::deliver_local(std::shared_ptr<const Bytes> frame) {

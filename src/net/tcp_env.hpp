@@ -33,6 +33,7 @@
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "runtime/env.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace dl::net {
 
@@ -61,9 +62,17 @@ class TcpEnv final : public runtime::Env {
   // Updates a peer's port before start() (port-0 discovery in tests).
   void set_peer_port(int id, std::uint16_t port);
 
-  // Registers with the loop, begins dialing, and schedules the bound
-  // Receiver's start() as the first posted task. Call once, then loop.run().
-  void start();
+  // Optional executor for offload(); set before start(). The pool must
+  // outlive every in-flight job but be destroyed before the loop stops
+  // servicing posts (dlnoded: pool is destroyed after loop.run() returns,
+  // which is fine — orphaned completions die in the loop's mailbox).
+  void set_worker_pool(runtime::WorkerPool* pool) { pool_ = pool; }
+
+  // Injects the Receiver, registers with the loop, begins dialing, and
+  // schedules the Receiver's start() as the first posted task. Call once
+  // (from any thread, before or while the loop runs), then loop.run().
+  // All Receiver callbacks fire on the loop thread.
+  void start(runtime::Receiver& r);
 
   // --- runtime::Env -------------------------------------------------------
   int local_id() const override { return self_; }
@@ -75,6 +84,11 @@ class TcpEnv final : public runtime::Env {
   void send(int to, const Envelope& env, const runtime::SendOpts& opts) override;
   void broadcast(const Envelope& env, const runtime::SendOpts& opts) override;
   void cancel_send(std::uint64_t tag) override;
+  // Thread-safe: posts fn to the home loop.
+  void defer(std::function<void()> fn) override { loop_.post(std::move(fn)); }
+  // With a worker pool: `work` runs on a pool thread, `done` is posted back
+  // to the home loop. Without one: both run inline (the sim schedule).
+  void offload(std::function<void()> work, std::function<void()> done) override;
 
   // --- backpressure / health accounting -----------------------------------
   struct PeerStats {
@@ -153,6 +167,8 @@ class TcpEnv final : public runtime::Env {
   ClusterConfig cfg_;
   int self_;
   Options opt_;
+  runtime::Receiver* receiver_ = nullptr;
+  runtime::WorkerPool* pool_ = nullptr;
   int listen_fd_ = -1;
   std::uint16_t listen_port_ = 0;
   bool started_ = false;

@@ -75,6 +75,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     auto node =
         std::make_unique<core::DlNode>(make_node_config(cfg, i), *envs.back());
+    envs.back()->attach(*node);
     core::DlNode* raw = node.get();
     nodes[static_cast<std::size_t>(i)] = raw;
     NodeResult* res = &result.nodes[static_cast<std::size_t>(i)];

@@ -1,8 +1,9 @@
 // Runtime abstraction: the seam between protocol logic and the world.
 //
 // dl::core::DlNode (and everything layered on it) talks to its surroundings
-// exclusively through this interface — a clock, timers, and peer-addressed
-// envelope delivery. Two backends implement it:
+// exclusively through this interface — a clock, timers, peer-addressed
+// envelope delivery, and an executor seam for CPU-heavy work. Two backends
+// implement it:
 //
 //   runtime::SimEnv  — the deterministic discrete-event simulator (virtual
 //                      time, FluidLink bandwidth model); every experiment
@@ -14,6 +15,38 @@
 // The same node object is bit-for-bit the same protocol state machine on
 // both; only delivery timing differs. Keep this interface small — anything a
 // node can compute locally does not belong here.
+//
+// ## Threading contract
+//
+// Every Env has a *home loop*: the single thread that runs the Receiver's
+// callbacks (SimEnv: the simulation thread; TcpEnv: the EventLoop thread).
+// Per method:
+//
+//   method        | affinity     | notes
+//   --------------|--------------|------------------------------------------
+//   local_id      | any thread   | immutable after construction
+//   cluster_size  | any thread   | immutable after construction
+//   now           | any thread   | all loops in a process share one epoch
+//   at/after      | home loop    | timer callbacks fire on the home loop
+//   cancel_timer  | home loop    |
+//   send/broadcast| home loop    |
+//   cancel_send   | home loop    |
+//   defer         | any thread   | fn runs later on the home loop, never
+//                 |              | inline in the caller
+//   offload       | home loop    | see below
+//
+// offload(work, done): `work` is a closure over value-captured inputs that
+// must not touch node or Env state; `done` runs on the home loop after
+// `work` returns and may touch everything. The simulator (and a TcpEnv
+// without a worker pool) runs both synchronously inline — callers must be
+// correct under either schedule, which the continuation style forces. A
+// TcpEnv with a WorkerPool runs `work` on a pool thread and posts `done`
+// home: that is how erasure coding and Merkle hashing leave the hot loop.
+//
+// The Receiver is injected at start time (TcpEnv::start(Receiver&),
+// SimEnv::attach(Receiver&)) — there is no mutable bind() — so by the time
+// any callback can fire, the receiver wiring is already published to every
+// thread involved.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +71,8 @@ using TimerId = std::uint64_t;
 
 // What a node looks like to its Env: started once, then fed datagrams.
 // `bytes` is one whole envelope encoding (framing already stripped); the
-// receiver owns decoding and must treat the content as untrusted.
+// receiver owns decoding and must treat the content as untrusted. All
+// callbacks arrive on the Env's home loop.
 class Receiver {
  public:
   virtual ~Receiver() = default;
@@ -50,38 +84,40 @@ class Env {
  public:
   virtual ~Env() = default;
 
-  // Identity within the cluster.
+  // Identity within the cluster. Any thread.
   virtual int local_id() const = 0;
   virtual int cluster_size() const = 0;
 
   // Clock, in seconds. Virtual time on the simulator, monotonic wall time
-  // on real backends; starts near 0 either way.
+  // on real backends; starts near 0 either way. Any thread.
   virtual double now() const = 0;
 
-  // Timers. `at` schedules at an absolute time (>= now), `after` relative
-  // to now. cancel_timer returns false if the timer already fired, was
-  // already cancelled, or never existed.
+  // Timers (home loop only). `at` schedules at an absolute time (>= now),
+  // `after` relative to now. cancel_timer returns false if the timer
+  // already fired, was already cancelled, or never existed.
   virtual TimerId at(double t, std::function<void()> fn) = 0;
   virtual TimerId after(double delay, std::function<void()> fn) = 0;
   virtual bool cancel_timer(TimerId id) = 0;
 
-  // Envelope delivery. `send` to self is legal and loops back without
-  // touching the network (asynchronously: the receiver is never re-entered
-  // from inside its own call stack). `broadcast` sends to every node
-  // including the sender, encoding the envelope once.
+  // Envelope delivery (home loop only). `send` to self is legal and loops
+  // back without touching the network (asynchronously: the receiver is
+  // never re-entered from inside its own call stack). `broadcast` sends to
+  // every node including the sender, encoding the envelope once.
   virtual void send(int to, const Envelope& env, const SendOpts& opts) = 0;
   virtual void broadcast(const Envelope& env, const SendOpts& opts) = 0;
 
   // Best-effort retraction of not-yet-transmitted Low-class messages
   // carrying `tag` (the §6.3 "stop sending chunks once decoded" path).
+  // Home loop only.
   virtual void cancel_send(std::uint64_t tag) = 0;
 
-  // Attaches the node. Exactly one receiver per Env; the node calls this
-  // from its constructor.
-  void bind(Receiver* r) { receiver_ = r; }
-
- protected:
-  Receiver* receiver_ = nullptr;
+  // Executor seam. defer() is the thread-safe way back to the home loop;
+  // offload() pushes CPU-heavy, state-free `work` off-loop (when the
+  // backend has somewhere to push it) and runs `done` on the home loop
+  // afterwards. See the threading-contract table above for the exact
+  // schedule each backend guarantees.
+  virtual void defer(std::function<void()> fn) = 0;
+  virtual void offload(std::function<void()> work, std::function<void()> done) = 0;
 };
 
 }  // namespace dl::runtime

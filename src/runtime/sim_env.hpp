@@ -6,6 +6,13 @@
 // existing Network/EventQueue unchanged — a node running through SimEnv
 // schedules the exact same events, in the same order, as the pre-abstraction
 // code did. Sweep JSON is byte-identical either way (tests assert this).
+//
+// Threading: the simulator is single-threaded, so the Env contract is
+// implemented trivially — the "home loop" is the simulation thread,
+// defer() is an EventQueue task at the current virtual time, and
+// offload(work, done) runs both synchronously inline. Inline execution is
+// load-bearing for determinism: an offloaded computation schedules the
+// exact same events as the pre-offload synchronous code.
 #pragma once
 
 #include "runtime/env.hpp"
@@ -15,9 +22,12 @@ namespace dl::runtime {
 
 class SimEnv final : public Env, public sim::Host {
  public:
-  // Registers itself as node `id`; the Receiver bound afterwards is started
-  // when the simulation starts.
+  // Registers itself as node `id`; the Receiver attached afterwards is
+  // started when the simulation starts.
   SimEnv(sim::Simulator& sim, int id);
+
+  // Injects the receiver. Call exactly once, before the simulation runs.
+  void attach(Receiver& r) { receiver_ = &r; }
 
   // --- Env ----------------------------------------------------------------
   int local_id() const override { return id_; }
@@ -29,6 +39,8 @@ class SimEnv final : public Env, public sim::Host {
   void send(int to, const Envelope& env, const SendOpts& opts) override;
   void broadcast(const Envelope& env, const SendOpts& opts) override;
   void cancel_send(std::uint64_t tag) override;
+  void defer(std::function<void()> fn) override;
+  void offload(std::function<void()> work, std::function<void()> done) override;
 
   // --- sim::Host ----------------------------------------------------------
   void start() override;
@@ -44,6 +56,7 @@ class SimEnv final : public Env, public sim::Host {
   sim::EventQueue& eq_;
   sim::Network& net_;
   int id_;
+  Receiver* receiver_ = nullptr;
 };
 
 }  // namespace dl::runtime

@@ -1,0 +1,48 @@
+// A fixed pool of worker threads for CPU-heavy, state-free jobs.
+//
+// This is the executor behind TcpEnv::offload(): erasure encode/decode and
+// batch Merkle hashing run here while the event loops keep servicing
+// sockets. Jobs are plain closures over value-captured inputs; completion
+// routing (posting results back to the owning EventLoop) is composed by the
+// caller, not the pool.
+//
+// Threading contract: submit() is thread-safe. Jobs run FIFO across the
+// pool (any worker may pick up any job; jobs that must serialize should be
+// chained through their completions instead). The destructor finishes every
+// queued job, then joins — so a completion that posts to an EventLoop never
+// dangles; destroy the pool before the loops it posts to.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dl::runtime {
+
+class WorkerPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues a job. Thread-safe; never runs inline.
+  void submit(std::function<void()> job);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_main();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;  // guarded by mu_
+  bool stopping_ = false;                   // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dl::runtime

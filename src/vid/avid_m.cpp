@@ -154,42 +154,71 @@ void AvidMRetriever::begin(Outbox& out) {
   out.push_back(broadcast(MsgKind::VidRequestChunk, {}));
 }
 
-void AvidMRetriever::handle_return_chunk(int from, const ReturnChunkMsg& m) {
-  if (done_ || from < 0 || from >= p_.n || seen_[static_cast<std::size_t>(from)]) return;
+DecodeResult avid_m_run_decode(const DecodeJob& job) {
+  const ReedSolomon rs(job.p.data_shards(), job.p.n);
+  DecodeResult out;
+  std::optional<Bytes> block = rs.decode(job.slots);
+  if (!block.has_value()) {
+    // Ragged or structurally invalid chunk set: provably inconsistent
+    // encoding, same verdict as a failed re-encode check.
+    out.bad_uploader = true;
+    out.block = bytes_of(kBadUploader);
+    return out;
+  }
+  // The AVID-M check: re-encode and compare Merkle roots (Fig. 4, steps 2-4).
+  const std::vector<Bytes> reencoded = rs.encode(*block);
+  if (merkle_root(reencoded) == job.root) {
+    out.block = std::move(*block);
+  } else {
+    out.bad_uploader = true;
+    out.block = bytes_of(kBadUploader);
+  }
+  return out;
+}
+
+bool AvidMRetriever::offer_chunk(int from, const ReturnChunkMsg& m) {
+  if (done_ || decoding_ || from < 0 || from >= p_.n ||
+      seen_[static_cast<std::size_t>(from)]) {
+    return false;
+  }
   if (m.proof.index != static_cast<std::uint32_t>(from) ||
       m.proof.leaf_count != static_cast<std::uint32_t>(p_.n)) {
-    return;
+    return false;
   }
-  if (!merkle_verify(m.root, m.chunk, m.proof)) return;
+  if (!merkle_verify(m.root, m.chunk, m.proof)) return false;
   seen_[static_cast<std::size_t>(from)] = true;
 
   auto& per_root = chunks_[m.root];
   per_root.emplace(from, m.chunk);
-  if (static_cast<int>(per_root.size()) < p_.data_shards()) return;
+  if (static_cast<int>(per_root.size()) < p_.data_shards()) return false;
 
-  // Decode from the first N-2f chunks under this root.
-  std::vector<Bytes> slots(static_cast<std::size_t>(p_.n));
-  for (const auto& [idx, chunk] : per_root) slots[static_cast<std::size_t>(idx)] = chunk;
-  const ReedSolomon rs(p_.data_shards(), p_.n);
-  done_ = true;
+  // Enough chunks share this root: freeze and decode (possibly off-loop).
+  decoding_ = true;
   chunk_root_ = m.root;
+  return true;
+}
 
-  std::optional<Bytes> block = rs.decode(slots);
-  if (!block.has_value()) {
-    // Ragged or structurally invalid chunk set: provably inconsistent
-    // encoding, same verdict as a failed re-encode check.
-    bad_uploader_ = true;
-    result_ = bytes_of(kBadUploader);
-    return;
+DecodeJob AvidMRetriever::make_decode_job() const {
+  DecodeJob job;
+  job.p = p_;
+  job.root = chunk_root_;
+  job.slots.resize(static_cast<std::size_t>(p_.n));
+  const auto& per_root = chunks_.at(chunk_root_);
+  for (const auto& [idx, chunk] : per_root) {
+    job.slots[static_cast<std::size_t>(idx)] = chunk;
   }
-  // The AVID-M check: re-encode and compare Merkle roots (Fig. 4, steps 2-4).
-  const std::vector<Bytes> reencoded = rs.encode(*block);
-  if (merkle_root(reencoded) == m.root) {
-    result_ = std::move(*block);
-  } else {
-    bad_uploader_ = true;
-    result_ = bytes_of(kBadUploader);
-  }
+  return job;
+}
+
+void AvidMRetriever::complete(DecodeResult r) {
+  done_ = true;
+  decoding_ = false;
+  bad_uploader_ = r.bad_uploader;
+  result_ = std::move(r.block);
+}
+
+void AvidMRetriever::handle_return_chunk(int from, const ReturnChunkMsg& m) {
+  if (offer_chunk(from, m)) complete(avid_m_run_decode(make_decode_job()));
 }
 
 }  // namespace dl::vid

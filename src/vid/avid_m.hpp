@@ -86,6 +86,24 @@ class AvidMServer {
   std::vector<bool> request_seen_;
 };
 
+// A decode attempt detached from retriever state: every input is owned by
+// value, so avid_m_run_decode() may run on a worker thread while the
+// retriever lives on (and keeps rejecting chunks) on the home loop.
+struct DecodeJob {
+  Params p;
+  Hash root;
+  std::vector<Bytes> slots;  // indexed by server id; empty = missing
+};
+
+struct DecodeResult {
+  Bytes block;  // the block bytes, or bytes(kBadUploader)
+  bool bad_uploader = false;
+};
+
+// Decode from the collected chunks, then RE-ENCODE and check the Merkle
+// root — the AVID-M verification (Fig. 4, steps 2-4). Pure function.
+DecodeResult avid_m_run_decode(const DecodeJob& job);
+
 class AvidMRetriever {
  public:
   AvidMRetriever(Params p, int self);
@@ -94,7 +112,18 @@ class AvidMRetriever {
   void begin(Outbox& out);
 
   // Feeds one ReturnChunk; ignores invalid proofs and duplicate senders.
+  // Decodes inline once N−2f chunks share a root (single-threaded path).
   void handle_return_chunk(int from, const ReturnChunkMsg& m);
+
+  // Split pipeline for offloaded decoding:
+  //   offer_chunk()      — buffer a verified chunk; true once enough chunks
+  //                        share a root (the retriever then stops accepting
+  //                        chunks until complete()).
+  //   make_decode_job()  — value snapshot of the decode inputs.
+  //   complete()         — install the outcome; done() becomes true.
+  bool offer_chunk(int from, const ReturnChunkMsg& m);
+  DecodeJob make_decode_job() const;
+  void complete(DecodeResult r);
 
   bool done() const { return done_; }
   // The retrieved block; equals bytes("BAD_UPLOADER") when the disperser
@@ -109,6 +138,7 @@ class AvidMRetriever {
   int self_;
   std::map<Hash, std::map<int, Bytes>> chunks_;  // root -> (server -> chunk)
   std::vector<bool> seen_;
+  bool decoding_ = false;  // decode job handed out, outcome pending
   bool done_ = false;
   bool bad_uploader_ = false;
   Bytes result_;

@@ -73,7 +73,7 @@ struct Cluster {
         rep->ledger.emplace_back(at, key);
         rep->gateway->on_block_delivered(at, key, b, now);
       });
-      r.env->start();
+      r.env->start(*r.node);
       r.gateway->start();
     }
   }
@@ -125,14 +125,19 @@ TEST(ClientE2E, TwoHundredTxsCommitExactlyOnceWithMonotoneEpochs) {
     std::vector<std::uint64_t> epochs;
     std::uint64_t dup_commits = 0;
     std::uint64_t accepted_acks = 0;
+    std::uint64_t stage_samples = 0;  // commits with a dispersal+BA stage
   };
   Observed o0, o1;
   auto observe = [](Observed& o) {
     return [&o](std::uint64_t seq, std::uint64_t epoch, std::uint32_t,
-                double node_latency) {
+                double node_latency, const net::StageLatencies& stages) {
       if (!o.committed_seqs.insert(seq).second) ++o.dup_commits;
       o.epochs.push_back(epoch);
       EXPECT_GE(node_latency, 0.0);
+      // The block was the node's own proposal, so the full stage breakdown
+      // must be attributed: dispersal and BA cannot take literally zero
+      // time over real sockets.
+      o.stage_samples += stages.disperse_us > 0 && stages.ba_us > 0 ? 1 : 0;
     };
   };
   c0.set_commit_callback(observe(o0));
@@ -174,6 +179,8 @@ TEST(ClientE2E, TwoHundredTxsCommitExactlyOnceWithMonotoneEpochs) {
   EXPECT_EQ(c1.stats().outstanding, 0u);
   EXPECT_EQ(c0.stats().rejected, 0u);
   EXPECT_EQ(c1.stats().rejected, 0u);
+  EXPECT_GT(o0.stage_samples, 0u);
+  EXPECT_GT(o1.stage_samples, 0u);
 
   // Each client observes monotone (nondecreasing) commit epochs: its node
   // notifies in delivery order.

@@ -174,9 +174,15 @@ TEST(CodecRoundTrip, ClientWireKindsThroughFramedTransport) {
                      net::WireKind::SubmitTx});
   samples.push_back({"TxAck", net::encode_tx_ack(99, net::TxStatus::Duplicate),
                      net::WireKind::TxAck});
+  net::StageLatencies stages;
+  stages.ingress_us = 11;
+  stages.disperse_us = 22;
+  stages.ba_us = 33;
+  stages.retrieve_us = 44;
+  stages.notify_us = 55;
   samples.push_back(
       {"TxCommitted",
-       net::encode_tx_committed(12345, 678, 3, 250'000),
+       net::encode_tx_committed(12345, 678, 3, 250'000, stages),
        net::WireKind::TxCommitted});
   samples.push_back({"Goodbye", net::encode_goodbye(), net::WireKind::Goodbye});
 
@@ -229,6 +235,11 @@ TEST(CodecRoundTrip, ClientWireKindsThroughFramedTransport) {
   EXPECT_EQ(wf.epoch, 678u);
   EXPECT_EQ(wf.proposer, 3u);
   EXPECT_EQ(wf.latency_us, 250'000u);
+  EXPECT_EQ(wf.stages.ingress_us, 11u);
+  EXPECT_EQ(wf.stages.disperse_us, 22u);
+  EXPECT_EQ(wf.stages.ba_us, 33u);
+  EXPECT_EQ(wf.stages.retrieve_us, 44u);
+  EXPECT_EQ(wf.stages.notify_us, 55u);
 }
 
 // Malformed client frames must decode to failure, not garbage: bad magic,

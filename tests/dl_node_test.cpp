@@ -44,6 +44,7 @@ struct Cluster {
   DlNode* add_node(NodeConfig cfg) {
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, cfg.self));
     auto node = std::make_unique<DlNode>(cfg, *envs.back());
+    envs.back()->attach(*node);
     DlNode* raw = node.get();
     auto* log = &logs[static_cast<std::size_t>(cfg.self)];
     raw->set_delivery_callback([log](std::uint64_t at, BlockKey key,

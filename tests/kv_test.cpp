@@ -82,6 +82,7 @@ TEST(ReplicatedKv, IdenticalStateAcrossCluster) {
     cfg.max_block_bytes = 50'000;
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     nodes.push_back(std::make_unique<core::DlNode>(cfg, *envs.back()));
+    envs.back()->attach(*nodes.back());
     kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
   }
   // Concurrent writes from different nodes, including conflicting CAS from
@@ -119,6 +120,7 @@ TEST(ReplicatedKv, NonCommandPayloadsIgnored) {
     envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
     nodes.push_back(std::make_unique<core::DlNode>(
         core::NodeConfig::dispersed_ledger(n, f, i), *envs.back()));
+    envs.back()->attach(*nodes.back());
     kvs.push_back(std::make_unique<ReplicatedKv>(*nodes.back()));
   }
   sim.queue().at(0.1, [&] {

@@ -114,10 +114,8 @@ TEST(TcpEnv, TwoNodeRequestResponseAndLocalLoopback) {
   r0.env = envs[0].get();
   r0.echo = true;
   r1.env = envs[1].get();
-  envs[0]->bind(&r0);
-  envs[1]->bind(&r1);
-  envs[0]->start();
-  envs[1]->start();
+  envs[0]->start(r0);
+  envs[1]->start(r1);
 
   // Node 1 sends to node 0 (cross-socket) and to itself (loopback).
   loop.after(0.0, [&] {
@@ -160,10 +158,8 @@ TEST(TcpEnv, ReconnectAfterDrop) {
   Recorder r0, r1;
   r0.env = envs[0].get();
   r1.env = envs[1].get();
-  envs[0]->bind(&r0);
-  envs[1]->bind(&r1);
-  envs[0]->start();
-  envs[1]->start();
+  envs[0]->start(r0);
+  envs[1]->start(r1);
 
   // Once connected, kill the connection from the ACCEPTOR side (node 0;
   // node 1 is the dialer and must notice and redial). A frame written in
@@ -206,8 +202,7 @@ TEST(TcpEnv, BackpressureDropsWhenQueueFull) {
   auto envs = make_envs(loop, cfg, opt);
   Recorder r1;
   r1.env = envs[1].get();
-  envs[1]->bind(&r1);
-  envs[1]->start();  // env 0 intentionally not started
+  envs[1]->start(r1);  // env 0 intentionally not started
 
   loop.post([&] {
     // A frame above the limit is rejected outright (every receiver would
@@ -239,8 +234,7 @@ TEST(TcpEnv, HandshakeTimeoutClosesSilentConnections) {
   auto envs = make_envs(loop, cfg, opt);
   Recorder r0;
   r0.env = envs[0].get();
-  envs[0]->bind(&r0);
-  envs[0]->start();  // env 1 not started: we play the client ourselves
+  envs[0]->start(r0);  // env 1 not started: we play the client ourselves
 
   const int raw = socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(raw, 0);
@@ -299,7 +293,7 @@ TEST(TcpCluster, FourNodeLedgerPrefixAgreement) {
               double) {
           log->push_back({at, key.epoch, key.proposer, b.payload_bytes()});
         });
-    envs[i]->start();
+    envs[i]->start(*nodes.back());
   }
 
   bool timed_out = false;

@@ -23,6 +23,7 @@ struct MiniCluster {
       cfg.self = i;
       envs.push_back(std::make_unique<runtime::SimEnv>(sim, i));
       nodes.push_back(std::make_unique<DlNode>(cfg, *envs.back()));
+      envs.back()->attach(*nodes.back());
     }
   }
 };
