@@ -199,11 +199,14 @@ int main(int argc, char** argv) {
   sigprocmask(SIG_BLOCK, &sigmask, nullptr);
 
   net::EventLoop loop;
-  // Destroyed after the env: pending pool jobs post their (dead)
-  // completions into the still-live loop mailbox on teardown.
-  std::unique_ptr<runtime::WorkerPool> pool;
   std::unique_ptr<net::TcpEnv> env;
   std::unique_ptr<core::DlNode> node;
+  // Declared after env/node, so it is destroyed FIRST: the WorkerPool
+  // destructor runs every still-queued job, and those closures capture the
+  // node (disperse work) and the env (completion trampoline) — both must
+  // still be alive. The completions they post land in the loop mailbox
+  // (declared first, destroyed last) and are simply dropped with it.
+  std::unique_ptr<runtime::WorkerPool> pool;
   std::unique_ptr<client::Gateway> gateway;      // --loops 1
   std::unique_ptr<client::IngressShards> shards; // --loops >= 2
   try {
@@ -339,8 +342,9 @@ int main(int argc, char** argv) {
   loop.run();
 
   // Teardown order: ingress first (shard threads join; no new submissions
-  // or commit fan-outs), then the node/env with the loop stopped, then the
-  // worker pool (its destructor drains pending jobs).
+  // or commit fan-outs), then — by reverse declaration order — the worker
+  // pool (its destructor drains pending jobs while node/env/loop are all
+  // still alive), then the node and env with the loop stopped.
   if (gateway != nullptr) gateway->shutdown();
   if (shards != nullptr) shards->shutdown();
   if (sfd >= 0) {

@@ -1,6 +1,7 @@
 #include "client/ingress.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace dl::client {
@@ -102,6 +103,10 @@ void IngressShards::shutdown() {
 }
 
 Gateway::Stats IngressShards::aggregate_stats() const {
+  // The per-shard counters are plain fields owned by the shard threads;
+  // reading them while those threads run is a C++ data race, not a benign
+  // stale read. Only legal before start() or after shutdown() has joined.
+  assert(!started_ || shut_down_);
   Gateway::Stats total;
   for (const Shard& s : shards_) {
     const Gateway::Stats& st = s.gateway->stats();
@@ -117,6 +122,7 @@ Gateway::Stats IngressShards::aggregate_stats() const {
 }
 
 MempoolStats IngressShards::aggregate_mempool_stats() const {
+  assert(!started_ || shut_down_);  // see aggregate_stats()
   MempoolStats total;
   for (const Shard& s : shards_) {
     const MempoolStats& st = s.gateway->mempool().stats();

@@ -28,9 +28,11 @@
 // as before.
 //
 // Thread affinity: construct, start(), on_block_delivered(), shutdown() and
-// the aggregate accessors all belong to the node loop's thread. Aggregate
-// stats are exact only after shutdown() (shard threads joined); before
-// that they are racy-but-monotone gauges, good enough for progress logs.
+// the aggregate accessors all belong to the node loop's thread. The
+// aggregate accessors are additionally restricted (asserted) to before
+// start() or after shutdown(): the underlying counters are plain fields
+// mutated on the shard threads, so reading them mid-run would be a data
+// race, not merely a stale read. After shutdown() they are exact.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +78,8 @@ class IngressShards {
   // loop, and is joined. Idempotent.
   void shutdown();
 
+  // Exact totals across shards. Only callable before start() or after
+  // shutdown() (shard threads joined) — asserted, see the header comment.
   Gateway::Stats aggregate_stats() const;
   MempoolStats aggregate_mempool_stats() const;
 

@@ -190,7 +190,10 @@ void EventLoop::drain_posted() {
 }
 
 void EventLoop::run() {
-  stop_.store(false, std::memory_order_release);
+  // stop_ is deliberately NOT reset here: a stop() issued after spawning
+  // the loop thread but before run() reaches this line must not be lost —
+  // it makes this run() return immediately instead. The pending request is
+  // consumed on exit (below) so the loop can be run() again.
   loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   epoll_event evs[64];
   while (!stopped()) {
@@ -234,6 +237,8 @@ void EventLoop::run() {
       h(evs[i].events);
     }
   }
+  // Consume the stop request: the loop is re-runnable once run() returns.
+  stop_.store(false, std::memory_order_release);
   loop_thread_.store(std::thread::id(), std::memory_order_release);
 }
 

@@ -19,7 +19,10 @@
 //               eventfd so a sleeping loop wakes immediately; tasks run
 //               FIFO on the loop thread, never inline in the caller.
 //     stop()  — atomically requests shutdown and kicks the eventfd; a loop
-//               blocked in epoll_wait returns promptly.
+//               blocked in epoll_wait returns promptly. Sticky: a stop()
+//               issued before run() even starts makes that run() return
+//               immediately instead of being lost. run() consumes the
+//               pending request when it returns, so the loop is re-runnable.
 //     stopped(), in_loop_thread()
 //
 // Cross-thread interaction with loop-affine state therefore goes through
@@ -72,11 +75,16 @@ class EventLoop {
   void mod_fd(int fd, std::uint32_t events);
   void del_fd(int fd);  // unregister only; does not close
 
-  // Dispatches until stop() is called. Records the running thread so
-  // in_loop_thread() works while the loop spins.
+  // Dispatches until stop() is called (returns immediately if a stop is
+  // already pending — a pre-run stop() is never lost). Consumes the stop
+  // request on return, so the loop may be run() again. Records the running
+  // thread so in_loop_thread() works while the loop spins.
   void run();
   // Thread-safe: requests shutdown and wakes a loop sleeping in epoll_wait.
+  // Callable at any time, including before run() starts (see above).
   void stop();
+  // True while a stop request is pending, i.e. from stop() until the run()
+  // that observes it returns.
   bool stopped() const { return stop_.load(std::memory_order_acquire); }
   // True when the calling thread is currently inside this loop's run().
   bool in_loop_thread() const {

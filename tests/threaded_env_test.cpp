@@ -95,7 +95,27 @@ TEST(ThreadedEnv, StopFromAnotherThreadWakesASleepingLoop) {
           .count();
   // Promptly = the eventfd wake, not some fallback poll timeout.
   EXPECT_LT(waited, 1.0);
+  // run() consumed the stop request on exit: the loop is re-runnable.
+  EXPECT_FALSE(loop.stopped());
+}
+
+TEST(ThreadedEnv, StopBeforeRunIsNotLost) {
+  // The spawn-then-stop race: a stop() issued before run() ever starts must
+  // make that run() return immediately, not be silently discarded.
+  net::EventLoop loop;
+  loop.stop();
   EXPECT_TRUE(loop.stopped());
+  bool ran_task = false;
+  loop.post([&] { ran_task = true; });
+  loop.run();  // returns without dispatching anything
+  EXPECT_FALSE(ran_task);
+
+  // The pending request was consumed, so a subsequent run() proceeds
+  // normally and drains the mailbox.
+  EXPECT_FALSE(loop.stopped());
+  loop.post([&loop] { loop.stop(); });
+  loop.run();
+  EXPECT_TRUE(ran_task);
 }
 
 TEST(ThreadedEnv, WorkerPoolRunsEverythingAndDrainsOnDestruction) {
