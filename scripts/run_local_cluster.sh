@@ -26,6 +26,7 @@
 #   -o DIR        where BENCH_loadgen.{json,csv} are copied (-L only)
 #   -l LOOPS      client ingress loops per replica (dlnoded --loops, default 1)
 #   -w WORKERS    coding/hashing worker threads (dlnoded --workers, default 0)
+#   -N NETLOOPS   replica transport loops (dlnoded --net-loops, default 1)
 #   -k            keep the work directory on success
 #
 # Port collisions: replicas exit 3 when they cannot bind; the script then
@@ -49,8 +50,9 @@ RATE=400000
 OUT_DIR=""
 LOOPS=1
 WORKERS=0
+NETLOOPS=1
 KEEP=0
-while getopts "n:e:b:p:t:Lc:r:o:l:w:k" opt; do
+while getopts "n:e:b:p:t:Lc:r:o:l:w:N:k" opt; do
   case "$opt" in
     n) N="$OPTARG" ;;
     e) EPOCHS="$OPTARG" ;;
@@ -63,6 +65,7 @@ while getopts "n:e:b:p:t:Lc:r:o:l:w:k" opt; do
     o) OUT_DIR="$OPTARG" ;;
     l) LOOPS="$OPTARG" ;;
     w) WORKERS="$OPTARG" ;;
+    N) NETLOOPS="$OPTARG" ;;
     k) KEEP=1 ;;
     *) exit 2 ;;
   esac
@@ -106,7 +109,7 @@ write_config() {
 # on a fresh port range. On success, replica pids are in pids[].
 pids=()
 boot_replicas() {
-  local extra=(--loops "$LOOPS" --workers "$WORKERS")
+  local extra=(--loops "$LOOPS" --workers "$WORKERS" --net-loops "$NETLOOPS")
   if [ "$LOADGEN" -eq 1 ]; then
     extra+=(--target-epochs 0)
   else

@@ -70,8 +70,9 @@ struct Flags {
   double linger = 3.0;
   double max_seconds = 120.0;
   bool quiet = false;
-  int loops = 1;    // gateway ingress shards (>= 2: own threads)
-  int workers = 0;  // coding worker pool threads (0: inline)
+  int loops = 1;      // gateway ingress shards (>= 2: own threads)
+  int workers = 0;    // coding worker pool threads (0: inline)
+  int net_loops = 1;  // replica transport loops (>= 2: own threads)
 };
 
 void usage(const char* argv0) {
@@ -91,6 +92,8 @@ void usage(const char* argv0) {
       "                         client port across N threads via SO_REUSEPORT)\n"
       "  --workers M            coding worker threads for erasure/Merkle work\n"
       "                         (default 0: inline on the node loop)\n"
+      "  --net-loops K          replica transport event loops (default 1; >=2\n"
+      "                         pins each peer connection to loop id%%K)\n"
       "  --ledger FILE          write the committed-ledger log here\n"
       "  --linger-seconds S     keep serving after target before exit (default 3)\n"
       "  --max-seconds S        watchdog: exit 1 if not done by then (default 120)\n"
@@ -127,6 +130,8 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       f.loops = std::atoi(v);
     } else if (a == "--workers" && (v = next())) {
       f.workers = std::atoi(v);
+    } else if (a == "--net-loops" && (v = next())) {
+      f.net_loops = std::atoi(v);
     } else if (a == "--ledger" && (v = next())) {
       f.ledger_path = v;
     } else if (a == "--linger-seconds" && (v = next())) {
@@ -140,7 +145,8 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       return false;
     }
   }
-  if (f.config.empty() || f.id < 0 || f.loops < 1 || f.workers < 0) {
+  if (f.config.empty() || f.id < 0 || f.loops < 1 || f.workers < 0 ||
+      f.net_loops < 1) {
     usage(argv[0]);
     return false;
   }
@@ -210,7 +216,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<client::Gateway> gateway;      // --loops 1
   std::unique_ptr<client::IngressShards> shards; // --loops >= 2
   try {
-    env = std::make_unique<net::TcpEnv>(loop, *cluster, flags.id);
+    net::TcpEnv::Options eopt;
+    eopt.net_loops = flags.net_loops;
+    env = std::make_unique<net::TcpEnv>(loop, *cluster, flags.id, eopt);
     if (flags.workers > 0) {
       pool = std::make_unique<runtime::WorkerPool>(flags.workers);
       env->set_worker_pool(pool.get());

@@ -173,10 +173,10 @@ void Gateway::on_commit_batch(const CommitBatch& batch) {
       continue;
     }
     ++stats_.commits_notified;
-    if (enqueue(it->second,
-                net::encode_tx_committed(rec->client_seq, rec->epoch,
-                                         rec->proposer, rec->latency_us,
-                                         stage_breakdown(*rec, batch, now)))) {
+    if (ensure_queue_space(it->second, net::kTxCommittedFrameBytes)) {
+      net::encode_tx_committed_into(it->second.out, rec->client_seq,
+                                    rec->epoch, rec->proposer, rec->latency_us,
+                                    stage_breakdown(*rec, batch, now));
       touched.push_back(rec->client_nonce);
     }
   }
@@ -370,10 +370,13 @@ void Gateway::handle_submit(Conn& c, const net::WireFrame& wf) {
   Hash h;
   const AdmitResult r = mempool_.admit(std::move(payload), loop_.now(),
                                        c.nonce, wf.client_seq, &h);
-  if (!enqueue(c, net::encode_tx_ack(wf.client_seq,
-                                     static_cast<net::TxStatus>(r)))) {
+  if (!ensure_queue_space(c, net::kTxAckFrameBytes)) {
     return;  // queue cap disconnected the client
   }
+  // The ack is encoded straight into the pooled outbound rope — the old
+  // per-ack Bytes allocation was the gateway hot path's only steady-state
+  // malloc.
+  net::encode_tx_ack_into(c.out, wf.client_seq, static_cast<net::TxStatus>(r));
   switch (r) {
     case AdmitResult::Admitted:
       update_tracked_gauge();
@@ -388,8 +391,10 @@ void Gateway::handle_submit(Conn& c, const net::WireFrame& wf) {
       auto rec = mempool_.committed_record(h);
       if (rec.has_value()) {
         ++stats_.commits_notified;
-        enqueue(c, net::encode_tx_committed(wf.client_seq, rec->epoch,
-                                            rec->proposer, rec->latency_us));
+        if (ensure_queue_space(c, net::kTxCommittedFrameBytes)) {
+          net::encode_tx_committed_into(c.out, wf.client_seq, rec->epoch,
+                                        rec->proposer, rec->latency_us);
+        }
       }
       break;
     }
@@ -400,19 +405,18 @@ void Gateway::handle_submit(Conn& c, const net::WireFrame& wf) {
 
 // --- write path --------------------------------------------------------------
 
-bool Gateway::enqueue(Conn& c, Bytes frame) {
+bool Gateway::ensure_queue_space(Conn& c, std::size_t frame_bytes) {
   if (c.fd < 0) return false;
-  if (c.out_bytes + frame.size() > opt_.max_client_queue_bytes) {
+  if (c.out.size() + frame_bytes > opt_.max_client_queue_bytes) {
     // The client is not reading its notifications; it may not pin node
     // memory. Closing also discards the queue.
     ++stats_.disconnects_slow;
     close_client(c);
     return false;
   }
-  c.out_bytes += frame.size();
-  c.out.push_back(std::move(frame));
-  // No syscall here: the caller flushes once per batch (read burst, commit
-  // batch, shutdown), collapsing many small frames into few send() calls.
+  // No syscall on the encode that follows: the caller flushes once per
+  // batch (read burst, commit batch, shutdown), collapsing many small
+  // frames into few send() calls.
   return true;
 }
 
@@ -420,35 +424,15 @@ void Gateway::flush_writes(Conn& c) {
   while (c.fd >= 0 && !c.out.empty()) {
     // Gather-write: acks and commit notifications are tiny (tens of bytes),
     // so one syscall per queued frame would dominate the ingress CPU cost.
+    // The rope fills one iovec per pooled chunk (~16K of frames each).
     iovec iov[64];
-    std::size_t cnt = 0;
-    std::size_t off = c.out_off;
-    for (const Bytes& b : c.out) {
-      if (cnt == 64) break;
-      iov[cnt].iov_base = const_cast<std::uint8_t*>(b.data()) + off;
-      iov[cnt].iov_len = b.size() - off;
-      ++cnt;
-      off = 0;
-    }
+    const std::size_t cnt = c.out.fill_iovecs(iov, 64);
     msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = cnt;
     const ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      std::size_t left = static_cast<std::size_t>(n);
-      while (left > 0) {
-        Bytes& front = c.out.front();
-        const std::size_t avail = front.size() - c.out_off;
-        if (left >= avail) {
-          left -= avail;
-          c.out_bytes -= front.size();
-          c.out.pop_front();
-          c.out_off = 0;
-        } else {
-          c.out_off += left;
-          left = 0;
-        }
-      }
+      c.out.consume(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -472,9 +456,7 @@ void Gateway::close_client(Conn& c) {
   loop_.del_fd(c.fd);
   close(c.fd);
   c.fd = -1;
-  c.out.clear();
-  c.out_bytes = 0;
-  c.out_off = 0;
+  c.out.clear();  // pooled chunks recycle here
   // The map entry is reaped on the next loop turn, never mid-callstack —
   // callers may still hold a reference to `c`. A reconnect that re-adopted
   // the nonce in between is left alone (its fd is live again).
@@ -506,9 +488,7 @@ void Gateway::shutdown() {
   // and flush what each socket will take without blocking.
   for (auto& [nonce, c] : clients_) {
     if (c.fd < 0) continue;
-    Bytes goodbye = net::encode_goodbye();
-    c.out_bytes += goodbye.size();
-    c.out.push_back(std::move(goodbye));
+    net::encode_goodbye_into(c.out);
     flush_writes(c);
     close_client(c);
   }

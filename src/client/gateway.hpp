@@ -51,7 +51,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -168,9 +167,9 @@ class Gateway {
     int fd = -1;
     std::uint64_t nonce = 0;
     net::FrameReader reader;
-    std::deque<Bytes> out;
-    std::size_t out_off = 0;  // partial write offset into out.front()
-    std::size_t out_bytes = 0;
+    // Outbound frames are encoded in place into pooled chunks and drained
+    // with gather-writes — steady-state ack traffic allocates nothing.
+    net::ByteRope out;
     bool want_write = false;
   };
   struct PendingAccept {
@@ -190,9 +189,10 @@ class Gateway {
   void handle_readable(Conn& c);
   bool drain_frames(Conn& c);  // false once the connection was closed
   void handle_submit(Conn& c, const net::WireFrame& wf);
-  // Queues one frame (no syscall; callers batch via flush_writes). False:
-  // queue cap hit, client disconnected.
-  bool enqueue(Conn& c, Bytes frame);
+  // Pre-write queue-cap check: false means the cap was hit and the client
+  // has been disconnected. On true the caller encodes straight into c.out
+  // (no syscall; callers batch via flush_writes).
+  bool ensure_queue_space(Conn& c, std::size_t frame_bytes);
   void flush_writes(Conn& c);
   void update_interest(Conn& c);
   void close_client(Conn& c);

@@ -43,6 +43,28 @@ struct Envelope {
   std::uint32_t instance = 0;
   Bytes body;
 
+  // Everything but the body bytes: kind, epoch, instance, body length. The
+  // fixed size is what lets the TCP transport write an envelope as
+  // [header slab][referenced body] without serializing a contiguous copy.
+  static constexpr std::size_t kHeaderBytes = 1 + 8 + 4 + 4;
+
+  // Writes exactly kHeaderBytes to `out`, byte-identical to the first
+  // kHeaderBytes of encode() (little-endian, same field order — the
+  // envelope_test roundtrip pins this equivalence).
+  void encode_header(std::uint8_t* out) const {
+    out[0] = static_cast<std::uint8_t>(kind);
+    for (int i = 0; i < 8; ++i) {
+      out[1 + i] = static_cast<std::uint8_t>(epoch >> (8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+      out[9 + i] = static_cast<std::uint8_t>(instance >> (8 * i));
+    }
+    const auto len = static_cast<std::uint32_t>(body.size());
+    for (int i = 0; i < 4; ++i) {
+      out[13 + i] = static_cast<std::uint8_t>(len >> (8 * i));
+    }
+  }
+
   Bytes encode() const {
     Writer w;
     w.u8(static_cast<std::uint8_t>(kind));

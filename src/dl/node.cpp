@@ -114,10 +114,13 @@ void DlNode::flush(Outbox&& out, std::uint64_t epoch, std::uint32_t instance) {
     om.env.epoch = epoch;
     om.env.instance = instance;
     if (om.to == OutMsg::kAll) {
-      // Broadcast: one shared buffer to every node (including self).
-      env_.broadcast(om.env, classify(om.env, OutMsg::kAll));
+      // Broadcast: one shared buffer to every node (including self). The
+      // opts are computed before the move steals om.env's body.
+      const runtime::SendOpts opts = classify(om.env, OutMsg::kAll);
+      env_.broadcast(std::move(om.env), opts);
     } else {
-      env_.send(om.to, om.env, classify(om.env, om.to));
+      const runtime::SendOpts opts = classify(om.env, om.to);
+      env_.send(om.to, std::move(om.env), opts);
     }
   }
 }

@@ -100,25 +100,14 @@ void EventLoop::wake() {
   [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof one);
 }
 
-void EventLoop::post(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lk(post_mu_);
-    posted_.push_back(std::move(fn));
-  }
-  // The loop thread re-checks the mailbox before sleeping, so only other
-  // threads need the eventfd kick.
-  if (!in_loop_thread()) wake();
-}
-
 void EventLoop::stop() {
   stop_.store(true, std::memory_order_release);
+  // Unconditional kick: stop() must never be collapsed into a pending wake
+  // that the loop might consume before observing stop_.
   wake();
 }
 
-bool EventLoop::posted_empty() const {
-  std::lock_guard<std::mutex> lk(post_mu_);
-  return posted_.empty();
-}
+bool EventLoop::posted_empty() const { return !mailbox_.maybe_nonempty(); }
 
 void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler h) {
   const std::uint32_t gen = next_fd_gen_++;
@@ -179,14 +168,14 @@ void EventLoop::arm_timerfd() {
 }
 
 void EventLoop::drain_posted() {
-  // One generation per iteration: tasks posted by these tasks run on the
-  // next spin, so a self-posting task cannot starve the loop.
-  std::vector<std::function<void()>> batch;
-  {
-    std::lock_guard<std::mutex> lk(post_mu_);
-    batch.swap(posted_);
-  }
-  for (auto& fn : batch) fn();
+  // Clear the wake-collapse flag BEFORE draining (seq_cst, pairing with the
+  // Dekker protocol in post()): any producer whose post preceded this
+  // exchange is now visible to the drain below; any later producer sees
+  // `false` and kicks the eventfd itself. consume() runs one generation per
+  // iteration (bounded by a tail snapshot), so tasks posted by these tasks
+  // run on the next spin and a self-posting task cannot starve the loop.
+  wake_pending_.exchange(false, std::memory_order_seq_cst);
+  mailbox_.consume();
 }
 
 void EventLoop::run() {

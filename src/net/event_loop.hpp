@@ -2,10 +2,10 @@
 //
 // This is the real-time analogue of sim::EventQueue: a clock that starts
 // near zero, ordered timers, and fd readiness callbacks. A process may run
-// several loops (dlnoded shards client ingress across N of them); all loops
-// in one process share a single clock epoch, so `now()` values taken on
-// different loops are directly comparable (cross-loop stage timing depends
-// on this).
+// several loops (dlnoded shards client ingress across N of them and runs
+// --net-loops replica transport loops); all loops in one process share a
+// single clock epoch, so `now()` values taken on different loops are
+// directly comparable (cross-loop stage timing depends on this).
 //
 // Threading contract (enforced by convention, checked under TSan):
 //
@@ -15,9 +15,13 @@
 //     at(), after(), cancel_timer(), add_fd(), mod_fd(), del_fd(), run()
 //
 //   thread-safe — callable from any thread at any time:
-//     post()  — enqueues fn into a mutex-guarded mailbox and kicks an
-//               eventfd so a sleeping loop wakes immediately; tasks run
-//               FIFO on the loop thread, never inline in the caller.
+//     post()  — enqueues fn into a lock-free MPSC mailbox (net::MpscQueue;
+//               the legacy mutex path compiles in with -DDL_MAILBOX_MUTEX=1)
+//               and kicks an eventfd so a sleeping loop wakes immediately;
+//               tasks run FIFO per posting thread on the loop thread, never
+//               inline in the caller. Wakes are collapsed: under a post
+//               storm only the first post after a loop iteration pays the
+//               eventfd write syscall (wake_pending_).
 //     stop()  — atomically requests shutdown and kicks the eventfd; a loop
 //               blocked in epoll_wait returns promptly. Sticky: a stop()
 //               issued before run() even starts makes that run() return
@@ -37,11 +41,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "net/mpsc_queue.hpp"
 
 namespace dl::net {
 
@@ -64,9 +69,29 @@ class EventLoop {
   // False if the timer already fired or was cancelled. Loop-affine.
   bool cancel_timer(std::uint64_t id);
 
-  // Runs `fn` on a later loop iteration, FIFO, never inline. Thread-safe:
-  // this is the one sanctioned way to hand work to another loop's thread.
-  void post(std::function<void()> fn);
+  // Runs `fn` on a later loop iteration, FIFO per posting thread, never
+  // inline. Thread-safe: this is the one sanctioned way to hand work to
+  // another loop's thread. Callables up to sim::InlineTask::kInlineBytes
+  // (64) that are nothrow-movable are stored in place — no allocation.
+  template <typename F>
+  void post(F&& fn) {
+    mailbox_.push(std::forward<F>(fn));
+    // The loop thread re-checks the mailbox before sleeping, so only other
+    // threads need the eventfd kick — and only the first post since the
+    // loop's last wake_pending_ clear pays the RMW + write syscall; during a
+    // burst every later post gets away with the plain seq_cst load (free on
+    // x86). Safety is a Dekker argument in the seq_cst total order: if this
+    // load does NOT observe the loop's clear, it — and the push's tail
+    // exchange before it — precede the clear in that order, so the loop's
+    // pre-sleep posted_empty() re-check (after the clear) must see the push.
+    // If it DOES observe the clear (false), we take the exchange, and the
+    // first such producer wins the false and kicks the eventfd.
+    if (!in_loop_thread() &&
+        !wake_pending_.load(std::memory_order_seq_cst) &&
+        !wake_pending_.exchange(true, std::memory_order_seq_cst)) {
+      wake();
+    }
+  }
 
   // Fd readiness callbacks (EPOLLIN/EPOLLOUT/... bitmask from epoll).
   // Loop-affine.
@@ -127,8 +152,12 @@ class EventLoop {
   std::uint32_t next_fd_gen_ = 1;
   std::unordered_map<int, FdEntry> fds_;
 
-  mutable std::mutex post_mu_;
-  std::vector<std::function<void()>> posted_;  // guarded by post_mu_
+  // Mailbox: net::MpscQueue (lock-free, pooled InlineTask nodes) by
+  // default; net::MutexMailbox with -DDL_MAILBOX_MUTEX=1. Drained via
+  // consume(), which runs tasks straight out of their nodes — no batch
+  // vector, no per-task move.
+  LoopMailbox mailbox_;
+  std::atomic<bool> wake_pending_{false};
 };
 
 }  // namespace dl::net

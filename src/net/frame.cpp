@@ -1,5 +1,8 @@
 #include "net/frame.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 #include "common/serial.hpp"
@@ -7,6 +10,19 @@
 namespace dl::net {
 
 namespace {
+
+std::uint8_t* put_u32_raw(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+  return p + 4;
+}
+
+std::uint8_t* put_u64_raw(std::uint8_t* p, std::uint64_t v) {
+  p = put_u32_raw(p, static_cast<std::uint32_t>(v));
+  return put_u32_raw(p, static_cast<std::uint32_t>(v >> 32));
+}
 
 void put_u32(Bytes& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -69,6 +85,52 @@ Bytes encode_data_frame(ByteView envelope_bytes) {
   frame.push_back(static_cast<std::uint8_t>(WireKind::Data));
   append(frame, envelope_bytes);
   return frame;
+}
+
+std::size_t encode_data_frame_header(const Envelope& env, std::uint8_t* out) {
+  // Frame payload = wire kind + envelope header + envelope body.
+  const std::size_t payload_len =
+      1 + Envelope::kHeaderBytes + env.body.size();
+  std::uint8_t* p = put_u32_raw(out, static_cast<std::uint32_t>(payload_len));
+  *p++ = static_cast<std::uint8_t>(WireKind::Data);
+  env.encode_header(p);
+  return kDataFrameHeaderBytes;
+}
+
+void encode_tx_ack_into(ByteRope& out, std::uint64_t client_seq,
+                        TxStatus status) {
+  std::uint8_t* p = out.reserve(kTxAckFrameBytes);
+  p = put_u32_raw(p, 1 + 8 + 1);
+  *p++ = static_cast<std::uint8_t>(WireKind::TxAck);
+  p = put_u64_raw(p, client_seq);
+  *p = static_cast<std::uint8_t>(status);
+  out.commit(kTxAckFrameBytes);
+}
+
+void encode_tx_committed_into(ByteRope& out, std::uint64_t client_seq,
+                              std::uint64_t epoch, std::uint32_t proposer,
+                              std::uint64_t latency_us,
+                              const StageLatencies& stages) {
+  std::uint8_t* p = out.reserve(kTxCommittedFrameBytes);
+  p = put_u32_raw(p, 1 + 8 + 8 + 4 + 8 + 5 * 4);
+  *p++ = static_cast<std::uint8_t>(WireKind::TxCommitted);
+  p = put_u64_raw(p, client_seq);
+  p = put_u64_raw(p, epoch);
+  p = put_u32_raw(p, proposer);
+  p = put_u64_raw(p, latency_us);
+  p = put_u32_raw(p, stages.ingress_us);
+  p = put_u32_raw(p, stages.disperse_us);
+  p = put_u32_raw(p, stages.ba_us);
+  p = put_u32_raw(p, stages.retrieve_us);
+  put_u32_raw(p, stages.notify_us);
+  out.commit(kTxCommittedFrameBytes);
+}
+
+void encode_goodbye_into(ByteRope& out) {
+  std::uint8_t* p = out.reserve(kGoodbyeFrameBytes);
+  p = put_u32_raw(p, 1);
+  *p = static_cast<std::uint8_t>(WireKind::Goodbye);
+  out.commit(kGoodbyeFrameBytes);
 }
 
 Bytes encode_client_hello(std::uint64_t client_nonce) {
@@ -178,47 +240,109 @@ bool decode_wire(ByteView payload, WireFrame& out) {
   }
 }
 
+namespace {
+// One socket read's worth of spare space when no frame header hints at the
+// size needed.
+constexpr std::size_t kReadChunk = 64u << 10;
+}  // namespace
+
+bool FrameReader::ensure_spare(std::size_t want) {
+  if (failed_) return false;
+  const std::size_t live = size_ - pos_;
+  // Compact first: reclaiming the consumed prefix is cheaper than growing,
+  // and new bytes only arrive through here — views handed out by next_view
+  // were all processed before the caller read more.
+  if (pos_ > 0 && buf_.capacity() - size_ < want) {
+    if (live > 0) std::memmove(buf_.data(), buf_.data() + pos_, live);
+    pos_ = 0;
+    size_ = live;
+  }
+  if (buf_.capacity() - size_ >= want) return true;
+  PooledBuf bigger(size_ + want);
+  if (size_ > 0) std::memcpy(bigger.data(), buf_.data(), size_);
+  buf_ = std::move(bigger);
+  return true;
+}
+
+void FrameReader::check_header() {
+  if (!failed_ && buffered_bytes() >= kFrameHeaderBytes) {
+    if (get_u32(buf_.data() + pos_) > max_frame_) failed_ = true;
+  }
+}
+
 bool FrameReader::feed(ByteView in) {
   if (failed_) return false;
+  if (!in.empty()) {
+    ensure_spare(in.size());
+    std::memcpy(buf_.data() + size_, in.data(), in.size());
+    size_ += in.size();
+  }
   // Check the declared length as soon as the header is visible — never
-  // buffer a body the limit forbids.
-  append(buf_, in);
+  // buffer a body the limit forbids... beyond what this feed delivered.
+  check_header();
+  return !failed_;
+}
+
+ssize_t FrameReader::fill_from(int fd) {
+  if (failed_) {
+    errno = EPROTO;
+    return -1;
+  }
+  // Size the spare space so the frame in progress completes in one read
+  // when its header is already visible; otherwise take a standard chunk.
+  std::size_t want = kReadChunk;
   if (buffered_bytes() >= kFrameHeaderBytes) {
     const std::uint32_t len = get_u32(buf_.data() + pos_);
     if (len > max_frame_) {
       failed_ = true;
-      return false;
+      errno = EPROTO;
+      return -1;
     }
+    const std::size_t need = kFrameHeaderBytes + len;
+    if (need > buffered_bytes() && need - buffered_bytes() > want) {
+      want = need - buffered_bytes();
+    }
+  }
+  ensure_spare(want);
+  const ssize_t n = ::read(fd, buf_.data() + size_, buf_.capacity() - size_);
+  if (n > 0) {
+    size_ += static_cast<std::size_t>(n);
+    check_header();
+  }
+  return n;
+}
+
+bool FrameReader::next_view(ByteView& out) {
+  if (failed_) return false;
+  const std::size_t avail = buffered_bytes();
+  if (avail < kFrameHeaderBytes) return false;
+  const std::uint32_t len = get_u32(buf_.data() + pos_);
+  if (len > max_frame_) {
+    failed_ = true;
+    return false;
+  }
+  if (avail < kFrameHeaderBytes + len) return false;
+  out = ByteView(buf_.data() + pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  if (pos_ == size_) {
+    // Fully drained: make the whole buffer writable again without a
+    // compaction memmove later. The view just handed out stays valid —
+    // nothing is written until the next feed/fill_from.
+    pos_ = size_ = 0;
   }
   return true;
 }
 
 bool FrameReader::next(Bytes& out) {
-  if (failed_) return false;
-  while (true) {
-    const std::size_t avail = buffered_bytes();
-    if (avail < kFrameHeaderBytes) break;
-    const std::uint32_t len = get_u32(buf_.data() + pos_);
-    if (len > max_frame_) {
-      failed_ = true;
-      return false;
-    }
-    if (avail < kFrameHeaderBytes + len) break;
-    out.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes),
-               buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes + len));
-    pos_ += kFrameHeaderBytes + len;
-    // Compact once the consumed prefix dominates the buffer.
-    if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
-      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
-      pos_ = 0;
-    }
-    return true;
-  }
-  return false;
+  ByteView v;
+  if (!next_view(v)) return false;
+  out.assign(v.data(), v.data() + v.size());
+  return true;
 }
 
 void FrameReader::reset() {
-  buf_.clear();
+  buf_.release();
+  size_ = 0;
   pos_ = 0;
   failed_ = false;
 }

@@ -35,9 +35,13 @@
 // us allocate unbounded memory.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/envelope.hpp"
+#include "net/buffer_pool.hpp"
 
 namespace dl::net {
 
@@ -111,6 +115,31 @@ Bytes encode_goodbye();
 inline constexpr std::size_t kDataPayloadOffset = kFrameHeaderBytes + 1;
 Bytes encode_data_frame(ByteView envelope_bytes);
 
+// Scatter-gather seam: everything in a Data frame that precedes the envelope
+// BODY bytes — frame length, wire kind, and the fixed envelope header — fits
+// in this many bytes. The transport writes this prefix into a small slab and
+// gathers the body from the protocol layer's own buffer (one sendmsg, zero
+// body copies). Byte-identical on the wire to encode_data_frame(env.encode()).
+inline constexpr std::size_t kDataFrameHeaderBytes =
+    kDataPayloadOffset + Envelope::kHeaderBytes;
+// Writes exactly kDataFrameHeaderBytes to `out` and returns that count.
+std::size_t encode_data_frame_header(const Envelope& env, std::uint8_t* out);
+
+// --- in-place client-frame encoders (gateway hot path) ----------------------
+// Same bytes as the encode_* functions above, but written straight into a
+// pooled ByteRope tail — no per-frame Bytes allocation.
+inline constexpr std::size_t kTxAckFrameBytes = kFrameHeaderBytes + 1 + 8 + 1;
+inline constexpr std::size_t kTxCommittedFrameBytes =
+    kFrameHeaderBytes + 1 + 8 + 8 + 4 + 8 + 5 * 4;
+inline constexpr std::size_t kGoodbyeFrameBytes = kFrameHeaderBytes + 1;
+void encode_tx_ack_into(ByteRope& out, std::uint64_t client_seq,
+                        TxStatus status);
+void encode_tx_committed_into(ByteRope& out, std::uint64_t client_seq,
+                              std::uint64_t epoch, std::uint32_t proposer,
+                              std::uint64_t latency_us,
+                              const StageLatencies& stages = {});
+void encode_goodbye_into(ByteRope& out);
+
 // One decoded frame payload. `data` points into the caller's buffer.
 struct WireFrame {
   WireKind kind{};
@@ -130,30 +159,54 @@ struct WireFrame {
 // length, or an out-of-range TxAck status.
 bool decode_wire(ByteView payload, WireFrame& out);
 
-// Streaming deframer with strict bounds checks.
+// Streaming deframer with strict bounds checks, backed by one pooled buffer.
+//
+// Zero-copy read path: fill_from() reads socket bytes directly into the
+// pooled buffer (no intermediate stack buffer), next_view() hands out frame
+// payloads as views into it. A view stays valid until the next
+// feed/fill_from/reset call — the buffer is only compacted or regrown when
+// new bytes arrive, never while popping. Move-only (it owns a PooledBuf).
 class FrameReader {
  public:
   explicit FrameReader(std::size_t max_frame = kMaxFrameBytes)
       : max_frame_(max_frame) {}
 
-  // Buffers `in`. Returns false and poisons the reader if a frame declares
-  // a length above the limit (callers must drop the connection).
+  // Buffers `in` (copying). Returns false and poisons the reader if a frame
+  // declares a length above the limit (callers must drop the connection).
   bool feed(ByteView in);
 
-  // Moves the next complete frame payload into `out`. False if no full
-  // frame is buffered (or the reader is poisoned).
+  // Reads once from `fd` straight into the buffer tail, growing it so the
+  // frame in progress fits. Returns read(2)'s result: >0 bytes buffered,
+  // 0 on EOF, -1 with errno set (including EPROTO if the reader is or
+  // becomes poisoned). Callers must still check failed() after draining.
+  ssize_t fill_from(int fd);
+
+  // Points `out` at the next complete frame payload (valid until the next
+  // feed/fill_from/reset). False if no full frame is buffered or poisoned.
+  bool next_view(ByteView& out);
+
+  // Copies the next complete frame payload into `out`. False as above.
   bool next(Bytes& out);
 
   bool failed() const { return failed_; }
-  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+  std::size_t buffered_bytes() const { return size_ - pos_; }
 
-  // Forgets everything (fresh connection reusing the reader).
+  // Forgets everything and returns the buffer to the pool (fresh connection
+  // reusing the reader).
   void reset();
 
  private:
+  // Grows/compacts so at least `want` writable bytes follow the buffered
+  // data. False only if the reader is poisoned.
+  bool ensure_spare(std::size_t want);
+  // Poisons the reader as soon as a visible header declares an oversized
+  // frame — before its body is ever buffered.
+  void check_header();
+
   std::size_t max_frame_;
-  Bytes buf_;
-  std::size_t pos_ = 0;  // consumed prefix of buf_
+  PooledBuf buf_;
+  std::size_t size_ = 0;  // valid bytes in buf_
+  std::size_t pos_ = 0;   // consumed prefix of buf_
   bool failed_ = false;
 };
 

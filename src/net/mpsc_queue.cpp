@@ -1,0 +1,188 @@
+#include "net/mpsc_queue.hpp"
+
+namespace dl::net {
+
+MpscQueue::MpscQueue(std::size_t pool_nodes) {
+  // The stub starts as both head and tail: the canonical Vyukov empty state.
+  tail_.store(&stub_, std::memory_order_relaxed);
+  head_ = &stub_;
+  if (pool_nodes == 0) return;
+  if (pool_nodes >= kHeapIndex) pool_nodes = kHeapIndex - 1;
+  slab_ = std::make_unique<Node[]>(pool_nodes);
+  slab_size_ = pool_nodes;
+  // Thread the whole slab onto the free stack, top = slab_[0].
+  for (std::size_t i = 0; i < pool_nodes; ++i) {
+    Node& n = slab_[i];
+    n.index = static_cast<std::uint32_t>(i);
+    n.free_next.store(i + 1 < pool_nodes ? static_cast<std::uint32_t>(i + 1)
+                                         : kNilIndex,
+                      std::memory_order_relaxed);
+  }
+  free_head_.store(0, std::memory_order_release);
+}
+
+MpscQueue::~MpscQueue() {
+  // No producers may be live here (same precondition as destroying the old
+  // posted_ vector). Destroy — never run — whatever is still queued; pop()
+  // already deletes heap-overflow nodes as it consumes them.
+  Task dropped;
+  while (pop(dropped)) dropped.reset();
+}
+
+MpscQueue::Node* MpscQueue::acquire_node() {
+  std::uint64_t h = free_head_.load(std::memory_order_acquire);
+  while ((h & 0xFFFFFFFFu) != kNilIndex) {
+    Node& n = slab_[h & 0xFFFFFFFFu];
+    // May be stale if another producer wins the race; the tagged CAS below
+    // then fails and we retry with the fresh head.
+    const std::uint32_t next = n.free_next.load(std::memory_order_relaxed);
+    const std::uint64_t tagged =
+        (((h >> 32) + 1) << 32) | static_cast<std::uint64_t>(next);
+    if (free_head_.compare_exchange_weak(h, tagged, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return &n;
+    }
+  }
+  // Pool exhausted: overflow to the heap rather than block or drop. The
+  // consumer deletes these on consume, so bursts shrink back to the slab.
+  heap_node_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return new Node;
+}
+
+void MpscQueue::recycle(Node* n) {
+  if (n->index == kHeapIndex) {
+    delete n;
+    return;
+  }
+  std::uint64_t h = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    n->free_next.store(static_cast<std::uint32_t>(h & 0xFFFFFFFFu),
+                       std::memory_order_relaxed);
+    const std::uint64_t tagged =
+        (((h >> 32) + 1) << 32) | static_cast<std::uint64_t>(n->index);
+    if (free_head_.compare_exchange_weak(h, tagged, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+MpscQueue::Node* MpscQueue::pop_node_keep() {
+  Node* head = head_;
+  Node* next = head->next.load(std::memory_order_acquire);
+  if (head == &stub_) {
+    // Empty — or a producer has exchanged the tail but not yet linked its
+    // node. Either way nothing is consumable; maybe_nonempty() tells the
+    // two states apart for the sleep decision.
+    if (next == nullptr) return nullptr;
+    head_ = next;
+    head = next;
+    next = head->next.load(std::memory_order_acquire);
+  }
+  if (next != nullptr) {
+    head_ = next;
+    return head;
+  }
+  Node* tail = tail_.load(std::memory_order_acquire);
+  if (head != tail) return nullptr;  // push in flight right behind head
+  // `head` is the genuine last element. Re-append the stub so `head` gains a
+  // successor and can be released (the stub was detached when we advanced
+  // past it above).
+  push_node(&stub_);
+  next = head->next.load(std::memory_order_acquire);
+  if (next == nullptr) return nullptr;  // raced with another push; retry later
+  head_ = next;
+  return head;
+}
+
+MpscQueue::Node* MpscQueue::pop_node(Task& out) {
+  Node* n = pop_node_keep();
+  if (n != nullptr) out = std::move(n->task);
+  return n;
+}
+
+bool MpscQueue::pop(Task& out) {
+  Node* n = pop_node(out);
+  if (n == nullptr) return false;
+  recycle(n);
+  return true;
+}
+
+void MpscQueue::splice_free_chain(Node* chain_head, Node* chain_tail) {
+  std::uint64_t h = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    chain_tail->free_next.store(static_cast<std::uint32_t>(h & 0xFFFFFFFFu),
+                                std::memory_order_relaxed);
+    const std::uint64_t tagged = (((h >> 32) + 1) << 32) |
+                                 static_cast<std::uint64_t>(chain_head->index);
+    if (free_head_.compare_exchange_weak(h, tagged, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void MpscQueue::drain(Batch& out) {
+  // Consumed pool nodes are spliced back onto the free stack as ONE
+  // pre-linked chain — a single tagged CAS per drain instead of one per node.
+  Node* chain_head = nullptr;
+  Node* chain_tail = nullptr;
+  Task t;
+  for (Node* n; (n = pop_node(t)) != nullptr;) {
+    out.push_back(std::move(t));
+    if (n->index == kHeapIndex) {
+      delete n;  // overflow node: bursts shrink back to the slab
+      continue;
+    }
+    if (chain_tail == nullptr) {
+      chain_head = n;
+    } else {
+      chain_tail->free_next.store(n->index, std::memory_order_relaxed);
+    }
+    chain_tail = n;
+  }
+  if (chain_head != nullptr) splice_free_chain(chain_head, chain_tail);
+}
+
+std::size_t MpscQueue::consume() {
+  // The tail snapshot is the generation boundary: the node it points at is
+  // the last one this call will run. Anything pushed later — including by
+  // the tasks below — waits for the next call. If the snapshot is the stub
+  // (queue looked empty), run at most one task that raced in.
+  Node* const end = tail_.load(std::memory_order_acquire);
+  Node* chain_head = nullptr;
+  Node* chain_tail = nullptr;
+  std::size_t ran = 0;
+  for (;;) {
+    Node* n = pop_node_keep();
+    if (n == nullptr) break;
+    n->task();  // in place — no move into a batch vector
+    n->task.reset();
+    ++ran;
+    const bool last = n == end || end == &stub_;
+    if (n->index == kHeapIndex) {
+      delete n;
+    } else {
+      if (chain_tail == nullptr) {
+        chain_head = n;
+      } else {
+        chain_tail->free_next.store(n->index, std::memory_order_relaxed);
+      }
+      chain_tail = n;
+    }
+    if (last) break;
+  }
+  if (chain_head != nullptr) splice_free_chain(chain_head, chain_tail);
+  return ran;
+}
+
+bool MpscQueue::maybe_nonempty() const {
+  Node* head = head_;
+  if (head->next.load(std::memory_order_acquire) != nullptr) return true;
+  // seq_cst pairs with push_node's tail exchange (see the comment there):
+  // a push whose producer skipped the eventfd kick is ordered before this
+  // load in the single total order, so a false here really means empty.
+  return tail_.load(std::memory_order_seq_cst) != head;
+}
+
+}  // namespace dl::net

@@ -20,11 +20,14 @@ constexpr std::size_t kMaxPendingAccepts = 64;
 // A Hello is ~21 bytes; an accepted connection that buffers more than this
 // without completing one is not a replica.
 constexpr std::size_t kMaxPreAuthBytes = 4096;
+// Scatter-gather width per sendmsg: each frame contributes at most two
+// iovecs (prefix slab + body reference).
+constexpr std::size_t kMaxIov = 64;
+// Receive batches cross from a transport loop to the home loop in pooled
+// buffers of at least this capacity (bigger frames get a bigger buffer).
+constexpr std::size_t kRecvBatchBytes = 64u << 10;
 
-ByteView frame_payload(const Bytes& frame) {
-  return ByteView(frame.data() + kDataPayloadOffset,
-                  frame.size() - kDataPayloadOffset);
-}
+constexpr auto relaxed = std::memory_order_relaxed;
 
 }  // namespace
 
@@ -33,9 +36,14 @@ TcpEnv::TcpEnv(EventLoop& loop, ClusterConfig cfg, int self, Options opt)
   if (self_ < 0 || self_ >= cfg_.n) {
     throw std::invalid_argument("TcpEnv: self out of range");
   }
-  peers_.resize(static_cast<std::size_t>(cfg_.n));
+  if (opt_.net_loops > cfg_.n) opt_.net_loops = cfg_.n;
+  if (opt_.net_loops >= 2) {
+    for (int k = 0; k < opt_.net_loops; ++k) {
+      tloops_.push_back(std::make_unique<EventLoop>());
+    }
+  }
   for (int i = 0; i < cfg_.n; ++i) {
-    Peer& p = peers_[static_cast<std::size_t>(i)];
+    Peer& p = peers_.emplace_back();
     p.id = i;
     p.addr = cfg_.nodes[static_cast<std::size_t>(i)];
     p.dialer = i < self_;
@@ -66,6 +74,22 @@ TcpEnv::TcpEnv(EventLoop& loop, ClusterConfig cfg, int self, Options opt)
 }
 
 TcpEnv::~TcpEnv() {
+  if (multi()) {
+    // Quiesce the transport tier first: once the loop threads are joined,
+    // no other thread can touch peer or pending state and the fds can be
+    // closed from here without epoll bookkeeping.
+    for (auto& l : tloops_) l->stop();
+    for (auto& t : tthreads_) t.join();
+    for (Peer& p : peers_) {
+      if (p.fd >= 0) {
+        close(p.fd);
+        p.fd = -1;
+      }
+    }
+    for (auto& [fd, pa] : pending_) close(fd);
+    if (listen_fd_ >= 0) close(listen_fd_);
+    return;
+  }
   for (Peer& p : peers_) {
     if (p.fd >= 0) {
       if (started_) loop_.del_fd(p.fd);
@@ -92,13 +116,32 @@ void TcpEnv::set_peer_port(int id, std::uint16_t port) {
 void TcpEnv::start(runtime::Receiver& r) {
   if (started_) return;
   started_ = true;
-  receiver_ = &r;  // published by the post below before any callback fires
+  receiver_ = &r;  // published by the posts below before any callback fires
+  if (!multi()) {
+    loop_.post([this] {
+      loop_.add_fd(listen_fd_, EPOLLIN,
+                   [this](std::uint32_t ev) { handle_listener(ev); });
+      for (Peer& p : peers_) {
+        if (p.dialer) dial(p);
+      }
+      if (receiver_ != nullptr) receiver_->start();
+    });
+    return;
+  }
+  for (std::size_t k = 0; k < tloops_.size(); ++k) {
+    tloops_[k]->post([this, k] {
+      if (k == 0) {
+        listener_loop().add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t ev) {
+          handle_listener(ev);
+        });
+      }
+      for (Peer& p : peers_) {
+        if (p.dialer && owner_index(p.id) == k) dial(p);
+      }
+    });
+    tthreads_.emplace_back([l = tloops_[k].get()] { l->run(); });
+  }
   loop_.post([this] {
-    loop_.add_fd(listen_fd_, EPOLLIN,
-                 [this](std::uint32_t ev) { handle_listener(ev); });
-    for (Peer& p : peers_) {
-      if (p.dialer) dial(p);
-    }
     if (receiver_ != nullptr) receiver_->start();
   });
 }
@@ -115,40 +158,99 @@ runtime::TimerId TcpEnv::after(double delay, std::function<void()> fn) {
 
 bool TcpEnv::cancel_timer(runtime::TimerId id) { return loop_.cancel_timer(id); }
 
+TcpEnv::OutFrame TcpEnv::make_data_frame(Envelope&& env, std::uint64_t tag) {
+  OutFrame f;
+  f.header_len =
+      static_cast<std::uint8_t>(encode_data_frame_header(env, f.header.data()));
+  if (!env.body.empty()) {
+    f.body = std::make_shared<const Bytes>(std::move(env.body));
+  }
+  f.tag = tag;
+  return f;
+}
+
 void TcpEnv::send(int to, const Envelope& env, const runtime::SendOpts& opts) {
-  auto frame = std::make_shared<const Bytes>(encode_data_frame(env.encode()));
+  send(to, Envelope(env), opts);
+}
+
+void TcpEnv::send(int to, Envelope&& env, const runtime::SendOpts& opts) {
   if (to == self_) {
-    deliver_local(std::move(frame));
+    // Loopback needs a contiguous envelope; no wire framing involved.
+    deliver_local(std::make_shared<const Bytes>(env.encode()));
     return;
   }
-  Peer& p = peer(to);
-  enqueue(p, std::move(frame), opts);
-  if (p.fd >= 0 && !p.connecting) flush_writes(p);
+  OutFrame f = make_data_frame(std::move(env), opts.tag);
+  if (!multi()) {
+    enqueue_and_flush(peer(to), std::move(f), opts);
+    return;
+  }
+  owner_loop(to).post([this, to, f = std::move(f), opts]() mutable {
+    enqueue_and_flush(peer(to), std::move(f), opts);
+  });
 }
 
 void TcpEnv::broadcast(const Envelope& env, const runtime::SendOpts& opts) {
-  // Encode once; every peer queue shares the same frame buffer.
-  auto frame = std::make_shared<const Bytes>(encode_data_frame(env.encode()));
-  deliver_local(frame);
-  for (Peer& p : peers_) {
-    if (p.id == self_) continue;
-    enqueue(p, frame, opts);
-    if (p.fd >= 0 && !p.connecting) flush_writes(p);
+  broadcast(Envelope(env), opts);
+}
+
+void TcpEnv::broadcast(Envelope&& env, const runtime::SendOpts& opts) {
+  // Encode once: loopback delivery needs the contiguous envelope anyway, and
+  // every peer's queue entry then shares that same buffer behind a 5-byte
+  // per-peer frame prefix — no per-peer body copies.
+  auto env_bytes = std::make_shared<const Bytes>(env.encode());
+  deliver_local(env_bytes);
+  OutFrame proto;
+  proto.header_len = kDataPayloadOffset;  // frame length + wire kind
+  const auto payload_len = static_cast<std::uint32_t>(env_bytes->size() + 1);
+  proto.header[0] = static_cast<std::uint8_t>(payload_len);
+  proto.header[1] = static_cast<std::uint8_t>(payload_len >> 8);
+  proto.header[2] = static_cast<std::uint8_t>(payload_len >> 16);
+  proto.header[3] = static_cast<std::uint8_t>(payload_len >> 24);
+  proto.header[4] = static_cast<std::uint8_t>(WireKind::Data);
+  proto.body = std::move(env_bytes);
+  proto.tag = opts.tag;
+  if (!multi()) {
+    for (Peer& p : peers_) {
+      if (p.id == self_) continue;
+      enqueue_and_flush(p, OutFrame(proto), opts);
+    }
+    return;
+  }
+  // One mailbox push per transport loop; each loop fans out to the peers it
+  // owns, so a broadcast costs K posts, not N.
+  for (std::size_t k = 0; k < tloops_.size(); ++k) {
+    tloops_[k]->post([this, k, proto, opts] {
+      for (Peer& p : peers_) {
+        if (p.id == self_ || owner_index(p.id) != k) continue;
+        enqueue_and_flush(p, OutFrame(proto), opts);
+      }
+    });
   }
 }
 
-void TcpEnv::cancel_send(std::uint64_t tag) {
-  if (tag == 0) return;
+void TcpEnv::cancel_send_on(std::size_t loop_idx, std::uint64_t tag) {
   for (Peer& p : peers_) {
+    if (multi() && owner_index(p.id) != loop_idx) continue;
     for (auto it = p.low.begin(); it != p.low.end();) {
       if (it->second.tag == tag) {
-        p.stats.queued_bytes -= it->second.frame->size();
+        p.stats.queued_bytes.fetch_sub(it->second.size(), relaxed);
         it = p.low.erase(it);
       } else {
         ++it;
       }
     }
     if (p.fd >= 0 && !p.connecting) update_interest(p);
+  }
+}
+
+void TcpEnv::cancel_send(std::uint64_t tag) {
+  if (tag == 0) return;
+  if (!multi()) {
+    cancel_send_on(0, tag);
+    return;
+  }
+  for (std::size_t k = 0; k < tloops_.size(); ++k) {
+    tloops_[k]->post([this, k, tag] { cancel_send_on(k, tag); });
   }
 }
 
@@ -166,40 +268,47 @@ void TcpEnv::offload(std::function<void()> work, std::function<void()> done) {
       });
 }
 
-void TcpEnv::deliver_local(std::shared_ptr<const Bytes> frame) {
+void TcpEnv::deliver_local(std::shared_ptr<const Bytes> env_bytes) {
   // Asynchronous like every other delivery: the receiver is never re-entered
   // from inside its own send path.
-  loop_.post([this, frame = std::move(frame)] {
-    if (receiver_ != nullptr) receiver_->on_receive(self_, frame_payload(*frame));
+  loop_.post([this, env_bytes = std::move(env_bytes)] {
+    if (receiver_ != nullptr) {
+      receiver_->on_receive(self_, ByteView(*env_bytes));
+    }
   });
 }
 
 // --- write path --------------------------------------------------------------
 
-void TcpEnv::enqueue(Peer& p, std::shared_ptr<const Bytes> frame,
-                     const runtime::SendOpts& opts) {
-  const std::size_t size = frame->size();
+void TcpEnv::enqueue(Peer& p, OutFrame frame, const runtime::SendOpts& opts) {
+  const std::size_t size = frame.size();
   if (size > opt_.max_frame_bytes + kFrameHeaderBytes) {
     // Never emit a frame every receiver is obliged to reject — that would
     // tear the connection down on each retry and livelock the pair.
-    ++p.stats.dropped_frames;
-    p.stats.dropped_bytes += size;
+    p.stats.dropped_frames.fetch_add(1, relaxed);
+    p.stats.dropped_bytes.fetch_add(size, relaxed);
     return;
   }
-  if (p.stats.queued_bytes + size > opt_.max_queue_bytes) {
+  if (p.stats.queued_bytes.load(relaxed) + size > opt_.max_queue_bytes) {
     // Backpressure: the peer is slow or gone and its queue is full. Drop and
     // account — the protocol layers tolerate message loss.
-    ++p.stats.dropped_frames;
-    p.stats.dropped_bytes += size;
+    p.stats.dropped_frames.fetch_add(1, relaxed);
+    p.stats.dropped_bytes.fetch_add(size, relaxed);
     return;
   }
-  p.stats.queued_bytes += size;
+  p.stats.queued_bytes.fetch_add(size, relaxed);
   if (opts.cls == runtime::TrafficClass::High) {
-    p.high.push_back(OutFrame{std::move(frame), opts.tag});
+    p.high.push_back(std::move(frame));
   } else {
-    p.low.emplace(std::make_pair(opts.order, next_low_seq_++),
-                  OutFrame{std::move(frame), opts.tag});
+    p.low.emplace(std::make_pair(opts.order, next_low_seq_.fetch_add(1, relaxed)),
+                  std::move(frame));
   }
+}
+
+void TcpEnv::enqueue_and_flush(Peer& p, OutFrame frame,
+                               const runtime::SendOpts& opts) {
+  enqueue(p, std::move(frame), opts);
+  if (p.fd >= 0 && !p.connecting) flush_writes(p);
 }
 
 void TcpEnv::update_interest(Peer& p) {
@@ -210,7 +319,25 @@ void TcpEnv::update_interest(Peer& p) {
       EPOLLIN | (want ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
   if (want == p.want_write) return;
   p.want_write = want;
-  loop_.mod_fd(p.fd, events);
+  owner_loop(p.id).mod_fd(p.fd, events);
+}
+
+void TcpEnv::add_iov(const OutFrame& f, std::size_t off, iovec* iov,
+                     std::size_t& n) {
+  if (off < f.header_len) {
+    iov[n].iov_base = const_cast<std::uint8_t*>(f.header.data()) + off;
+    iov[n].iov_len = f.header_len - off;
+    ++n;
+    off = 0;
+  } else {
+    off -= f.header_len;
+  }
+  const std::size_t body_size = f.body ? f.body->size() : 0;
+  if (off < body_size) {
+    iov[n].iov_base = const_cast<std::uint8_t*>(f.body->data()) + off;
+    iov[n].iov_len = body_size - off;
+    ++n;
+  }
 }
 
 void TcpEnv::flush_writes(Peer& p) {
@@ -228,20 +355,29 @@ void TcpEnv::flush_writes(Peer& p) {
       p.has_inflight = true;
       p.inflight_off = 0;
     }
-    const Bytes& buf = *p.inflight.frame;
+    // Gather the inflight remainder plus as many queued frames as fit in
+    // one sendmsg — consume_written pops them in exactly this order.
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    add_iov(p.inflight, p.inflight_off, iov, niov);
+    for (const OutFrame& f : p.high) {
+      if (niov + 2 > kMaxIov) break;
+      add_iov(f, 0, iov, niov);
+    }
+    if (niov + 2 <= kMaxIov) {
+      for (const auto& [key, f] : p.low) {
+        if (niov + 2 > kMaxIov) break;
+        add_iov(f, 0, iov, niov);
+      }
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
     // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE, not
     // as a process-killing SIGPIPE.
-    const ssize_t n = ::send(p.fd, buf.data() + p.inflight_off,
-                             buf.size() - p.inflight_off, MSG_NOSIGNAL);
+    const ssize_t n = ::sendmsg(p.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      p.inflight_off += static_cast<std::size_t>(n);
-      if (p.inflight_off == buf.size()) {
-        ++p.stats.sent_frames;
-        p.stats.sent_bytes += buf.size();
-        p.stats.queued_bytes -= buf.size();
-        p.has_inflight = false;
-        p.inflight = OutFrame{};
-      }
+      consume_written(p, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -252,36 +388,110 @@ void TcpEnv::flush_writes(Peer& p) {
   update_interest(p);
 }
 
+void TcpEnv::consume_written(Peer& p, std::size_t n) {
+  // Pop order mirrors the gather order in flush_writes: the inflight frame,
+  // then High in queue order, then Low in (order, seq) order. Only the last
+  // partially-written frame stays behind as the new inflight.
+  while (n > 0) {
+    if (!p.has_inflight) {
+      if (!p.high.empty()) {
+        p.inflight = std::move(p.high.front());
+        p.high.pop_front();
+      } else {
+        p.inflight = std::move(p.low.begin()->second);
+        p.low.erase(p.low.begin());
+      }
+      p.has_inflight = true;
+      p.inflight_off = 0;
+    }
+    const std::size_t frame_size = p.inflight.size();
+    const std::size_t remaining = frame_size - p.inflight_off;
+    if (n >= remaining) {
+      n -= remaining;
+      p.stats.sent_frames.fetch_add(1, relaxed);
+      p.stats.sent_bytes.fetch_add(frame_size, relaxed);
+      p.stats.queued_bytes.fetch_sub(frame_size, relaxed);
+      p.has_inflight = false;
+      p.inflight = OutFrame{};
+    } else {
+      p.inflight_off += n;
+      n = 0;
+    }
+  }
+}
+
 // --- read path ---------------------------------------------------------------
 
+void TcpEnv::batch_add(RecvBatch& b, int from, ByteView frame) {
+  if (!b.buf || b.used + frame.size() > b.buf.capacity()) {
+    post_batch(b);
+    b.buf = PooledBuf(std::max(frame.size(), kRecvBatchBytes));
+    b.used = 0;
+  }
+  b.from = from;
+  if (!frame.empty()) {
+    std::memcpy(b.buf.data() + b.used, frame.data(), frame.size());
+  }
+  b.spans.emplace_back(static_cast<std::uint32_t>(b.used),
+                       static_cast<std::uint32_t>(frame.size()));
+  b.used += frame.size();
+}
+
+void TcpEnv::post_batch(RecvBatch& b) {
+  if (b.spans.empty()) return;
+  loop_.post([this, from = b.from, buf = std::move(b.buf),
+              spans = std::move(b.spans)] {
+    if (receiver_ == nullptr) return;
+    for (const auto& [off, len] : spans) {
+      receiver_->on_receive(from, ByteView(buf.data() + off, len));
+    }
+    // `buf` recycles to the pool here, on the home thread — the pool's
+    // global tier makes it reusable by the transport loop that filled it.
+  });
+  b.buf = PooledBuf();
+  b.used = 0;
+  b.spans.clear();
+}
+
 bool TcpEnv::drain_frames(Peer& p) {
-  Bytes fr;
-  while (p.fd >= 0 && p.reader.next(fr)) {
+  ByteView fr;
+  RecvBatch batch;  // multi-loop only; unused (and empty) inline
+  bool ok = true;
+  while (p.fd >= 0 && p.reader.next_view(fr)) {
     WireFrame wf;
     if (!decode_wire(fr, wf) || wf.kind != WireKind::Data) {
       disconnect(p, "malformed frame");
-      return false;
+      ok = false;
+      break;
     }
-    ++p.stats.recv_frames;
-    p.stats.recv_bytes += fr.size();
-    if (receiver_ != nullptr) receiver_->on_receive(p.id, wf.data);
+    p.stats.recv_frames.fetch_add(1, relaxed);
+    p.stats.recv_bytes.fetch_add(fr.size(), relaxed);
+    if (!multi()) {
+      // Inline delivery: the view into the reader's pooled buffer stays
+      // valid for the duration of the callback (nothing feeds the reader
+      // until it returns).
+      if (receiver_ != nullptr) receiver_->on_receive(p.id, wf.data);
+    } else {
+      // Cross-thread delivery: copy into the pooled batch bound for the
+      // home loop. Frames already decoded stay delivered even if a later
+      // frame in this burst kills the connection.
+      batch_add(batch, p.id, wf.data);
+    }
   }
-  if (p.fd >= 0 && p.reader.failed()) {
+  if (ok && p.fd >= 0 && p.reader.failed()) {
     disconnect(p, "oversized frame");
-    return false;
+    ok = false;
   }
-  return p.fd >= 0;
+  if (multi()) post_batch(batch);
+  return ok && p.fd >= 0;
 }
 
 void TcpEnv::handle_readable(Peer& p) {
-  std::uint8_t buf[65536];
   while (p.fd >= 0) {
-    const ssize_t n = ::read(p.fd, buf, sizeof buf);
+    // Zero-copy ingest: the reader pulls straight from the socket into its
+    // pooled buffer; frames are then handed out as views.
+    const ssize_t n = p.reader.fill_from(p.fd);
     if (n > 0) {
-      if (!p.reader.feed(ByteView(buf, static_cast<std::size_t>(n)))) {
-        disconnect(p, "oversized frame");
-        return;
-      }
       if (!drain_frames(p)) return;
       continue;
     }
@@ -291,7 +501,7 @@ void TcpEnv::handle_readable(Peer& p) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    disconnect(p, "read error");
+    disconnect(p, "read error");  // includes EPROTO from a poisoned reader
     return;
   }
 }
@@ -327,31 +537,37 @@ void TcpEnv::handle_peer_event(int id, std::uint32_t events) {
 
 void TcpEnv::disconnect(Peer& p, const char* /*why*/) {
   if (p.fd < 0) return;
+  EventLoop& owner = owner_loop(p.id);
   // A connection that proved itself (stayed up past one full backoff
   // period) earns an instant redial; one that died young — connect refused,
   // handshake rejected by the acceptor, immediate RST — keeps climbing the
   // exponential ladder, so a rejecting peer is not hammered 20x/second.
   const bool was_established = !p.connecting;
   if (was_established &&
-      loop_.now() - p.established_at >= opt_.reconnect_max) {
+      owner.now() - p.established_at >= opt_.reconnect_max) {
     p.backoff = 0;
   }
-  loop_.del_fd(p.fd);
+  owner.del_fd(p.fd);
   close(p.fd);
   p.fd = -1;
   p.connecting = false;
   p.want_write = false;
-  p.reader.reset();
+  p.stats.connected.store(false, relaxed);
+  // The reader is NOT reset here: disconnect() can fire from inside this
+  // peer's own drain_frames (a receiver callback sends, the send hits a
+  // write error) while a frame view into the reader's buffer is still live.
+  // Stale bytes are discarded at the next dial()/adoption instead.
   if (p.has_inflight) {
     // A partially-written frame cannot resume on a fresh connection.
-    p.stats.queued_bytes -= p.inflight.frame->size();
-    ++p.stats.dropped_frames;
-    p.stats.dropped_bytes += p.inflight.frame->size();
+    const std::size_t size = p.inflight.size();
+    p.stats.queued_bytes.fetch_sub(size, relaxed);
+    p.stats.dropped_frames.fetch_add(1, relaxed);
+    p.stats.dropped_bytes.fetch_add(size, relaxed);
     p.has_inflight = false;
     p.inflight = OutFrame{};
   }
   if (p.dialer) {
-    ++p.stats.reconnects;
+    p.stats.reconnects.fetch_add(1, relaxed);
     schedule_dial(p);
   }
   // Acceptor side: wait for the dialer to come back.
@@ -361,7 +577,7 @@ void TcpEnv::schedule_dial(Peer& p) {
   p.backoff = p.backoff <= 0 ? opt_.reconnect_min
                              : std::min(p.backoff * 2, opt_.reconnect_max);
   const int id = p.id;
-  p.redial_timer = loop_.after(p.backoff, [this, id] {
+  p.redial_timer = owner_loop(id).after(p.backoff, [this, id] {
     peer(id).redial_timer = 0;
     dial(peer(id));
   });
@@ -369,6 +585,7 @@ void TcpEnv::schedule_dial(Peer& p) {
 
 void TcpEnv::dial(Peer& p) {
   if (p.fd >= 0) return;
+  p.reader.reset();  // drop any bytes left over from a dead connection
   sockaddr_in addr{};
   if (!resolve_ipv4(p.addr.host, p.addr.port, addr)) {
     schedule_dial(p);
@@ -391,19 +608,23 @@ void TcpEnv::dial(Peer& p) {
   p.connecting = rc != 0;
   p.want_write = true;
   const int id = p.id;
-  loop_.add_fd(fd, EPOLLIN | EPOLLOUT,
-               [this, id](std::uint32_t ev) { handle_peer_event(id, ev); });
+  owner_loop(id).add_fd(fd, EPOLLIN | EPOLLOUT, [this, id](std::uint32_t ev) {
+    handle_peer_event(id, ev);
+  });
   if (rc == 0) on_dial_connected(p);
 }
 
 void TcpEnv::on_dial_connected(Peer& p) {
   p.connecting = false;
-  p.established_at = loop_.now();
+  p.established_at = owner_loop(p.id).now();
+  p.stats.connected.store(true, relaxed);
   // The handshake frame goes out before anything queued while disconnected.
-  auto hello = std::make_shared<const Bytes>(
-      encode_hello(static_cast<std::uint32_t>(self_)));
-  p.stats.queued_bytes += hello->size();
-  p.high.push_front(OutFrame{std::move(hello), 0});
+  const Bytes hello = encode_hello(static_cast<std::uint32_t>(self_));
+  OutFrame f;
+  f.header_len = static_cast<std::uint8_t>(hello.size());
+  std::memcpy(f.header.data(), hello.data(), hello.size());
+  p.stats.queued_bytes.fetch_add(f.size(), relaxed);
+  p.high.push_front(std::move(f));
   flush_writes(p);
 }
 
@@ -426,7 +647,7 @@ void TcpEnv::handle_listener(std::uint32_t /*events*/) {
     // may not keep holding a pending slot. The id guards against the fd
     // number having been closed and reused by the time the timer fires.
     const std::uint64_t timer =
-        loop_.after(opt_.handshake_timeout, [this, fd, id] {
+        listener_loop().after(opt_.handshake_timeout, [this, fd, id] {
           auto it = pending_.find(fd);
           if (it != pending_.end() && it->second.id == id) {
             it->second.timer = 0;
@@ -435,7 +656,7 @@ void TcpEnv::handle_listener(std::uint32_t /*events*/) {
         });
     pending_.emplace(fd,
                      PendingAccept{fd, id, timer, FrameReader(opt_.max_frame_bytes)});
-    loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) {
+    listener_loop().add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) {
       handle_pending_accept(fd, ev);
     });
   }
@@ -444,9 +665,9 @@ void TcpEnv::handle_listener(std::uint32_t /*events*/) {
 void TcpEnv::close_pending(int fd) {
   auto it = pending_.find(fd);
   if (it != pending_.end() && it->second.timer != 0) {
-    loop_.cancel_timer(it->second.timer);
+    listener_loop().cancel_timer(it->second.timer);
   }
-  loop_.del_fd(fd);
+  listener_loop().del_fd(fd);
   close(fd);
   pending_.erase(fd);
 }
@@ -476,10 +697,21 @@ void TcpEnv::handle_pending_accept(int fd, std::uint32_t events) {
           close_pending(fd);
           return;
         }
-        if (it->second.timer != 0) loop_.cancel_timer(it->second.timer);
+        if (it->second.timer != 0) listener_loop().cancel_timer(it->second.timer);
         FrameReader reader = std::move(it->second.reader);
         pending_.erase(it);
-        adopt_accepted(fd, static_cast<int>(wf.hello_node), std::move(reader));
+        // Swap the pending-accept handler for the peer handler — possibly
+        // on a different loop: the socket is adopted by its owner.
+        listener_loop().del_fd(fd);
+        const int peer_id = static_cast<int>(wf.hello_node);
+        if (!multi() || owner_index(peer_id) == 0) {
+          adopt_accepted(fd, peer_id, std::move(reader));
+        } else {
+          owner_loop(peer_id).post(
+              [this, fd, peer_id, reader = std::move(reader)]() mutable {
+                adopt_accepted(fd, peer_id, std::move(reader));
+              });
+        }
         return;
       }
       if (it->second.reader.buffered_bytes() > kMaxPreAuthBytes) {
@@ -507,9 +739,9 @@ void TcpEnv::adopt_accepted(int fd, int peer_id, FrameReader&& reader) {
   p.fd = fd;
   p.connecting = false;
   p.want_write = false;
+  p.stats.connected.store(true, relaxed);
   p.reader = std::move(reader);
-  loop_.del_fd(fd);  // swap the pending-accept handler for the peer handler
-  loop_.add_fd(fd, EPOLLIN, [this, peer_id](std::uint32_t ev) {
+  owner_loop(peer_id).add_fd(fd, EPOLLIN, [this, peer_id](std::uint32_t ev) {
     handle_peer_event(peer_id, ev);
   });
   // Frames that arrived glued to the Hello are already buffered; process
@@ -520,19 +752,34 @@ void TcpEnv::adopt_accepted(int fd, int peer_id, FrameReader&& reader) {
 // --- introspection -----------------------------------------------------------
 
 TcpEnv::PeerStats TcpEnv::peer_stats(int id) const {
-  PeerStats s = peer(id).stats;
-  s.connected = peer(id).fd >= 0 && !peer(id).connecting;
+  const PeerCounters& c = peer(id).stats;
+  PeerStats s;
+  s.connected = c.connected.load(relaxed);
+  s.queued_bytes = c.queued_bytes.load(relaxed);
+  s.sent_frames = c.sent_frames.load(relaxed);
+  s.sent_bytes = c.sent_bytes.load(relaxed);
+  s.recv_frames = c.recv_frames.load(relaxed);
+  s.recv_bytes = c.recv_bytes.load(relaxed);
+  s.dropped_frames = c.dropped_frames.load(relaxed);
+  s.dropped_bytes = c.dropped_bytes.load(relaxed);
+  s.reconnects = c.reconnects.load(relaxed);
   return s;
 }
 
 int TcpEnv::connected_peers() const {
   int count = 0;
   for (const Peer& p : peers_) {
-    if (p.id != self_ && p.fd >= 0 && !p.connecting) ++count;
+    if (p.id != self_ && p.stats.connected.load(relaxed)) ++count;
   }
   return count;
 }
 
-void TcpEnv::drop_connection_for_test(int id) { disconnect(peer(id), "test"); }
+void TcpEnv::drop_connection_for_test(int id) {
+  if (!multi()) {
+    disconnect(peer(id), "test");
+    return;
+  }
+  owner_loop(id).post([this, id] { disconnect(peer(id), "test"); });
+}
 
 }  // namespace dl::net

@@ -1,13 +1,31 @@
 // TcpEnv — the real-socket backend of runtime::Env.
 //
 // One TcpEnv per replica process (or per thread in in-process tests): it
-// owns a listening socket plus one TCP connection per peer and multiplexes
-// everything on a single EventLoop. Connection topology is deterministic:
-// node i DIALS every peer with a smaller id and ACCEPTS from every peer
-// with a larger id, so each unordered pair shares exactly one connection
-// and two replicas never race to create duplicates. The dialing side sends
-// a Hello frame identifying itself; both directions then carry Data frames
-// (length-prefixed protocol envelopes, see net/frame.hpp).
+// owns a listening socket plus one TCP connection per peer. Connection
+// topology is deterministic: node i DIALS every peer with a smaller id and
+// ACCEPTS from every peer with a larger id, so each unordered pair shares
+// exactly one connection and two replicas never race to create duplicates.
+// The dialing side sends a Hello frame identifying itself; both directions
+// then carry Data frames (length-prefixed protocol envelopes, net/frame.hpp).
+//
+// Zero-copy data plane: an outbound envelope is never serialized into a
+// contiguous frame. The fixed prefix (frame length, wire kind, envelope
+// header) is written into a small slab inside the queue entry and the body
+// bytes are referenced via shared_ptr; flush gathers both straight into
+// sendmsg. Inbound, FrameReader reads socket bytes directly into a pooled
+// buffer and hands out payload views — the only copy on the receive path is
+// the kernel's.
+//
+// Transport-loop affinity (--net-loops K): with Options::net_loops >= 2,
+// TcpEnv runs K private EventLoop threads and pins each peer connection to
+// loop (peer_id % K). All per-peer state — socket, queues, reader, redial
+// timers — is touched only on the owner loop, so there is no lock anywhere
+// on the protocol path. send/broadcast (home loop) hand envelopes to owner
+// loops through the loops' MPSC mailboxes (a broadcast posts one task per
+// loop, not per peer); inbound frames batch back to the home loop, where
+// Receiver callbacks fire exactly as in single-loop mode. With net_loops <= 1
+// (the default) everything multiplexes inline on the caller's loop — the
+// original single-threaded behavior, bit for bit.
 //
 // Delivery model per peer, mirroring the simulator's FluidLink scheduling:
 // High-class frames (dispersal + agreement) drain strictly before Low-class
@@ -25,10 +43,15 @@
 // memory (backpressure accounting, surfaced via peer_stats()).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <thread>
+#include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "net/cluster_config.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
@@ -48,11 +71,14 @@ class TcpEnv final : public runtime::Env {
     // (and within a small byte budget) or it is closed — unauthenticated
     // sockets may not hold pending-accept slots or memory indefinitely.
     double handshake_timeout = 5.0;
+    // Transport loops. <= 1: all socket I/O inline on the home loop.
+    // >= 2: that many private loop threads, peer -> loop (id % net_loops).
+    int net_loops = 1;
   };
 
   // Binds the listen socket immediately (so `port` may be 0 and the actual
   // port read back via listen_port() before the cluster starts), but does
-  // not touch the loop until start().
+  // not touch any loop until start().
   TcpEnv(EventLoop& loop, ClusterConfig cfg, int self, Options opt);
   TcpEnv(EventLoop& loop, ClusterConfig cfg, int self)
       : TcpEnv(loop, std::move(cfg), self, Options()) {}
@@ -68,10 +94,11 @@ class TcpEnv final : public runtime::Env {
   // which is fine — orphaned completions die in the loop's mailbox).
   void set_worker_pool(runtime::WorkerPool* pool) { pool_ = pool; }
 
-  // Injects the Receiver, registers with the loop, begins dialing, and
-  // schedules the Receiver's start() as the first posted task. Call once
-  // (from any thread, before or while the loop runs), then loop.run().
-  // All Receiver callbacks fire on the loop thread.
+  // Injects the Receiver, registers sockets with their owner loops, begins
+  // dialing, spawns the transport-loop threads (multi-loop mode), and
+  // schedules the Receiver's start() as the first home-loop task. Call once
+  // (from any thread, before or while the home loop runs), then loop.run().
+  // All Receiver callbacks fire on the home-loop thread.
   void start(runtime::Receiver& r);
 
   // --- runtime::Env -------------------------------------------------------
@@ -83,6 +110,10 @@ class TcpEnv final : public runtime::Env {
   bool cancel_timer(runtime::TimerId id) override;
   void send(int to, const Envelope& env, const runtime::SendOpts& opts) override;
   void broadcast(const Envelope& env, const runtime::SendOpts& opts) override;
+  // Zero-copy variants: the envelope body is stolen and referenced by the
+  // send queue(s), never copied into a frame.
+  void send(int to, Envelope&& env, const runtime::SendOpts& opts) override;
+  void broadcast(Envelope&& env, const runtime::SendOpts& opts) override;
   void cancel_send(std::uint64_t tag) override;
   // Thread-safe: posts fn to the home loop.
   void defer(std::function<void()> fn) override { loop_.post(std::move(fn)); }
@@ -102,19 +133,48 @@ class TcpEnv final : public runtime::Env {
     std::uint64_t dropped_bytes = 0;
     std::uint64_t reconnects = 0;
   };
+  // Both are thread-safe snapshots (relaxed counters — may trail the owner
+  // loop by a few frames, never torn).
   PeerStats peer_stats(int id) const;
   int connected_peers() const;
 
   // Test hook: tears down the connection to `id` (if any) as if the network
   // broke it; the dialing side's backoff machinery must then restore it.
+  // Multi-loop mode: asynchronous (posted to the owner loop).
   void drop_connection_for_test(int id);
 
  private:
+  // One queued wire frame: the fixed prefix lives inline, the body (if any)
+  // is shared with the protocol layer / other peers' queues. Copyable so a
+  // broadcast clones the 32-byte prefix while sharing the body.
   struct OutFrame {
-    std::shared_ptr<const Bytes> frame;  // header + wire payload
+    // Fits the largest prefix: Data frame header (22) or a whole Hello (17).
+    std::array<std::uint8_t, 24> header{};
+    std::uint8_t header_len = 0;
+    std::shared_ptr<const Bytes> body;
     std::uint64_t tag = 0;
+
+    std::size_t size() const {
+      return header_len + (body ? body->size() : 0);
+    }
   };
 
+  // Cross-thread-readable per-peer accounting. Written only by the owner
+  // loop; relaxed loads elsewhere (peer_stats, connected_peers).
+  struct PeerCounters {
+    std::atomic<bool> connected{false};
+    std::atomic<std::size_t> queued_bytes{0};
+    std::atomic<std::uint64_t> sent_frames{0};
+    std::atomic<std::uint64_t> sent_bytes{0};
+    std::atomic<std::uint64_t> recv_frames{0};
+    std::atomic<std::uint64_t> recv_bytes{0};
+    std::atomic<std::uint64_t> dropped_frames{0};
+    std::atomic<std::uint64_t> dropped_bytes{0};
+    std::atomic<std::uint64_t> reconnects{0};
+  };
+
+  // All mutable fields owner-loop-affine (loop id % net_loops; the home
+  // loop when net_loops <= 1).
   struct Peer {
     int id = -1;
     NodeAddr addr;
@@ -132,10 +192,11 @@ class TcpEnv final : public runtime::Env {
     double backoff = 0;         // current redial delay
     double established_at = 0;  // when the dialed connection came up
     std::uint64_t redial_timer = 0;
-    PeerStats stats;
+    PeerCounters stats;
   };
 
-  // An accepted connection whose Hello has not arrived yet.
+  // An accepted connection whose Hello has not arrived yet. Listener-loop
+  // state (loop 0 in multi-loop mode).
   struct PendingAccept {
     int fd = -1;
     std::uint64_t id = 0;     // guards the timeout against fd-number reuse
@@ -143,15 +204,41 @@ class TcpEnv final : public runtime::Env {
     FrameReader reader;
   };
 
+  // Inbound frames accumulating on a transport loop, bound for the home
+  // loop: payload bytes packed into one pooled buffer plus (offset, length)
+  // spans. Posted as a single home-loop task per read burst.
+  struct RecvBatch {
+    int from = -1;
+    PooledBuf buf;
+    std::size_t used = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  };
+
   Peer& peer(int id) { return peers_[static_cast<std::size_t>(id)]; }
   const Peer& peer(int id) const { return peers_[static_cast<std::size_t>(id)]; }
 
-  void enqueue(Peer& p, std::shared_ptr<const Bytes> frame,
-               const runtime::SendOpts& opts);
-  void deliver_local(std::shared_ptr<const Bytes> frame);
+  bool multi() const { return !tloops_.empty(); }
+  std::size_t owner_index(int id) const {
+    return static_cast<std::size_t>(id) % tloops_.size();
+  }
+  EventLoop& owner_loop(int id) {
+    return multi() ? *tloops_[owner_index(id)] : loop_;
+  }
+  EventLoop& listener_loop() { return multi() ? *tloops_[0] : loop_; }
+
+  static OutFrame make_data_frame(Envelope&& env, std::uint64_t tag);
+  static void add_iov(const OutFrame& f, std::size_t off, iovec* iov,
+                      std::size_t& n);
+
+  void enqueue(Peer& p, OutFrame frame, const runtime::SendOpts& opts);
+  void enqueue_and_flush(Peer& p, OutFrame frame, const runtime::SendOpts& opts);
+  void deliver_local(std::shared_ptr<const Bytes> env_bytes);
   void update_interest(Peer& p);
   void flush_writes(Peer& p);
+  void consume_written(Peer& p, std::size_t n);
   bool drain_frames(Peer& p);  // false once the connection was torn down
+  void batch_add(RecvBatch& b, int from, ByteView frame);
+  void post_batch(RecvBatch& b);
   void handle_readable(Peer& p);
   void handle_peer_event(int id, std::uint32_t events);
   void disconnect(Peer& p, const char* why);
@@ -162,8 +249,9 @@ class TcpEnv final : public runtime::Env {
   void handle_pending_accept(int fd, std::uint32_t events);
   void adopt_accepted(int fd, int peer_id, FrameReader&& reader);
   void close_pending(int fd);
+  void cancel_send_on(std::size_t loop_idx, std::uint64_t tag);
 
-  EventLoop& loop_;
+  EventLoop& loop_;  // home loop: Receiver callbacks, timers, Env API
   ClusterConfig cfg_;
   int self_;
   Options opt_;
@@ -172,10 +260,15 @@ class TcpEnv final : public runtime::Env {
   int listen_fd_ = -1;
   std::uint16_t listen_port_ = 0;
   bool started_ = false;
-  std::uint64_t next_low_seq_ = 0;
+  std::atomic<std::uint64_t> next_low_seq_{0};
   std::uint64_t next_pending_id_ = 1;
-  std::vector<Peer> peers_;  // indexed by id; entry self_ unused
+  // deque: Peer holds atomics (immovable) and must stay address-stable.
+  std::deque<Peer> peers_;  // indexed by id; entry self_ unused
   std::map<int, PendingAccept> pending_;  // fd -> state
+  // Transport tier (empty when net_loops <= 1). Loops are constructed in
+  // the ctor (owner_loop must resolve before start), threads in start().
+  std::vector<std::unique_ptr<EventLoop>> tloops_;
+  std::vector<std::thread> tthreads_;
 };
 
 }  // namespace dl::net

@@ -47,6 +47,12 @@
 // SimEnv::attach(Receiver&)) — there is no mutable bind() — so by the time
 // any callback can fire, the receiver wiring is already published to every
 // thread involved.
+//
+// A backend may run additional private threads below this contract — TcpEnv
+// with `--net-loops K` owns K transport loops that do socket I/O — but those
+// are invisible here: send/broadcast are still called only on the home loop,
+// and on_receive still fires only on the home loop. Cross-loop handoff is
+// the backend's problem.
 #pragma once
 
 #include <cstdint>
@@ -105,6 +111,18 @@ class Env {
   // every node including the sender, encoding the envelope once.
   virtual void send(int to, const Envelope& env, const SendOpts& opts) = 0;
   virtual void broadcast(const Envelope& env, const SendOpts& opts) = 0;
+
+  // Move-aware variants: a backend that can reference the envelope body
+  // instead of copying it (TcpEnv's scatter-gather path) overrides these to
+  // steal `env`. The defaults forward to the copying versions, so SimEnv
+  // and test doubles stay byte-for-byte unchanged. Callers that are done
+  // with the envelope should prefer these.
+  virtual void send(int to, Envelope&& env, const SendOpts& opts) {
+    send(to, static_cast<const Envelope&>(env), opts);
+  }
+  virtual void broadcast(Envelope&& env, const SendOpts& opts) {
+    broadcast(static_cast<const Envelope&>(env), opts);
+  }
 
   // Best-effort retraction of not-yet-transmitted Low-class messages
   // carrying `tag` (the §6.3 "stop sending chunks once decoded" path).

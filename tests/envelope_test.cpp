@@ -1,6 +1,8 @@
 // Envelope codec and RetrievalManager unit tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/envelope.hpp"
 #include "dl/retrieval.hpp"
 
@@ -27,6 +29,24 @@ TEST(Envelope, EmptyBody) {
   auto back = Envelope::decode(e.encode());
   ASSERT_TRUE(back.has_value());
   EXPECT_TRUE(back->body.empty());
+}
+
+// encode_header() is the transport's scatter-gather seam: its kHeaderBytes
+// output must equal the first kHeaderBytes of the contiguous encoding, so
+// header-slab + body gathers are byte-identical on the wire.
+TEST(Envelope, EncodeHeaderMatchesEncodePrefix) {
+  Envelope e;
+  e.kind = MsgKind::VidChunk;
+  e.epoch = 0xFFEEDDCCBBAA9988ULL;
+  e.instance = 0xDEADBEEF;
+  e.body = bytes_of("some chunk body");
+
+  std::uint8_t header[Envelope::kHeaderBytes];
+  e.encode_header(header);
+  const Bytes full = e.encode();
+  ASSERT_EQ(full.size(), Envelope::kHeaderBytes + e.body.size());
+  EXPECT_TRUE(std::equal(header, header + Envelope::kHeaderBytes,
+                         full.begin()));
 }
 
 TEST(Envelope, MalformedRejected) {

@@ -5,6 +5,11 @@
 // kinds are rejected.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
 #include "net/frame.hpp"
 
 namespace dl::net {
@@ -159,6 +164,123 @@ TEST(Wire, DataPayloadView) {
   ASSERT_TRUE(decode_wire(payload, wf));
   EXPECT_EQ(wf.kind, WireKind::Data);
   EXPECT_TRUE(equal(wf.data, env_bytes));
+}
+
+TEST(Frame, NextViewIsZeroCopyAndDrainResets) {
+  Bytes stream;
+  const Bytes a = random_bytes(100, 21);
+  const Bytes b = random_bytes(200, 22);
+  append_frame(stream, a);
+  append_frame(stream, b);
+  FrameReader r;
+  ASSERT_TRUE(r.feed(stream));
+
+  ByteView v;
+  ASSERT_TRUE(r.next_view(v));
+  EXPECT_TRUE(equal(v, a));
+  ASSERT_TRUE(r.next_view(v));
+  EXPECT_TRUE(equal(v, b));
+  // The view stays valid until the next feed/fill/reset even though the
+  // reader just drained fully (it only rewinds its cursors).
+  EXPECT_TRUE(equal(v, b));
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+  EXPECT_FALSE(r.next_view(v));
+}
+
+TEST(Frame, FillFromReadsSocketsDirectly) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Bytes stream;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 8; ++i) {
+    payloads.push_back(random_bytes(500 + static_cast<std::size_t>(i) * 37,
+                                    30 + static_cast<std::uint64_t>(i)));
+    append_frame(stream, payloads.back());
+  }
+  // Write in two chunks so one frame straddles a fill_from boundary.
+  const std::size_t half = stream.size() / 2;
+  ASSERT_EQ(::send(fds[1], stream.data(), half, 0),
+            static_cast<ssize_t>(half));
+
+  FrameReader r;
+  ASSERT_GT(r.fill_from(fds[0]), 0);
+  std::size_t seen = 0;
+  Bytes got;
+  while (r.next(got)) EXPECT_EQ(got, payloads[seen++]);
+
+  ASSERT_EQ(::send(fds[1], stream.data() + half, stream.size() - half, 0),
+            static_cast<ssize_t>(stream.size() - half));
+  ::close(fds[1]);
+  while (seen < payloads.size()) {
+    const ssize_t n = r.fill_from(fds[0]);
+    ASSERT_GT(n, 0);
+    while (r.next(got)) EXPECT_EQ(got, payloads[seen++]);
+  }
+  EXPECT_EQ(r.fill_from(fds[0]), 0);  // orderly EOF
+  ::close(fds[0]);
+}
+
+TEST(Frame, FillFromRefusesPoisonedReader) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameReader r(/*max_frame=*/64);
+  Bytes evil;
+  append_frame(evil, random_bytes(100, 40), /*max_frame=*/4096);
+  EXPECT_FALSE(r.feed(evil));
+  errno = 0;
+  EXPECT_EQ(r.fill_from(fds[0]), -1);
+  EXPECT_EQ(errno, EPROTO);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// The in-place client-plane encoders must be byte-identical to the
+// Bytes-returning ones they replaced on the gateway hot path.
+TEST(Wire, InPlaceEncodersMatchByteForByte) {
+  auto rope_bytes = [](const ByteRope& rope) {
+    iovec iov[8];
+    const std::size_t cnt = rope.fill_iovecs(iov, 8);
+    Bytes out;
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const auto* base = static_cast<const std::uint8_t*>(iov[i].iov_base);
+      out.insert(out.end(), base, base + iov[i].iov_len);
+    }
+    return out;
+  };
+
+  ByteRope rope;
+  encode_tx_ack_into(rope, 0x1122334455667788u, TxStatus::Accepted);
+  EXPECT_EQ(rope_bytes(rope),
+            encode_tx_ack(0x1122334455667788u, TxStatus::Accepted));
+  EXPECT_EQ(rope.size(), kTxAckFrameBytes);
+
+  rope.clear();
+  StageLatencies stages{1, 2, 3, 4, 5};
+  encode_tx_committed_into(rope, 7, 1234, 3, 987654, stages);
+  EXPECT_EQ(rope_bytes(rope), encode_tx_committed(7, 1234, 3, 987654, stages));
+  EXPECT_EQ(rope.size(), kTxCommittedFrameBytes);
+
+  rope.clear();
+  encode_goodbye_into(rope);
+  EXPECT_EQ(rope_bytes(rope), encode_goodbye());
+  EXPECT_EQ(rope.size(), kGoodbyeFrameBytes);
+}
+
+// The scatter-gather seam: header-slab bytes + raw body must equal the
+// classic contiguous Data frame.
+TEST(Wire, DataFrameHeaderMatchesContiguousEncoding) {
+  Envelope env;
+  env.kind = static_cast<MsgKind>(3);
+  env.epoch = 0xDEADBEEFCAFEBABEu;
+  env.instance = 17;
+  env.body = random_bytes(333, 50);
+
+  std::uint8_t header[kDataFrameHeaderBytes];
+  ASSERT_EQ(encode_data_frame_header(env, header), kDataFrameHeaderBytes);
+  Bytes gathered(header, header + kDataFrameHeaderBytes);
+  gathered.insert(gathered.end(), env.body.begin(), env.body.end());
+
+  EXPECT_EQ(gathered, encode_data_frame(env.encode()));
 }
 
 TEST(Wire, RejectsUnknownKindAndEmpty) {

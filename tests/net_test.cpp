@@ -263,14 +263,19 @@ TEST(TcpEnv, HandshakeTimeoutClosesSilentConnections) {
 }
 
 // The real thing: a 4-replica DispersedLedger cluster over loopback TCP.
-// Every replica must commit the same ledger prefix.
-TEST(TcpCluster, FourNodeLedgerPrefixAgreement) {
+// Every replica must commit the same ledger prefix. `net_loops` >= 2 runs
+// each replica's peer connections on private transport threads (per-peer
+// loop affinity); the ledger outcome must be indistinguishable from the
+// single-loop build.
+void run_four_node_cluster(int net_loops) {
   constexpr int kN = 4;
   constexpr std::uint64_t kTargetEpochs = 25;
 
   EventLoop loop;
   const ClusterConfig cfg = loopback_cluster(kN);
-  auto envs = make_envs(loop, cfg);
+  TcpEnv::Options opt;
+  opt.net_loops = net_loops;
+  auto envs = make_envs(loop, cfg, opt);
 
   struct Delivery {
     std::uint64_t at_epoch;
@@ -339,6 +344,16 @@ TEST(TcpCluster, FourNodeLedgerPrefixAgreement) {
                 nodes[0]->delivery_fingerprint());
     }
   }
+}
+
+TEST(TcpCluster, FourNodeLedgerPrefixAgreement) { run_four_node_cluster(1); }
+
+// Same cluster, but every replica splits its peer connections across two
+// transport loops (peer id % 2). Exercises cross-loop send/broadcast
+// batching, socket adoption onto owner loops, and receive-side batch
+// delivery back to the home loop. In the TSan CI matrix.
+TEST(TcpCluster, FourNodeLedgerPrefixAgreementTwoNetLoops) {
+  run_four_node_cluster(2);
 }
 
 }  // namespace
