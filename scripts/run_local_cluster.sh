@@ -27,6 +27,14 @@
 #   -l LOOPS      client ingress loops per replica (dlnoded --loops, default 1)
 #   -w WORKERS    coding/hashing worker threads (dlnoded --workers, default 0)
 #   -N NETLOOPS   replica transport loops (dlnoded --net-loops, default 1)
+#   -S            give every replica a durable store (dlnoded --store)
+#   -F POLICY     store fsync policy: never | batch | always (default batch)
+#   -K            crash mode (implies -S, selfdrive only): SIGKILL one
+#                 replica after it commits EPOCHS/3 epochs, verify it died
+#                 with exit 137, restart it against the same store, and
+#                 require it to recover its prefix, catch up over the missed
+#                 epochs, and finish with a ledger byte-identical to the
+#                 others — including the pre-crash lines it already wrote.
 #   -k            keep the work directory on success
 #
 # Port collisions: replicas exit 3 when they cannot bind; the script then
@@ -51,8 +59,11 @@ OUT_DIR=""
 LOOPS=1
 WORKERS=0
 NETLOOPS=1
+STORE=0
+FSYNC=batch
+CRASH=0
 KEEP=0
-while getopts "n:e:b:p:t:Lc:r:o:l:w:N:k" opt; do
+while getopts "n:e:b:p:t:Lc:r:o:l:w:N:SF:Kk" opt; do
   case "$opt" in
     n) N="$OPTARG" ;;
     e) EPOCHS="$OPTARG" ;;
@@ -66,10 +77,17 @@ while getopts "n:e:b:p:t:Lc:r:o:l:w:N:k" opt; do
     l) LOOPS="$OPTARG" ;;
     w) WORKERS="$OPTARG" ;;
     N) NETLOOPS="$OPTARG" ;;
+    S) STORE=1 ;;
+    F) FSYNC="$OPTARG" ;;
+    K) CRASH=1; STORE=1 ;;
     k) KEEP=1 ;;
     *) exit 2 ;;
   esac
 done
+if [ "$CRASH" -eq 1 ] && [ "$LOADGEN" -eq 1 ]; then
+  echo "run_local_cluster: -K requires selfdrive mode (drop -L)" >&2
+  exit 2
+fi
 
 DLNODED="$BUILD_DIR/dlnoded"
 DLLOADGEN="$BUILD_DIR/dl_loadgen"
@@ -108,19 +126,30 @@ write_config() {
 # grace window) kills the survivors and returns 3 so the caller can retry
 # on a fresh port range. On success, replica pids are in pids[].
 pids=()
-boot_replicas() {
+# Launches replica $1 (appending to its node_$1.out so a restart keeps the
+# pre-crash log) and records its pid in pids[$1].
+launch_replica() {
+  local i="$1"
   local extra=(--loops "$LOOPS" --workers "$WORKERS" --net-loops "$NETLOOPS")
   if [ "$LOADGEN" -eq 1 ]; then
     extra+=(--target-epochs 0)
   else
     extra+=(--selfdrive --target-epochs "$EPOCHS")
   fi
+  if [ "$STORE" -eq 1 ]; then
+    extra+=(--store "$WORK/store_$i" --fsync "$FSYNC" --catchup-ms 100)
+  fi
+  "$DLNODED" --config "$WORK/cluster.toml" --id "$i" \
+    --ledger "$WORK/ledger_$i.log" --max-seconds "$WATCHDOG" \
+    "${extra[@]}" >> "$WORK/node_$i.out" 2>&1 &
+  pids[$i]=$!
+}
+
+boot_replicas() {
   pids=()
   for ((i = 0; i < N; i++)); do
-    "$DLNODED" --config "$WORK/cluster.toml" --id "$i" \
-      --ledger "$WORK/ledger_$i.log" --max-seconds "$WATCHDOG" \
-      "${extra[@]}" > "$WORK/node_$i.out" 2>&1 &
-    pids+=($!)
+    : > "$WORK/node_$i.out"
+    launch_replica "$i"
   done
   # Bind failures surface within moments of exec; give them a beat.
   sleep 1
@@ -147,8 +176,9 @@ for attempt in 1 2 3 4 5; do
   fi
   base=$BASE_PORT
   [ "$base" -eq 0 ] && base=$((20000 + RANDOM % 20000))
-  echo "run_local_cluster: n=$N mode=$([ "$LOADGEN" -eq 1 ] && echo loadgen || echo selfdrive) base_port=$base attempt=$attempt work=$WORK"
+  echo "run_local_cluster: n=$N mode=$([ "$LOADGEN" -eq 1 ] && echo loadgen || echo selfdrive)$([ "$CRASH" -eq 1 ] && echo +crash)$([ "$STORE" -eq 1 ] && echo " fsync=$FSYNC") base_port=$base attempt=$attempt work=$WORK"
   write_config "$base"
+  rm -rf "$WORK"/store_*  # a collision retry must not look like a restart
   if boot_replicas; then
     booted=1
     break
@@ -160,6 +190,50 @@ if [ "$booted" -ne 1 ]; then
 fi
 
 fail=0
+
+if [ "$CRASH" -eq 1 ]; then
+  # SIGKILL one replica mid-run, restart it against the same store, and let
+  # the normal end-of-run checks prove it converged with everyone else.
+  victim=$((N - 1))
+  kill_at=$((EPOCHS / 3))
+  [ "$kill_at" -lt 1 ] && kill_at=1
+  waited=0
+  while :; do
+    if awk -v e="$kill_at" '$1 >= e {found = 1; exit} END {exit !found}' \
+        "$WORK/ledger_$victim.log" 2>/dev/null; then
+      break
+    fi
+    if ! kill -0 "${pids[$victim]}" 2>/dev/null; then
+      echo "run_local_cluster: victim $victim died before the crash point" >&2
+      fail=1
+      break
+    fi
+    waited=$((waited + 1))
+    if [ "$waited" -gt $((WATCHDOG * 10)) ]; then
+      echo "run_local_cluster: victim $victim never reached epoch $kill_at" >&2
+      fail=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$fail" -eq 0 ]; then
+    kill -KILL "${pids[$victim]}" 2>/dev/null || true
+    rc=0
+    wait "${pids[$victim]}" || rc=$?
+    if [ "$rc" -ne 137 ]; then
+      echo "run_local_cluster: victim exit $rc, expected 137 (SIGKILL)" >&2
+      fail=1
+    fi
+    # Snapshot the lines the victim wrote before dying; its post-restart
+    # ledger must reproduce them byte-identically at its head. Drop the
+    # last line: SIGKILL can land mid-write() and tear it.
+    head -n -1 "$WORK/ledger_$victim.log" > "$WORK/precrash_$victim.log" \
+      2>/dev/null || : > "$WORK/precrash_$victim.log"
+    echo "run_local_cluster: replica $victim SIGKILLed past epoch $kill_at" \
+         "($(wc -l < "$WORK/precrash_$victim.log") durable ledger lines); restarting"
+    launch_replica "$victim"
+  fi
+fi
 
 if [ "$LOADGEN" -eq 1 ]; then
   # Drive the cluster purely through the client ingress plane.
@@ -229,6 +303,27 @@ if [ "$fail" -eq 0 ]; then
       fail=1
     fi
   done
+fi
+
+# Crash mode: beyond agreeing with everyone else, the restarted victim's
+# ledger must begin with the exact lines it durably wrote before the
+# SIGKILL (the store-derived rewrite may not invent or reorder history),
+# and its log must show that the store recovery actually ran.
+if [ "$CRASH" -eq 1 ] && [ "$fail" -eq 0 ]; then
+  pre=$(wc -l < "$WORK/precrash_$victim.log")
+  if [ "$pre" -gt 0 ] && ! head -n "$pre" "$WORK/ledger_$victim.log" \
+      | cmp -s - "$WORK/precrash_$victim.log"; then
+    echo "run_local_cluster: restarted replica $victim REWROTE its pre-crash prefix" >&2
+    fail=1
+  fi
+  if ! grep -q "recovered .* epochs" "$WORK/node_$victim.out"; then
+    echo "run_local_cluster: replica $victim restarted without store recovery" >&2
+    fail=1
+  fi
+  if [ "$fail" -eq 0 ]; then
+    echo "run_local_cluster: crash recovery verified — replica $victim kept" \
+         "$pre pre-crash lines and caught up to the cluster"
+  fi
 fi
 
 # Loadgen mode: the perf artifact must exist with non-empty percentiles.

@@ -50,9 +50,11 @@
 #include "client/gateway.hpp"
 #include "client/ingress.hpp"
 #include "crypto/sha256.hpp"
+#include "dl/block.hpp"
 #include "dl/node.hpp"
 #include "net/tcp_env.hpp"
 #include "runtime/worker_pool.hpp"
+#include "storage/ledger_store.hpp"
 
 namespace {
 
@@ -67,6 +69,9 @@ struct Flags {
   std::size_t propose_size = 32'768;
   std::size_t max_block_bytes = 262'144;
   std::string ledger_path;
+  std::string store_dir;          // empty: run in-memory (no durability)
+  std::string fsync = "batch";    // never | batch | always
+  double catch_up_interval = -1;  // seconds; <0 = auto (on iff --store)
   double linger = 3.0;
   double max_seconds = 120.0;
   bool quiet = false;
@@ -95,6 +100,13 @@ void usage(const char* argv0) {
       "  --net-loops K          replica transport event loops (default 1; >=2\n"
       "                         pins each peer connection to loop id%%K)\n"
       "  --ledger FILE          write the committed-ledger log here\n"
+      "  --store DIR            durable ledger store: persist committed blocks\n"
+      "                         under DIR and recover the prefix at boot\n"
+      "  --fsync P              store durability: never | batch | always\n"
+      "                         (default batch: group-commit fsync)\n"
+      "  --catchup-ms M         probe peers for missed epochs every M ms when\n"
+      "                         delivery stalls (0 disables; default: 250 with\n"
+      "                         --store, off without)\n"
       "  --linger-seconds S     keep serving after target before exit (default 3)\n"
       "  --max-seconds S        watchdog: exit 1 if not done by then (default 120)\n"
       "  --quiet                suppress progress output\n",
@@ -134,6 +146,12 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       f.net_loops = std::atoi(v);
     } else if (a == "--ledger" && (v = next())) {
       f.ledger_path = v;
+    } else if (a == "--store" && (v = next())) {
+      f.store_dir = v;
+    } else if (a == "--fsync" && (v = next())) {
+      f.fsync = v;
+    } else if (a == "--catchup-ms" && (v = next())) {
+      f.catch_up_interval = std::atof(v) / 1000.0;
     } else if (a == "--linger-seconds" && (v = next())) {
       f.linger = std::atof(v);
     } else if (a == "--max-seconds" && (v = next())) {
@@ -146,7 +164,8 @@ bool parse_flags(int argc, char** argv, Flags& f) {
     }
   }
   if (f.config.empty() || f.id < 0 || f.loops < 1 || f.workers < 0 ||
-      f.net_loops < 1) {
+      f.net_loops < 1 ||
+      !dl::storage::parse_fsync_policy(f.fsync).has_value()) {
     usage(argv[0]);
     return false;
   }
@@ -183,13 +202,46 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Durable store first: what it recovered decides how the text ledger is
+  // opened. Declared before env/node/pool so it is destroyed LAST — the
+  // node holds a raw pointer to it, and the worker pool's destructor runs
+  // still-queued drain closures that dereference it.
+  std::unique_ptr<storage::LedgerStore> store;
+  if (!flags.store_dir.empty()) {
+    storage::StoreOptions sopt;
+    sopt.fsync = *storage::parse_fsync_policy(flags.fsync);
+    store = storage::LedgerStore::open(flags.store_dir, sopt, &err);
+    if (store == nullptr) {
+      std::fprintf(stderr, "dlnoded: cannot open store %s: %s\n",
+                   flags.store_dir.c_str(), err.c_str());
+      return 2;
+    }
+    if (!flags.quiet && store->recovered().delivered_epochs > 0) {
+      const auto& rec = store->recovered();
+      std::fprintf(stderr,
+                   "dlnoded[%d]: recovered %" PRIu64 " epochs / %" PRIu64
+                   " blocks from %s (truncated %" PRIu64 " bytes)\n",
+                   flags.id, rec.delivered_epochs, rec.committed_blocks,
+                   flags.store_dir.c_str(), rec.truncated_bytes);
+    }
+  }
+
+  // The text ledger is a derived view of the store: with a store the
+  // recovered prefix is rewritten below and live deliveries append after
+  // it; without one, APPEND — the old fopen(path, "w") truncated the
+  // pre-crash prefix on every restart, destroying exactly the history a
+  // restart is supposed to keep.
   std::FILE* ledger = nullptr;
   if (!flags.ledger_path.empty()) {
-    ledger = std::fopen(flags.ledger_path.c_str(), "w");
+    ledger =
+        std::fopen(flags.ledger_path.c_str(), store != nullptr ? "w" : "a");
     if (ledger == nullptr) {
       std::fprintf(stderr, "dlnoded: cannot open %s\n", flags.ledger_path.c_str());
       return 2;
     }
+    // Line-buffered: a kill loses at most the line being formatted, never
+    // leaves half a line in a stdio buffer for the smoke diff to trip on.
+    std::setvbuf(ledger, nullptr, _IOLBF, 1u << 16);
   }
 
   const net::NodeAddr& me = cluster->nodes[static_cast<std::size_t>(flags.id)];
@@ -229,7 +281,15 @@ int main(int argc, char** argv) {
     cfg.propose_delay = flags.propose_delay;
     cfg.propose_size = flags.propose_size;
     cfg.max_block_bytes = flags.max_block_bytes;
+    // Catch-up defaults on only when there is a store to serve it from and
+    // to persist what it pulls.
+    if (flags.catch_up_interval >= 0) {
+      cfg.catch_up_interval = flags.catch_up_interval;
+    } else if (store != nullptr) {
+      cfg.catch_up_interval = 0.25;
+    }
     node = std::make_unique<core::DlNode>(cfg, *env);
+    if (store != nullptr) node->attach_store(store.get());
 
     if (me.client_port != 0) {
       client::Gateway::Options gopt;
@@ -246,6 +306,44 @@ int main(int argc, char** argv) {
         gateway = std::make_unique<client::Gateway>(loop, *node, me.host,
                                                     me.client_port, gopt);
       }
+    }
+
+    // Replay the recovered prefix: rewrite the text ledger's derived view
+    // and seed every client-facing committed ring, so a payload that
+    // committed before the crash is answered TxStatus::Committed on
+    // resubmit instead of being committed a second time.
+    if (store != nullptr) {
+      store->for_each_committed([&](const storage::BlockRecord& r) {
+        // Reconstruct the callback's view of the block exactly as
+        // DlNode::decode_or_poison would have produced it live.
+        core::Block block;
+        block.v_array.assign(static_cast<std::size_t>(cluster->n),
+                             core::kInfObservation);
+        if (!r.bad_uploader) {
+          if (auto d = core::Block::decode(r.content, cluster->n);
+              d.has_value()) {
+            block = std::move(*d);
+            if (block.v_array.empty()) {
+              block.v_array.assign(static_cast<std::size_t>(cluster->n), 0);
+            }
+          }
+        }
+        if (ledger != nullptr) {
+          std::fprintf(ledger, "%" PRIu64 " %" PRIu64 " %" PRIu32 " %s\n",
+                       r.at_epoch, r.block_epoch, r.proposer,
+                       sha256(block.encode()).hex().c_str());
+        }
+        for (const core::Transaction& tx : block.txs) {
+          const Hash h = sha256(tx.payload);
+          if (gateway != nullptr) {
+            gateway->mempool().seed_committed(h, r.at_epoch, r.proposer);
+          }
+          if (shards != nullptr) {
+            shards->seed_committed(h, r.at_epoch, r.proposer);
+          }
+        }
+        return true;
+      });
     }
   } catch (const std::exception& e) {
     // Distinct exit code: the launcher retries bind collisions on a fresh
@@ -359,6 +457,10 @@ int main(int argc, char** argv) {
     loop.del_fd(sfd);
     close(sfd);
   }
+  // Final durability point: everything delivered is on disk before the
+  // process reports success (the store destructor would also sync, but by
+  // then the stats below have already been printed).
+  if (store != nullptr) store->sync();
   if (ledger != nullptr) std::fclose(ledger);
   const auto& st = node->stats();
   if (!flags.quiet) {
@@ -368,6 +470,18 @@ int main(int argc, char** argv) {
                  flags.id, st.delivered_epochs, st.delivered_blocks,
                  st.delivered_payload_bytes,
                  node->delivery_fingerprint().hex().substr(0, 16).c_str());
+    if (store != nullptr) {
+      const auto ss = store->stats();
+      std::fprintf(stderr,
+                   "dlnoded[%d]: store: fsync=%s recovered=%" PRIu64
+                   " caught_up=%" PRIu64 " records=%" PRIu64
+                   " bytes=%" PRIu64 " drains=%" PRIu64 " fsyncs=%" PRIu64
+                   " segments=%zu\n",
+                   flags.id, storage::to_string(store->fsync_policy()),
+                   st.recovered_epochs, st.caught_up_epochs,
+                   ss.appended_records, ss.appended_bytes, ss.drains,
+                   ss.fsyncs, store->segment_count());
+    }
     if (gateway != nullptr || shards != nullptr) {
       const client::Gateway::Stats gs =
           shards != nullptr ? shards->aggregate_stats() : gateway->stats();

@@ -102,6 +102,14 @@ void IngressShards::shutdown() {
   }
 }
 
+void IngressShards::seed_committed(const Hash& h, std::uint64_t epoch,
+                                   std::uint32_t proposer) {
+  assert(!started_);  // shard mempools are thread-confined after start()
+  for (Shard& s : shards_) {
+    s.gateway->mempool().seed_committed(h, epoch, proposer);
+  }
+}
+
 Gateway::Stats IngressShards::aggregate_stats() const {
   // The per-shard counters are plain fields owned by the shard threads;
   // reading them while those threads run is a C++ data race, not a benign
@@ -134,6 +142,7 @@ MempoolStats IngressShards::aggregate_mempool_stats() const {
     total.dropped_oversize += st.dropped_oversize;
     total.committed += st.committed;
     total.committed_replays += st.committed_replays;
+    total.seeded += st.seeded;
   }
   return total;
 }

@@ -78,6 +78,12 @@ class IngressShards {
   // loop, and is joined. Idempotent.
   void shutdown();
 
+  // Restart recovery: seed EVERY shard's committed ring (the kernel may
+  // route a reconnecting client to any shard). Only callable before start()
+  // — asserted; shard mempools are thread-confined once threads spawn.
+  void seed_committed(const Hash& h, std::uint64_t epoch,
+                      std::uint32_t proposer);
+
   // Exact totals across shards. Only callable before start() or after
   // shutdown() (shard threads joined) — asserted, see the header comment.
   Gateway::Stats aggregate_stats() const;

@@ -96,6 +96,16 @@ std::optional<CommitRecord> Mempool::committed_record(const Hash& h) const {
   return it->second;
 }
 
+void Mempool::seed_committed(const Hash& h, std::uint64_t epoch,
+                             std::uint32_t proposer) {
+  if (committed_.contains(h) || tracked_.contains(h)) return;
+  CommitRecord rec;
+  rec.epoch = epoch;
+  rec.proposer = proposer;
+  remember_committed(h, rec);
+  ++stats_.seeded;
+}
+
 void Mempool::remember_committed(const Hash& h, const CommitRecord& record) {
   if (committed_order_.size() < opt_.committed_ring) {
     committed_order_.push_back(h);

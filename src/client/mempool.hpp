@@ -61,6 +61,7 @@ struct MempoolStats {
   std::uint64_t dropped_oversize = 0;
   std::uint64_t committed = 0;  // matched to a delivered block
   std::uint64_t committed_replays = 0;
+  std::uint64_t seeded = 0;  // ring entries restored from the ledger store
 };
 
 // Everything the gateway needs to notify the submitting client of a
@@ -103,6 +104,14 @@ class Mempool {
   // The replayable commit for an already-committed hash (AdmitResult::
   // Committed from admit), if still in the ring.
   std::optional<CommitRecord> committed_record(const Hash& h) const;
+
+  // Restart recovery: pre-populate the committed ring from the ledger store
+  // before serving clients, so a payload committed before the crash is
+  // answered Committed instead of being admitted (and committed) twice. The
+  // origin client and submit stamp were lost with the process; the seeded
+  // record carries zeros for them. No-op if the hash is already known.
+  void seed_committed(const Hash& h, std::uint64_t epoch,
+                      std::uint32_t proposer);
 
   std::size_t pending_txs() const { return fifo_.size(); }
   std::size_t pending_bytes() const { return pending_bytes_; }

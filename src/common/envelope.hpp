@@ -35,6 +35,10 @@ enum class MsgKind : std::uint8_t {
   FpReady = 34,
   FpRequestChunk = 35,
   FpReturnChunk = 36,
+  // Catch-up / bootstrap (restart recovery; served from the ledger store)
+  CatchUpRequest = 48,
+  CatchUpChunk = 49,
+  CatchUpDone = 50,
 };
 
 struct Envelope {

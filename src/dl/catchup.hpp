@@ -1,0 +1,65 @@
+// Catch-up (bootstrap) wire messages.
+//
+// A replica that restarts (or joins late) has a persisted committed prefix
+// ending at some epoch F while the cluster has moved on. It broadcasts
+// CatchUpRequest{from_epoch=F}; every peer with a LedgerStore answers with
+// one CatchUpChunk per committed block in [F, F+window) — carrying the
+// peer's OWN coded chunk of the block plus its Merkle proof, not the whole
+// block — and closes with CatchUpDone{frontier}. The requester decodes each
+// block from any n−2f chunks that share a Merkle root (the AVID-M retrieve
+// rule, so one honest contributor fixes the content) and installs epochs in
+// order. This is the paper's asymmetry applied to recovery: a lagging node
+// pulls ~|B|/(f+1) bytes from each of many peers instead of |B| from one.
+//
+// Byzantine hygiene: every field of these messages is an unauthenticated
+// claim. The requester acts on a claim only once f+1 distinct peers agree
+// (block count per epoch, slot→key binding, committed frontier), which
+// guarantees at least one honest backer; block CONTENT needs no quorum
+// because decoding already requires n−2f same-root chunks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "vid/messages.hpp"
+
+namespace dl::core {
+
+// Serve me committed epochs starting at from_epoch (at most max_epochs).
+// Travels in an Envelope with epoch = from_epoch, instance = 0.
+struct CatchUpRequestMsg {
+  std::uint64_t from_epoch = 0;
+  std::uint32_t max_epochs = 0;
+
+  Bytes encode() const;
+  static bool decode(ByteView in, CatchUpRequestMsg& out);
+};
+
+// One coded chunk of one committed block. `block_index` is the block's
+// position in at_epoch's delivery order (0..block_count-1); an epoch that
+// delivered no blocks is announced with block_count == 0 and no chunk.
+// Envelope epoch = at_epoch, instance = 0.
+struct CatchUpChunkMsg {
+  std::uint64_t round_from = 0;  // echoes the request's from_epoch
+  std::uint64_t at_epoch = 0;
+  std::uint32_t block_count = 0;
+  std::uint32_t block_index = 0;
+  std::uint64_t block_epoch = 0;  // the block's own key
+  std::uint32_t proposer = 0;
+  vid::ChunkMsg chunk;  // the sender's chunk + proof (empty if count == 0)
+
+  Bytes encode() const;
+  static bool decode(ByteView in, CatchUpChunkMsg& out);
+};
+
+// End of one served round; `frontier` is the sender's committed frontier
+// (first epoch it cannot serve). Envelope epoch = round_from, instance = 0.
+struct CatchUpDoneMsg {
+  std::uint64_t round_from = 0;
+  std::uint64_t frontier = 0;
+
+  Bytes encode() const;
+  static bool decode(ByteView in, CatchUpDoneMsg& out);
+};
+
+}  // namespace dl::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/serial.hpp"
+#include "storage/ledger_store.hpp"
 
 namespace dl::core {
 
@@ -11,6 +12,14 @@ namespace {
 // Byzantine peers could name absurd epochs to exhaust memory; cap how far
 // past our own pipeline we are willing to instantiate state.
 constexpr std::uint64_t kMaxEpochSkew = 4096;
+
+// Catch-up: epochs served per round. Bounds both the server's work per
+// request and how far past deliver_next_ the client accepts chunks, so one
+// round's state stays small even against a flooding peer.
+constexpr std::uint32_t kCatchUpWindow = 64;
+// An epoch delivers its commit set plus linked blocks; anything claiming
+// more blocks than this is garbage, not data.
+constexpr std::uint32_t kMaxCatchUpBlocksPerEpoch = 4096;
 
 bool is_vid_kind(MsgKind k) {
   return k == MsgKind::VidChunk || k == MsgKind::VidGotChunk ||
@@ -81,7 +90,13 @@ void DlNode::submit(Bytes payload) {
   maybe_propose();
 }
 
-void DlNode::start() { maybe_propose(); }
+void DlNode::start() {
+  if (cfg_.catch_up_interval > 0 && !catch_up_timer_armed_) {
+    catch_up_timer_armed_ = true;
+    env_.after(cfg_.catch_up_interval, [this] { catch_up_tick(); });
+  }
+  maybe_propose();
+}
 
 // --- message plumbing --------------------------------------------------------
 
@@ -102,6 +117,13 @@ runtime::SendOpts DlNode::classify(const Envelope& env, int to) const {
       o.cls = runtime::TrafficClass::Low;
       o.order = env.epoch;
       o.tag = retrieval_tag(env.epoch, env.instance, to);
+      break;
+    case MsgKind::CatchUpRequest:
+    case MsgKind::CatchUpChunk:
+    case MsgKind::CatchUpDone:
+      // Historical data must never delay live dispersal/agreement (§5).
+      o.cls = runtime::TrafficClass::Low;
+      o.order = env.epoch;
       break;
     default:
       break;
@@ -135,6 +157,12 @@ bool DlNode::can_start_next_epoch() const {
   }
   if (propose_epoch_ == 0) return true;
   const std::uint64_t prev = propose_epoch_ - 1;
+  if (prev < closed_floor_) {
+    // Epochs below the restore/catch-up floor were agreement-closed by the
+    // cluster while we were down; our local DLEpoch state for them is gone
+    // and all_ba_output() would stay false forever.
+    return true;
+  }
   if (cfg_.vote_on_dispersal) {
     // DispersedLedger: next dispersal may start once the previous epoch's
     // agreement phase is over (all BA instances Output) — retrieval is lazy.
@@ -158,9 +186,16 @@ void DlNode::maybe_propose() {
     return;
   }
   // Nagle: wait out the remainder of the delay unless size triggers first.
+  const double wait = cfg_.propose_delay - (now - last_propose_time_);
+  if (wait <= 0 || now + wait <= now) {
+    // A re-armed timer can fire an ulp short of its exact deadline, leaving a
+    // sub-ulp remainder; re-arming with it would land at this same virtual
+    // time and spin the event loop forever. Treat the remainder as elapsed.
+    propose_now();
+    return;
+  }
   if (!propose_timer_armed_) {
     propose_timer_armed_ = true;
-    const double wait = cfg_.propose_delay - (now - last_propose_time_);
     env_.after(wait, [this] {
       propose_timer_armed_ = false;
       maybe_propose();
@@ -213,6 +248,7 @@ Block DlNode::build_block() {
 void DlNode::propose_now() {
   const std::uint64_t e = propose_epoch_++;
   last_propose_time_ = env_.now();
+  note_activity(e + 1);
   Block b = build_block();
   if (cfg_.byz_lie_v_array) {
     // Claim every peer has dispersed 1000 epochs further than observed. The
@@ -292,6 +328,12 @@ void DlNode::on_receive(int from, ByteView bytes) {
     handle_vid_message(from, env);
   } else if (is_ba_kind(env.kind)) {
     handle_ba_message(from, env);
+  } else if (env.kind == MsgKind::CatchUpRequest) {
+    handle_catch_up_request(from, env);
+  } else if (env.kind == MsgKind::CatchUpChunk) {
+    handle_catch_up_chunk(from, env);
+  } else if (env.kind == MsgKind::CatchUpDone) {
+    handle_catch_up_done(from, env);
   }
   // Unknown kinds are dropped.
 }
@@ -389,6 +431,12 @@ void DlNode::note_vid_complete(std::uint64_t e, int instance) {
 }
 
 void DlNode::maybe_vote(std::uint64_t e, int instance) {
+  if (e < vote_floor_) {
+    // Restart safety: we may already have voted in this epoch before the
+    // crash. Re-inputting could equivocate; the cluster closes these BAs
+    // without us (crash faults stay crash faults).
+    return;
+  }
   DLEpoch& st = epoch_state(e);
   ba::BinaryAgreement& ba = st.ba(instance);
   if (ba.has_input()) return;
@@ -397,6 +445,7 @@ void DlNode::maybe_vote(std::uint64_t e, int instance) {
       !retrievals_.has(BlockKey{e, instance})) {
     return;  // HB: block must be downloaded before voting
   }
+  note_activity(e + 1);
   Outbox out;
   ba.input(true, out);
   flush(std::move(out), e, static_cast<std::uint32_t>(instance));
@@ -407,9 +456,11 @@ void DlNode::after_ba_activity(std::uint64_t e) {
   DLEpoch& st = epoch_state(e);
   if (!st.refresh_ba_outputs()) return;
 
-  if (st.one_count() >= cfg_.n - cfg_.f) {
+  if (st.one_count() >= cfg_.n - cfg_.f && e >= vote_floor_) {
     // Fig. 6: enough blocks committed — close the epoch by voting 0 on the
-    // instances we have not voted on.
+    // instances we have not voted on. (Below the restart vote floor we
+    // might have voted differently pre-crash, so we stay silent.)
+    note_activity(e + 1);
     for (int i = 0; i < cfg_.n; ++i) {
       if (st.ba(i).has_input()) continue;
       Outbox out;
@@ -559,9 +610,13 @@ void DlNode::try_deliver() {
     st.delivered = true;
     ++stats_.delivered_epochs;
     ++deliver_next_;
+    if (store_ != nullptr) store_->append_epoch_done(e);
     delivered_any = true;
   }
-  if (delivered_any) maybe_propose();  // HB advances epochs on delivery
+  if (delivered_any) {
+    request_store_drain();
+    maybe_propose();  // HB advances epochs on delivery
+  }
 }
 
 void DlNode::deliver_block(std::uint64_t at_epoch, BlockKey key) {
@@ -583,6 +638,12 @@ void DlNode::deliver_block(std::uint64_t at_epoch, BlockKey key) {
   if (retrievals_.has(key)) w.raw(sha256(retrievals_.get(key)).view());
   fingerprint_ = sha256(w.data());
 
+  if (store_ != nullptr && retrievals_.has(key)) {
+    store_->append_block({at_epoch, key.epoch,
+                          static_cast<std::uint32_t>(key.proposer),
+                          retrievals_.is_bad(key), retrievals_.get(key)});
+  }
+
   if (key.proposer == cfg_.self) {
     auto it = own_stages_.find(key.epoch);
     if (it != own_stages_.end()) it->second.delivered = env_.now();
@@ -590,6 +651,394 @@ void DlNode::deliver_block(std::uint64_t at_epoch, BlockKey key) {
 
   if (on_deliver_) on_deliver_(at_epoch, key, block, env_.now());
 
+  retrievals_.release(key);
+  if (key.proposer == cfg_.self) {
+    own_blocks_.erase(key.epoch);
+    own_stages_.erase(key.epoch);
+  }
+}
+
+// --- durability --------------------------------------------------------------
+
+void DlNode::attach_store(storage::LedgerStore* store) {
+  store_ = store;
+  if (store_ != nullptr) recover_from_store();
+}
+
+void DlNode::recover_from_store() {
+  deliver_next_ = store_->delivered_frontier();
+  store_->for_each_committed([&](const storage::BlockRecord& r) {
+    const BlockKey key{r.block_epoch, static_cast<int>(r.proposer)};
+    delivered_.insert(key);
+
+    // Rebuild the fingerprint chain exactly as deliver_block grew it.
+    Writer w;
+    w.raw(fingerprint_.view());
+    w.u64(r.block_epoch);
+    w.u32(r.proposer);
+    if (!r.content.empty()) w.raw(sha256(r.content).view());
+    fingerprint_ = sha256(w.data());
+
+    ++stats_.delivered_blocks;
+    if (r.block_epoch != r.at_epoch) ++stats_.delivered_linked_blocks;
+    if (r.bad_uploader) {
+      ++stats_.bad_uploader_blocks;
+    } else if (auto block = Block::decode(r.content, cfg_.n);
+               block.has_value()) {
+      stats_.delivered_payload_bytes += block->payload_bytes();
+      stats_.delivered_tx_count += block->txs.size();
+    }
+    return true;
+  });
+  stats_.delivered_epochs = deliver_next_;
+  stats_.recovered_epochs = deliver_next_;
+
+  // Resume the pipeline after everything we already participated in. The
+  // vote floor keeps a crash from turning into equivocation; the closed
+  // floor marks those epochs as agreement-complete for proposal gating.
+  vote_floor_ = store_->activity_frontier();
+  propose_epoch_ = std::max(deliver_next_, vote_floor_);
+  closed_floor_ = propose_epoch_;
+  stats_.current_dispersal_epoch = propose_epoch_;
+  last_probe_deliver_ = deliver_next_;
+
+  // Linked-delivery scan frontiers: the contiguous delivered prefix per
+  // proposer. Under-setting is safe (the delivered_ check skips re-seen
+  // keys), so holes simply leave the frontier lower.
+  for (int j = 0; j < cfg_.n; ++j) {
+    std::uint64_t d = 0;
+    while (delivered_.contains(BlockKey{d, j})) ++d;
+    linked_scanned_[static_cast<std::size_t>(j)] = d;
+  }
+}
+
+void DlNode::note_activity(std::uint64_t epoch) {
+  if (store_ == nullptr) return;
+  store_->append_activity_frontier(epoch);
+  // No immediate drain: the record rides along with the next delivery
+  // drain. This makes the floor best-effort by one batch — a crash in that
+  // window re-votes identically or stays silent, never both ways.
+  request_store_drain();
+}
+
+void DlNode::request_store_drain() {
+  if (store_ == nullptr || store_drain_pending_) return;
+  store_drain_pending_ = true;
+  storage::LedgerStore* store = store_;
+  env_.offload([store] { store->drain(); },
+               [this] { store_drain_pending_ = false; });
+}
+
+// --- catch-up ----------------------------------------------------------------
+
+void DlNode::catch_up_tick() {
+  env_.after(cfg_.catch_up_interval, [this] { catch_up_tick(); });
+  const bool progressed = deliver_next_ != last_probe_deliver_;
+  last_probe_deliver_ = deliver_next_;
+  if (progressed) return;  // live delivery (or a running round) is moving
+  start_catch_up_round();
+}
+
+void DlNode::start_catch_up_round() {
+  round_ = CatchUpRound{};
+  round_.active = true;
+  round_.from = deliver_next_;
+  ++stats_.catch_up_rounds;
+
+  Envelope env;
+  env.kind = MsgKind::CatchUpRequest;
+  env.epoch = round_.from;
+  env.instance = 0;
+  env.body = CatchUpRequestMsg{round_.from, kCatchUpWindow}.encode();
+  for (int i = 0; i < cfg_.n; ++i) {
+    if (i == cfg_.self) continue;
+    env_.send(i, env, classify(env, i));
+  }
+}
+
+void DlNode::handle_catch_up_request(int from, const Envelope& env) {
+  CatchUpRequestMsg req;
+  if (!CatchUpRequestMsg::decode(env.body, req)) return;
+  if (store_ == nullptr || from == cfg_.self || from < 0) return;
+  if (req.from_epoch != env.epoch) return;
+  if (!catch_up_serving_.insert(from).second) {
+    return;  // one serve per peer in flight (request-flood defense)
+  }
+
+  // Serving is store reads + one RS encode per block: all off-loop. The
+  // work closure touches only the (internally synchronized) store and value
+  // captures, per the offload contract.
+  storage::LedgerStore* store = store_;
+  const vid::Params params = vid_params_;
+  const int self = cfg_.self;
+  const std::uint64_t lo = req.from_epoch;
+  const std::uint32_t window =
+      std::clamp<std::uint32_t>(req.max_epochs, 1, kCatchUpWindow);
+  auto replies = std::make_shared<std::vector<Envelope>>();
+  auto frontier = std::make_shared<std::uint64_t>(0);
+  env_.offload(
+      [store, params, self, lo, window, replies, frontier] {
+        *frontier = store->delivered_frontier();
+        const std::uint64_t hi =
+            std::min<std::uint64_t>(*frontier, lo + window);
+        std::vector<storage::BlockRecord> blocks;
+        for (std::uint64_t e = lo; e < hi; ++e) {
+          if (!store->blocks_at(e, blocks)) break;
+          CatchUpChunkMsg m;
+          m.round_from = lo;
+          m.at_epoch = e;
+          m.block_count = static_cast<std::uint32_t>(blocks.size());
+          if (blocks.empty()) {
+            Envelope reply;
+            reply.kind = MsgKind::CatchUpChunk;
+            reply.epoch = e;
+            reply.body = m.encode();
+            replies->push_back(std::move(reply));
+            continue;
+          }
+          for (std::size_t i = 0; i < blocks.size(); ++i) {
+            m.block_index = static_cast<std::uint32_t>(i);
+            m.block_epoch = blocks[i].block_epoch;
+            m.proposer = blocks[i].proposer;
+            m.chunk = avid_m_disperse(
+                params, blocks[i].content)[static_cast<std::size_t>(self)];
+            Envelope reply;
+            reply.kind = MsgKind::CatchUpChunk;
+            reply.epoch = e;
+            reply.body = m.encode();
+            replies->push_back(std::move(reply));
+          }
+        }
+      },
+      [this, from, lo, replies, frontier] {
+        catch_up_serving_.erase(from);
+        for (Envelope& reply : *replies) {
+          const runtime::SendOpts opts = classify(reply, from);
+          env_.send(from, std::move(reply), opts);
+        }
+        Envelope done;
+        done.kind = MsgKind::CatchUpDone;
+        done.epoch = lo;
+        done.body = CatchUpDoneMsg{lo, *frontier}.encode();
+        env_.send(from, std::move(done), classify(done, from));
+      });
+}
+
+void DlNode::handle_catch_up_done(int from, const Envelope& env) {
+  CatchUpDoneMsg m;
+  if (!CatchUpDoneMsg::decode(env.body, m)) return;
+  if (!round_.active || m.round_from != round_.from) return;
+  round_.frontier_claims[from] = m.frontier;
+
+  // Catch-up target: the (f+1)-th largest claimed frontier — the highest
+  // value at least one honest peer vouches for.
+  if (round_.frontier_claims.size() > static_cast<std::size_t>(cfg_.f)) {
+    std::vector<std::uint64_t> vals;
+    vals.reserve(round_.frontier_claims.size());
+    for (const auto& [peer, frontier] : round_.frontier_claims) {
+      vals.push_back(frontier);
+    }
+    std::sort(vals.begin(), vals.end(), std::greater<>());
+    round_.target =
+        std::max(round_.target, vals[static_cast<std::size_t>(cfg_.f)]);
+  }
+  try_install_catch_up();
+}
+
+void DlNode::handle_catch_up_chunk(int from, const Envelope& env) {
+  CatchUpChunkMsg m;
+  if (!CatchUpChunkMsg::decode(env.body, m)) return;
+  if (!round_.active || m.round_from != round_.from) return;
+  if (m.at_epoch != env.epoch) return;
+  if (m.at_epoch < deliver_next_ || m.at_epoch >= round_.from + kCatchUpWindow) {
+    return;
+  }
+  if (m.block_count > kMaxCatchUpBlocksPerEpoch) return;
+
+  CatchUpEpoch& ep = round_.epochs[m.at_epoch];
+  ep.count_claims.emplace(from, m.block_count);  // first claim per peer wins
+  if (!ep.count_confirmed) {
+    std::map<std::uint32_t, int> votes;
+    for (const auto& [peer, count] : ep.count_claims) ++votes[count];
+    for (const auto& [count, n] : votes) {
+      if (n >= cfg_.f + 1) {
+        ep.count_confirmed = true;
+        ep.count = count;
+        break;
+      }
+    }
+  }
+  if (m.block_count == 0) {
+    try_install_catch_up();
+    return;
+  }
+
+  CatchUpSlot& slot = ep.slots[m.block_index];
+  slot.key_claims.emplace(from,
+                          std::make_pair(m.block_epoch, m.proposer));
+  if (!slot.key_confirmed) {
+    std::map<std::pair<std::uint64_t, std::uint32_t>, int> votes;
+    for (const auto& [peer, key] : slot.key_claims) ++votes[key];
+    for (const auto& [key, n] : votes) {
+      if (n >= cfg_.f + 1) {
+        slot.key_confirmed = true;
+        slot.block_epoch = key.first;
+        slot.proposer = key.second;
+        break;
+      }
+    }
+  }
+
+  if (slot.have || slot.decoding) {
+    try_install_catch_up();  // key may just have been confirmed
+    return;
+  }
+  if (!slot.retriever) {
+    slot.retriever =
+        std::make_unique<vid::AvidMRetriever>(vid_params_, cfg_.self);
+  }
+  if (slot.retriever->offer_chunk(from, m.chunk)) {
+    slot.decoding = true;
+    auto job =
+        std::make_shared<const vid::DecodeJob>(slot.retriever->make_decode_job());
+    auto result = std::make_shared<vid::DecodeResult>();
+    const std::uint64_t at = m.at_epoch;
+    const std::uint32_t index = m.block_index;
+    const std::uint64_t round_from = round_.from;
+    env_.offload(
+        [job, result] { *result = vid::avid_m_run_decode(*job); },
+        [this, at, index, round_from, result] {
+          if (!round_.active || round_.from != round_from) return;
+          auto it = round_.epochs.find(at);
+          if (it == round_.epochs.end()) return;
+          auto sit = it->second.slots.find(index);
+          if (sit == it->second.slots.end()) return;
+          CatchUpSlot& slot = sit->second;
+          if (!slot.decoding || !slot.retriever) return;
+          slot.decoding = false;
+          if (result->bad_uploader) {
+            // An inconsistent chunk set needs n-2f same-root chunks yet at
+            // most f peers are faulty, so this cannot happen with the root
+            // of real committed content — some sender forged a root. Reset
+            // and keep collecting honest chunks.
+            slot.retriever = std::make_unique<vid::AvidMRetriever>(
+                vid_params_, cfg_.self);
+            return;
+          }
+          slot.retriever->complete(std::move(*result));
+          slot.content = slot.retriever->result();
+          slot.have = true;
+          try_install_catch_up();
+        });
+  }
+}
+
+void DlNode::try_install_catch_up() {
+  if (!round_.active) return;
+  bool installed = false;
+  while (true) {
+    // Entries the live path delivered meanwhile are dead weight.
+    while (!round_.epochs.empty() &&
+           round_.epochs.begin()->first < deliver_next_) {
+      round_.epochs.erase(round_.epochs.begin());
+    }
+    auto it = round_.epochs.find(deliver_next_);
+    if (it == round_.epochs.end()) break;
+    CatchUpEpoch& ep = it->second;
+    if (!ep.count_confirmed) break;
+    bool complete = true;
+    for (std::uint32_t i = 0; i < ep.count; ++i) {
+      auto sit = ep.slots.find(i);
+      if (sit == ep.slots.end() || !sit->second.have ||
+          !sit->second.key_confirmed) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) break;
+
+    const std::uint64_t at = deliver_next_;
+    for (std::uint32_t i = 0; i < ep.count; ++i) {
+      CatchUpSlot& slot = ep.slots.at(i);
+      const BlockKey key{slot.block_epoch, static_cast<int>(slot.proposer)};
+      if (!delivered_.contains(key)) {
+        install_catch_up_block(at, key, slot.content);
+      }
+    }
+    if (store_ != nullptr) store_->append_epoch_done(at);
+    ++stats_.delivered_epochs;
+    ++stats_.caught_up_epochs;
+    ++deliver_next_;
+    epochs_.erase(at);  // any local BA state for it can never matter again
+    round_.epochs.erase(it);
+    installed = true;
+  }
+
+  if (installed) {
+    closed_floor_ = std::max(closed_floor_, deliver_next_);
+    if (propose_epoch_ < deliver_next_) {
+      propose_epoch_ = deliver_next_;
+      stats_.current_dispersal_epoch = propose_epoch_;
+    }
+    last_probe_deliver_ = deliver_next_;  // counts as progress for the probe
+    request_store_drain();
+    try_deliver();  // live state may connect at the new frontier
+    maybe_propose();
+  }
+
+  if (round_.active) {
+    if (round_.target > 0 && deliver_next_ >= round_.target) {
+      round_.active = false;  // caught up to the confirmed frontier
+    } else if (deliver_next_ >= round_.from + kCatchUpWindow &&
+               round_.target > deliver_next_) {
+      start_catch_up_round();  // window exhausted, confirmed epochs remain
+    }
+  }
+}
+
+void DlNode::install_catch_up_block(std::uint64_t at_epoch, BlockKey key,
+                                    const Bytes& content) {
+  delivered_.insert(key);
+  const bool bad = equal(content, bytes_of(vid::kBadUploader));
+
+  ++stats_.delivered_blocks;
+  ++stats_.caught_up_blocks;
+  if (key.epoch != at_epoch) ++stats_.delivered_linked_blocks;
+  if (bad) ++stats_.bad_uploader_blocks;
+
+  // Decode exactly as decode_or_poison would for live delivery.
+  Block block;
+  block.v_array.assign(static_cast<std::size_t>(cfg_.n), kInfObservation);
+  if (!bad) {
+    if (auto decoded = Block::decode(content, cfg_.n); decoded.has_value()) {
+      block = std::move(*decoded);
+      if (block.v_array.empty()) {
+        block.v_array.assign(static_cast<std::size_t>(cfg_.n), 0);
+      }
+    }
+  }
+  stats_.delivered_payload_bytes += block.payload_bytes();
+  stats_.delivered_tx_count += block.txs.size();
+  stats_.input_queue_bytes = input_queue_bytes_.load(std::memory_order_relaxed);
+
+  // Same chain rule as deliver_block, so a caught-up node converges to the
+  // byte-identical prefix fingerprint.
+  Writer w;
+  w.raw(fingerprint_.view());
+  w.u64(key.epoch);
+  w.u32(static_cast<std::uint32_t>(key.proposer));
+  w.raw(sha256(content).view());
+  fingerprint_ = sha256(w.data());
+
+  if (store_ != nullptr) {
+    store_->append_block({at_epoch, key.epoch,
+                          static_cast<std::uint32_t>(key.proposer), bad,
+                          content});
+  }
+
+  if (on_deliver_) on_deliver_(at_epoch, key, block, env_.now());
+
+  linked_pending_.erase(key);
   retrievals_.release(key);
   if (key.proposer == cfg_.self) {
     own_blocks_.erase(key.epoch);

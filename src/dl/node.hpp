@@ -22,13 +22,19 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "ba/common_coin.hpp"
 #include "dl/block.hpp"
+#include "dl/catchup.hpp"
 #include "dl/epoch.hpp"
 #include "dl/retrieval.hpp"
 #include "runtime/env.hpp"
+
+namespace dl::storage {
+class LedgerStore;
+}  // namespace dl::storage
 
 namespace dl::core {
 
@@ -56,6 +62,12 @@ struct NodeConfig {
 
   // Retrieval optimization (§6.3): broadcast a cancel once decoded.
   bool cancel_on_decode = true;
+
+  // Catch-up probe period in seconds: while delivery is stalled the node
+  // periodically asks peers for its missing committed epochs (served from
+  // their LedgerStore as coded chunks). 0 disables the probe — the default,
+  // so simulator benches and nodes without a store are untouched.
+  double catch_up_interval = 0;
 
   // Infinite-backlog workloads: when > 0 the input queue is bottomless and
   // blocks are filled at proposal time with synthetic transactions of this
@@ -87,6 +99,11 @@ struct NodeStats {
   std::uint64_t bad_uploader_blocks = 0;
   std::uint64_t current_dispersal_epoch = 0;
   std::size_t input_queue_bytes = 0;
+  // Crash recovery / catch-up.
+  std::uint64_t recovered_epochs = 0;     // replayed from the local store
+  std::uint64_t caught_up_epochs = 0;     // installed via coded catch-up
+  std::uint64_t caught_up_blocks = 0;
+  std::uint64_t catch_up_rounds = 0;
 };
 
 // Pipeline checkpoints of one own-proposal, in home-loop seconds (0 = not
@@ -143,6 +160,15 @@ class DlNode : public runtime::Receiver {
   Hash delivery_fingerprint() const { return fingerprint_; }
   std::uint64_t next_epoch_to_deliver() const { return deliver_next_; }
 
+  // Durable storage. Call before start(): replays the store's committed
+  // prefix (delivered set, fingerprint chain, delivery/propose frontiers)
+  // so the node resumes BA from its first uncommitted epoch, and hooks
+  // delivery so every block/epoch is persisted from here on. The store must
+  // outlive the node. Recovery does NOT refire the delivery callback —
+  // consumers that need the replayed prefix read the store directly.
+  void attach_store(storage::LedgerStore* store);
+  storage::LedgerStore* store() const { return store_; }
+
   // --- runtime::Receiver --------------------------------------------------
   void start() override;
   void on_receive(int from, ByteView bytes) override;
@@ -181,6 +207,19 @@ class DlNode : public runtime::Receiver {
   void deliver_block(std::uint64_t at_epoch, BlockKey key);
   Block decode_or_poison(BlockKey key) const;
 
+  // Durability + catch-up.
+  void recover_from_store();
+  void note_activity(std::uint64_t epoch);  // persists the vote/propose floor
+  void request_store_drain();
+  void handle_catch_up_request(int from, const Envelope& env);
+  void handle_catch_up_chunk(int from, const Envelope& env);
+  void handle_catch_up_done(int from, const Envelope& env);
+  void catch_up_tick();
+  void start_catch_up_round();
+  void try_install_catch_up();
+  void install_catch_up_block(std::uint64_t at_epoch, BlockKey key,
+                              const Bytes& content);
+
   NodeConfig cfg_;
   runtime::Env& env_;
   ba::CommonCoin coin_;
@@ -214,6 +253,46 @@ class DlNode : public runtime::Receiver {
   DeliveryFn on_deliver_;
   NodeStats stats_;
   Hash fingerprint_{};
+
+  // --- durability + catch-up state --------------------------------------
+  storage::LedgerStore* store_ = nullptr;
+  // After a restart the node must not vote in epochs it may already have
+  // voted in pre-crash (crash must not become equivocation), and must treat
+  // epochs below its restored pipeline as agreement-closed (their DLEpoch
+  // state is gone, so all_ba_output() could never turn true again).
+  std::uint64_t vote_floor_ = 0;
+  std::uint64_t closed_floor_ = 0;
+  bool store_drain_pending_ = false;
+
+  // One catch-up round at a time. Slots are keyed by delivery position
+  // within an epoch; every per-peer map doubles as the f+1 agreement vote.
+  struct CatchUpSlot {
+    std::map<int, std::pair<std::uint64_t, std::uint32_t>> key_claims;
+    bool key_confirmed = false;
+    std::uint64_t block_epoch = 0;
+    std::uint32_t proposer = 0;
+    std::unique_ptr<vid::AvidMRetriever> retriever;
+    bool decoding = false;
+    bool have = false;
+    Bytes content;
+  };
+  struct CatchUpEpoch {
+    std::map<int, std::uint32_t> count_claims;
+    bool count_confirmed = false;
+    std::uint32_t count = 0;
+    std::map<std::uint32_t, CatchUpSlot> slots;
+  };
+  struct CatchUpRound {
+    bool active = false;
+    std::uint64_t from = 0;
+    std::map<int, std::uint64_t> frontier_claims;
+    std::uint64_t target = 0;  // (f+1)-th largest claimed frontier
+    std::map<std::uint64_t, CatchUpEpoch> epochs;
+  };
+  CatchUpRound round_;
+  std::uint64_t last_probe_deliver_ = 0;  // progress check between ticks
+  bool catch_up_timer_armed_ = false;
+  std::set<int> catch_up_serving_;  // peers with a serve offload in flight
 };
 
 }  // namespace dl::core

@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli) — the record checksum of the ledger store.
+//
+// Software slicing-by-8 implementation: fast enough that record integrity
+// checking never shows up next to the fsync in a storage profile, with no
+// ISA dependency (the SIMD dispatch machinery in src/erasure is overkill
+// for a cold-path checksum). The polynomial (0x1EDC6F41, reflected) is the
+// one iSCSI/ext4/leveldb use, so segment files can be checked with standard
+// external tooling.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dl::storage {
+
+// CRC32C of `data`, seeded with `init` (0 for a fresh checksum). Chaining:
+// crc32c(b, crc32c(a)) == crc32c(a||b).
+std::uint32_t crc32c(ByteView data, std::uint32_t init = 0);
+
+}  // namespace dl::storage

@@ -9,6 +9,7 @@
 #include "ba/binary_agreement.hpp"
 #include "common/envelope.hpp"
 #include "dl/block.hpp"
+#include "dl/catchup.hpp"
 #include "net/frame.hpp"
 #include "vid/avid_fp.hpp"
 #include "vid/avid_m.hpp"
@@ -62,6 +63,25 @@ std::vector<Sample> all_samples() {
     b.txs.push_back(std::move(tx));
   }
   s.push_back({"Block-as-body", MsgKind::VidChunk, b.encode()});
+
+  // Catch-up (crash-recovery bootstrap) kinds.
+  s.push_back({"CatchUpRequest", MsgKind::CatchUpRequest,
+               core::CatchUpRequestMsg{42, 64}.encode()});
+  core::CatchUpChunkMsg cu;
+  cu.round_from = 42;
+  cu.at_epoch = 43;
+  cu.block_count = 3;
+  cu.block_index = 2;
+  cu.block_epoch = 43;
+  cu.proposer = 5;
+  cu.chunk = chunks[4];
+  s.push_back({"CatchUpChunk", MsgKind::CatchUpChunk, cu.encode()});
+  core::CatchUpChunkMsg empty_epoch;  // zero-block epoch announcement
+  empty_epoch.round_from = 42;
+  empty_epoch.at_epoch = 44;
+  s.push_back({"CatchUpChunk-empty", MsgKind::CatchUpChunk, empty_epoch.encode()});
+  s.push_back({"CatchUpDone", MsgKind::CatchUpDone,
+               core::CatchUpDoneMsg{42, 99}.encode()});
   return s;
 }
 
@@ -153,6 +173,35 @@ TEST(CodecRoundTrip, TypedBodiesReEncodeIdentically) {
     const auto out = core::Block::decode(b.encode(), 7);
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->encode(), b.encode());
+  }
+  {
+    core::CatchUpRequestMsg m{77, 32}, out;
+    ASSERT_TRUE(core::CatchUpRequestMsg::decode(m.encode(), out));
+    EXPECT_EQ(out.from_epoch, 77u);
+    EXPECT_EQ(out.max_epochs, 32u);
+    EXPECT_EQ(out.encode(), m.encode());
+  }
+  {
+    core::CatchUpChunkMsg m, out;
+    m.round_from = 7;
+    m.at_epoch = 9;
+    m.block_count = 2;
+    m.block_index = 1;
+    m.block_epoch = 9;
+    m.proposer = 3;
+    m.chunk = vid::avid_m_disperse(p, block_bytes)[0];
+    ASSERT_TRUE(core::CatchUpChunkMsg::decode(m.encode(), out));
+    EXPECT_EQ(out.at_epoch, 9u);
+    EXPECT_EQ(out.block_count, 2u);
+    EXPECT_EQ(out.chunk.encode(), m.chunk.encode());
+    EXPECT_EQ(out.encode(), m.encode());
+  }
+  {
+    core::CatchUpDoneMsg m{7, 123}, out;
+    ASSERT_TRUE(core::CatchUpDoneMsg::decode(m.encode(), out));
+    EXPECT_EQ(out.round_from, 7u);
+    EXPECT_EQ(out.frontier, 123u);
+    EXPECT_EQ(out.encode(), m.encode());
   }
 }
 

@@ -3,6 +3,11 @@
 // crash, hang, or allocate absurdly; they either parse or return failure.
 // (Byzantine peers control every one of these inputs.)
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "app/kv_state_machine.hpp"
 #include "ba/binary_agreement.hpp"
@@ -10,8 +15,10 @@
 #include "common/rng.hpp"
 #include "crypto/fingerprint.hpp"
 #include "dl/block.hpp"
+#include "dl/catchup.hpp"
 #include "merkle/merkle_tree.hpp"
 #include "net/frame.hpp"
+#include "storage/ledger_store.hpp"
 #include "vid/avid_fp.hpp"
 #include "vid/avid_m.hpp"
 
@@ -32,6 +39,9 @@ void feed_all(ByteView input) {
   { auto b = core::Block::decode(input, 16); (void)b; }
   { auto c = app::Command::decode(input); (void)c; }
   { net::WireFrame wf; (void)net::decode_wire(input, wf); }
+  { core::CatchUpRequestMsg m; (void)core::CatchUpRequestMsg::decode(input, m); }
+  { core::CatchUpChunkMsg m; (void)core::CatchUpChunkMsg::decode(input, m); }
+  { core::CatchUpDoneMsg m; (void)core::CatchUpDoneMsg::decode(input, m); }
 }
 
 // Pushes `input` through the TCP transport path as a raw stream: deframe,
@@ -85,6 +95,17 @@ TEST(FuzzDecode, BitFlippedValidMessages) {
     corpus.push_back(env.encode());
     corpus.push_back(ba::BaRoundMsg{3, true}.encode());
     corpus.push_back(app::Command{app::CommandKind::Put, "k", "v", ""}.encode());
+    corpus.push_back(core::CatchUpRequestMsg{12, 64}.encode());
+    core::CatchUpChunkMsg cu;
+    cu.round_from = 12;
+    cu.at_epoch = 13;
+    cu.block_count = 2;
+    cu.block_index = 1;
+    cu.block_epoch = 13;
+    cu.proposer = 4;
+    cu.chunk = vid::avid_m_disperse(p, block)[2];
+    corpus.push_back(cu.encode());
+    corpus.push_back(core::CatchUpDoneMsg{12, 40}.encode());
   }
   Rng rng(42);
   for (const Bytes& base : corpus) {
@@ -195,6 +216,107 @@ TEST(FuzzDecode, ProtocolAutomataSurviveGarbage) {
   Outbox out;
   ba.input(true, out);
   EXPECT_TRUE(ba.has_input());
+}
+
+// LedgerStore::open is a decoder too: segment files are attacker-ish input
+// after a crash (torn writes, bit rot). Opening any mutation of a valid
+// store must never crash and must recover a sane (possibly shorter) prefix.
+TEST(FuzzDecode, LedgerStoreOpenSurvivesMutatedSegments) {
+  namespace fs = std::filesystem;
+  char tmpl[] = "/tmp/dl_fuzz_store.XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const fs::path root(tmpl);
+  const std::string pristine = (root / "pristine").string();
+
+  // Build a small multi-segment store with a committed prefix and a tail.
+  const std::uint64_t kEpochs = 12;
+  {
+    storage::StoreOptions opt;
+    opt.segment_bytes = 1024;  // force several segments
+    opt.fsync = storage::FsyncPolicy::kNever;
+    std::string err;
+    auto store = storage::LedgerStore::open(pristine, opt, &err);
+    ASSERT_NE(store, nullptr) << err;
+    for (std::uint64_t e = 0; e < kEpochs; ++e) {
+      storage::BlockRecord rec;
+      rec.at_epoch = e;
+      rec.block_epoch = e;
+      rec.proposer = static_cast<std::uint32_t>(e % 4);
+      rec.content = random_bytes(200, e);
+      store->append_block(rec);
+      store->append_epoch_done(e);
+      store->append_activity_frontier(e + 1);
+    }
+    storage::BlockRecord tail;  // uncommitted tail record
+    tail.at_epoch = kEpochs;
+    tail.block_epoch = kEpochs;
+    tail.content = random_bytes(100, 77);
+    store->append_block(tail);
+    store->sync();
+  }
+
+  std::vector<fs::path> segs;
+  for (const auto& ent : fs::directory_iterator(pristine)) segs.push_back(ent.path());
+  std::sort(segs.begin(), segs.end());
+  ASSERT_GT(segs.size(), 2u);
+
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const fs::path victim = root / ("mut_" + std::to_string(trial));
+    fs::create_directory(victim);
+    for (const auto& s : segs) fs::copy_file(s, victim / s.filename());
+
+    // Mutate one segment: bit flips, truncation, or garbage splice.
+    const fs::path target = victim / segs[rng.next_below(segs.size())].filename();
+    Bytes data;
+    {
+      std::ifstream in(target, std::ios::binary);
+      data.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    const auto mode = rng.next_below(3);
+    if (mode == 0 && !data.empty()) {
+      const int flips = 1 + static_cast<int>(rng.next_below(16));
+      for (int i = 0; i < flips; ++i) {
+        data[rng.next_below(data.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
+    } else if (mode == 1) {
+      data.resize(rng.next_below(data.size() + 1));
+    } else {
+      const Bytes junk = random_bytes(1 + rng.next_below(64),
+                                      static_cast<std::uint64_t>(trial));
+      const std::size_t at = rng.next_below(data.size() + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(),
+                  junk.end());
+    }
+    {
+      std::ofstream out(target, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+    }
+
+    std::string err;
+    auto store = storage::LedgerStore::open(victim.string(), {}, &err);
+    ASSERT_NE(store, nullptr) << "trial " << trial << ": " << err;
+    // Whatever survived must be a sane prefix, and the store must be usable.
+    EXPECT_LE(store->recovered().delivered_epochs, kEpochs);
+    EXPECT_LE(store->committed_blocks(), kEpochs);
+    std::uint64_t replayed = 0;
+    store->for_each_committed([&](const storage::BlockRecord&) {
+      ++replayed;
+      return true;
+    });
+    EXPECT_EQ(replayed, store->committed_blocks());
+    storage::BlockRecord rec;
+    rec.at_epoch = store->delivered_frontier();
+    rec.block_epoch = rec.at_epoch;
+    rec.content = random_bytes(32, 5);
+    store->append_block(rec);
+    store->append_epoch_done(rec.at_epoch);
+    store->sync();
+    EXPECT_EQ(store->delivered_frontier(), rec.at_epoch + 1);
+  }
+  fs::remove_all(root);
 }
 
 }  // namespace
