@@ -35,6 +35,16 @@
 #                 require it to recover its prefix, catch up over the missed
 #                 epochs, and finish with a ledger byte-identical to the
 #                 others — including the pre-crash lines it already wrote.
+#   -A MODE       adversary mode for replica N-1 (selfdrive only): one of
+#                 none | crash@E | mute | slowdrip[@RATE] | equivocate |
+#                 v-liar (dlnoded --adversary). The adversary replica runs
+#                 open-ended, is SIGTERMed once every honest replica
+#                 finishes, and is excluded from the prefix checks; the
+#                 honest replicas must still commit an identical prefix.
+#   -B TRACE      shape every replica's egress with a bandwidth trace file
+#                 (bench/traces format); installs a wildcard [[link]] rule
+#                 in the generated config, so one trace drives the whole
+#                 cluster exactly like the simulator benches consume it.
 #   -k            keep the work directory on success
 #
 # Port collisions: replicas exit 3 when they cannot bind; the script then
@@ -63,7 +73,9 @@ STORE=0
 FSYNC=batch
 CRASH=0
 KEEP=0
-while getopts "n:e:b:p:t:Lc:r:o:l:w:N:SF:Kk" opt; do
+ADVERSARY=""
+TRACE=""
+while getopts "n:e:b:p:t:Lc:r:o:l:w:N:SF:KkA:B:" opt; do
   case "$opt" in
     n) N="$OPTARG" ;;
     e) EPOCHS="$OPTARG" ;;
@@ -81,6 +93,8 @@ while getopts "n:e:b:p:t:Lc:r:o:l:w:N:SF:Kk" opt; do
     F) FSYNC="$OPTARG" ;;
     K) CRASH=1; STORE=1 ;;
     k) KEEP=1 ;;
+    A) ADVERSARY="$OPTARG" ;;
+    B) TRACE="$OPTARG" ;;
     *) exit 2 ;;
   esac
 done
@@ -88,6 +102,22 @@ if [ "$CRASH" -eq 1 ] && [ "$LOADGEN" -eq 1 ]; then
   echo "run_local_cluster: -K requires selfdrive mode (drop -L)" >&2
   exit 2
 fi
+if [ -n "$ADVERSARY" ] && [ "$LOADGEN" -eq 1 ]; then
+  echo "run_local_cluster: -A requires selfdrive mode (drop -L)" >&2
+  exit 2
+fi
+if [ -n "$ADVERSARY" ] && [ "$CRASH" -eq 1 ]; then
+  echo "run_local_cluster: -A and -K both target replica N-1; pick one" >&2
+  exit 2
+fi
+if [ -n "$TRACE" ] && [ ! -r "$TRACE" ]; then
+  echo "run_local_cluster: trace file $TRACE not readable" >&2
+  exit 2
+fi
+# Honest replicas: the ones that must finish on their own and whose ledger
+# prefixes are compared. With an adversary, replica N-1 is excluded.
+HONEST=$N
+[ -n "$ADVERSARY" ] && HONEST=$((N - 1))
 
 DLNODED="$BUILD_DIR/dlnoded"
 DLLOADGEN="$BUILD_DIR/dl_loadgen"
@@ -119,7 +149,13 @@ write_config() {
         echo "client_port = $((base + N + i))"
       fi
     done
+    if [ -n "$TRACE" ]; then
+      echo ""
+      echo "[[link]]"
+      echo "trace = \"wan.trace\""
+    fi
   } > "$WORK/cluster.toml"
+  if [ -n "$TRACE" ]; then cp "$TRACE" "$WORK/wan.trace"; fi
 }
 
 # Boots all replicas; on a bind collision (any replica exits 3 within the
@@ -133,6 +169,10 @@ launch_replica() {
   local extra=(--loops "$LOOPS" --workers "$WORKERS" --net-loops "$NETLOOPS")
   if [ "$LOADGEN" -eq 1 ]; then
     extra+=(--target-epochs 0)
+  elif [ -n "$ADVERSARY" ] && [ "$i" -eq $((N - 1)) ]; then
+    # The adversary replica deviates open-endedly; the script SIGTERMs it
+    # once the honest replicas are done.
+    extra+=(--selfdrive --target-epochs 0 --adversary "$ADVERSARY")
   else
     extra+=(--selfdrive --target-epochs "$EPOCHS")
   fi
@@ -252,9 +292,9 @@ if [ "$LOADGEN" -eq 1 ]; then
   for p in "${pids[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
 fi
 
-# Collect and propagate every replica's exit code.
+# Collect and propagate every honest replica's exit code.
 rcs=()
-for ((i = 0; i < N; i++)); do
+for ((i = 0; i < HONEST; i++)); do
   rc=0
   wait "${pids[$i]}" || rc=$?
   rcs+=("$rc")
@@ -264,6 +304,17 @@ for ((i = 0; i < N; i++)); do
     fail=1
   fi
 done
+if [ -n "$ADVERSARY" ]; then
+  # The adversary ran open-ended (or already died, e.g. crash@E exits 44):
+  # stop it now. Its exit code is logged but never fails the run — the
+  # check that matters is that the HONEST replicas closed their epochs.
+  adv=$((N - 1))
+  kill -TERM "${pids[$adv]}" 2>/dev/null || true
+  rc=0
+  wait "${pids[$adv]}" || rc=$?
+  rcs+=("adv:$rc")
+  echo "run_local_cluster: adversary replica $adv ($ADVERSARY) exit $rc"
+fi
 echo "run_local_cluster: replica exit codes: ${rcs[*]}"
 
 # Ledger agreement. Selfdrive mode: every replica delivered epochs
@@ -287,7 +338,7 @@ if [ "$fail" -eq 0 ]; then
     done
     lines=$min_lines
   else
-    for ((i = 0; i < N; i++)); do
+    for ((i = 0; i < HONEST; i++)); do
       awk -v e="$EPOCHS" '$1 < e' "$WORK/ledger_$i.log" > "$WORK/prefix_$i.log"
     done
     lines=$(wc -l < "$WORK/prefix_0.log")
@@ -296,7 +347,7 @@ if [ "$fail" -eq 0 ]; then
       fail=1
     fi
   fi
-  for ((i = 1; i < N; i++)); do
+  for ((i = 1; i < HONEST; i++)); do
     if ! cmp -s "$WORK/prefix_0.log" "$WORK/prefix_$i.log"; then
       echo "run_local_cluster: LEDGER DIVERGENCE between replica 0 and $i" >&2
       diff "$WORK/prefix_0.log" "$WORK/prefix_$i.log" | head -10 >&2 || true
@@ -347,8 +398,10 @@ if [ "$fail" -eq 0 ]; then
     echo "run_local_cluster: PASS — $N replicas agree on a $lines-block" \
          "prefix; dl_loadgen committed $TXCOUNT/$TXCOUNT transactions"
   else
-    echo "run_local_cluster: PASS — $N replicas committed an identical" \
-         "$lines-block prefix covering $EPOCHS epochs"
+    echo "run_local_cluster: PASS — $HONEST replicas committed an identical" \
+         "$lines-block prefix covering $EPOCHS epochs$([ -n "$ADVERSARY" ] \
+         && echo " (adversary: $ADVERSARY)")$([ -n "$TRACE" ] \
+         && echo " (shaped: $(basename "$TRACE"))")"
   fi
   [ "$KEEP" -eq 1 ] || rm -rf "$WORK"
 else

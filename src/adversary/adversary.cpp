@@ -14,4 +14,75 @@ core::NodeConfig v_liar_config(int n, int f, int self) {
   return c;
 }
 
+namespace {
+
+// Strictly-decimal u64; rejects empty/overlong input and stray characters.
+bool parse_u64(std::string_view v, std::uint64_t& out) {
+  if (v.empty() || v.size() > 18) return false;
+  std::uint64_t value = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<RealAdversary> parse_real_adversary(std::string_view spec) {
+  RealAdversary adv;
+  std::string_view mode = spec;
+  std::string_view param;
+  if (const std::size_t at = spec.find('@'); at != std::string_view::npos) {
+    mode = spec.substr(0, at);
+    param = spec.substr(at + 1);
+  }
+  if (mode == "none" && param.empty()) {
+    return adv;
+  }
+  if (mode == "crash") {
+    if (!parse_u64(param, adv.crash_epoch) || adv.crash_epoch == 0) {
+      return std::nullopt;
+    }
+    adv.kind = RealAdversary::Kind::CrashAtEpoch;
+    return adv;
+  }
+  if (mode == "mute" && param.empty()) {
+    adv.kind = RealAdversary::Kind::Mute;
+    return adv;
+  }
+  if (mode == "slowdrip") {
+    if (!param.empty()) {
+      std::uint64_t rate = 0;
+      if (!parse_u64(param, rate) || rate == 0) return std::nullopt;
+      adv.drip_bytes_per_sec = static_cast<double>(rate);
+    }
+    adv.kind = RealAdversary::Kind::SlowDrip;
+    return adv;
+  }
+  if (mode == "equivocate" && param.empty()) {
+    adv.kind = RealAdversary::Kind::Equivocate;
+    return adv;
+  }
+  if (mode == "v-liar" && param.empty()) {
+    adv.kind = RealAdversary::Kind::VLiar;
+    return adv;
+  }
+  return std::nullopt;
+}
+
+void apply(const RealAdversary& adv, core::NodeConfig& cfg) {
+  switch (adv.kind) {
+    case RealAdversary::Kind::Equivocate:
+      cfg.byz_inconsistent_blocks = true;
+      break;
+    case RealAdversary::Kind::VLiar:
+      cfg.byz_lie_v_array = true;
+      break;
+    default:
+      break;  // wire-level / crash modes keep the protocol config honest
+  }
+}
+
 }  // namespace dl::adversary

@@ -6,6 +6,10 @@
 // on core::NodeConfig (byz_inconsistent_blocks, byz_lie_v_array).
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
 #include "dl/node.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,5 +30,32 @@ core::NodeConfig bad_disperser_config(int n, int f, int self);
 // Reports inflated V arrays to try to make peers retrieve blocks that do
 // not exist (the inter-node-linking attack of §4.3).
 core::NodeConfig v_liar_config(int n, int f, int self);
+
+// A real-process deviation plan (`dlnoded --adversary MODE`). Wire-level
+// modes (Mute, SlowDrip) are enforced by net::TcpEnv; protocol-level modes
+// (Equivocate, VLiar) reuse the byz_* deviation flags above; CrashAtEpoch
+// is the process analogue of CrashNode, except the node runs honestly first
+// and then dies abruptly (exercises crash *recovery*, not just silence).
+struct RealAdversary {
+  enum class Kind : std::uint8_t {
+    None,
+    CrashAtEpoch,  // "crash@E": _Exit the moment epoch E commits
+    Mute,          // "mute": connected but every Data frame dies on the wire
+    SlowDrip,      // "slowdrip[@RATE]": egress crawls at RATE bytes/sec
+    Equivocate,    // "equivocate": disperse provably-inconsistent blocks
+    VLiar,         // "v-liar": report inflated V arrays
+  };
+  Kind kind = Kind::None;
+  std::uint64_t crash_epoch = 0;
+  double drip_bytes_per_sec = 4096;
+};
+
+// Parses an --adversary spec ("mute", "crash@120", "slowdrip@32768", ...).
+// Returns nullopt on an unrecognized mode or malformed parameter.
+std::optional<RealAdversary> parse_real_adversary(std::string_view spec);
+
+// Applies the protocol-level deviations (the byz_* flags) to a node config;
+// wire-level and crash modes leave the config honest.
+void apply(const RealAdversary& adv, core::NodeConfig& cfg);
 
 }  // namespace dl::adversary

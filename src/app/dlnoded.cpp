@@ -47,6 +47,7 @@
 #include <memory>
 #include <string>
 
+#include "adversary/adversary.hpp"
 #include "client/gateway.hpp"
 #include "client/ingress.hpp"
 #include "crypto/sha256.hpp"
@@ -78,6 +79,7 @@ struct Flags {
   int loops = 1;      // gateway ingress shards (>= 2: own threads)
   int workers = 0;    // coding worker pool threads (0: inline)
   int net_loops = 1;  // replica transport loops (>= 2: own threads)
+  std::string adversary;  // deviation spec; empty = honest
 };
 
 void usage(const char* argv0) {
@@ -107,6 +109,11 @@ void usage(const char* argv0) {
       "  --catchup-ms M         probe peers for missed epochs every M ms when\n"
       "                         delivery stalls (0 disables; default: 250 with\n"
       "                         --store, off without)\n"
+      "  --adversary MODE       run as a misbehaving replica:\n"
+      "                         crash@E (exit abruptly once epoch E commits),\n"
+      "                         mute (connected, all Data frames dropped),\n"
+      "                         slowdrip[@RATE] (egress crawls at RATE B/s, default 4096),\n"
+      "                         equivocate (inconsistent blocks), v-liar (inflated V)\n"
       "  --linger-seconds S     keep serving after target before exit (default 3)\n"
       "  --max-seconds S        watchdog: exit 1 if not done by then (default 120)\n"
       "  --quiet                suppress progress output\n",
@@ -144,6 +151,8 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       f.workers = std::atoi(v);
     } else if (a == "--net-loops" && (v = next())) {
       f.net_loops = std::atoi(v);
+    } else if (a == "--adversary" && (v = next())) {
+      f.adversary = v;
     } else if (a == "--ledger" && (v = next())) {
       f.ledger_path = v;
     } else if (a == "--store" && (v = next())) {
@@ -190,6 +199,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dlnoded: --id %d out of range (n=%d)\n", flags.id,
                  cluster->n);
     return 2;
+  }
+  adversary::RealAdversary adv;
+  if (!flags.adversary.empty()) {
+    auto parsed = adversary::parse_real_adversary(flags.adversary);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "dlnoded: bad --adversary spec \"%s\"\n",
+                   flags.adversary.c_str());
+      return 2;
+    }
+    adv = *parsed;
   }
   // A VID chunk envelope carries at most one block plus small proof/header
   // overhead; anything the transport's frame limit forbids would tear every
@@ -270,6 +289,12 @@ int main(int argc, char** argv) {
   try {
     net::TcpEnv::Options eopt;
     eopt.net_loops = flags.net_loops;
+    if (adv.kind == adversary::RealAdversary::Kind::Mute) {
+      eopt.adversary = net::WireAdversary::Mute;
+    } else if (adv.kind == adversary::RealAdversary::Kind::SlowDrip) {
+      eopt.adversary = net::WireAdversary::SlowDrip;
+      eopt.slow_drip_bytes_per_sec = adv.drip_bytes_per_sec;
+    }
     env = std::make_unique<net::TcpEnv>(loop, *cluster, flags.id, eopt);
     if (flags.workers > 0) {
       pool = std::make_unique<runtime::WorkerPool>(flags.workers);
@@ -281,6 +306,9 @@ int main(int argc, char** argv) {
     cfg.propose_delay = flags.propose_delay;
     cfg.propose_size = flags.propose_size;
     cfg.max_block_bytes = flags.max_block_bytes;
+    // Protocol-level deviations (equivocate / v-liar) — the same byz flags
+    // the sim adversary tests exercise, now on a real wire.
+    adversary::apply(adv, cfg);
     // Catch-up defaults on only when there is a store to serve it from and
     // to persist what it pulls.
     if (flags.catch_up_interval >= 0) {
@@ -378,6 +406,15 @@ int main(int argc, char** argv) {
       std::fprintf(ledger, "%" PRIu64 " %" PRIu64 " %d %s\n", at_epoch,
                    key.epoch, key.proposer,
                    sha256(block.encode()).hex().c_str());
+    }
+    if (adv.kind == adversary::RealAdversary::Kind::CrashAtEpoch &&
+        at_epoch >= adv.crash_epoch) {
+      // Abrupt death, not graceful shutdown: no linger, no Goodbye frames,
+      // no store sync — exactly what crash recovery must tolerate. The
+      // ledger stream is line-buffered, so completed lines are already out.
+      std::fprintf(stderr, "dlnoded[%d]: adversary crash at epoch %" PRIu64 "\n",
+                   flags.id, at_epoch);
+      std::_Exit(44);
     }
     if (gateway != nullptr) {
       gateway->on_block_delivered(at_epoch, key, block, now);

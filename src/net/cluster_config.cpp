@@ -38,7 +38,7 @@ std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
                                                   std::string* err) {
   ClusterConfig cfg;
   cfg.f = -1;  // sentinel: derive from n unless given
-  enum class Section { None, Cluster, Node };
+  enum class Section { None, Cluster, Node, Link };
   Section section = Section::None;
   NodeAddr current;
   bool have_current = false;
@@ -48,6 +48,34 @@ std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
     if (current.id < 0) return false;
     cfg.nodes.push_back(current);
     current = NodeAddr{};
+    return true;
+  };
+
+  // [[link]] accumulates into a draft because `schedule` and `step_ms` may
+  // arrive in either order; the schedule is assembled when the section ends.
+  struct LinkDraft {
+    LinkShapeRule rule;
+    std::vector<double> sched_rates;
+    double step_ms = 1000;
+    bool have_step = false;
+    int rate_specs = 0;  // how many of rate/schedule/trace were given
+  };
+  LinkDraft link;
+  bool have_link = false;
+  std::string link_err;
+
+  auto finish_link = [&]() -> bool {
+    if (!have_link) return true;
+    if (link.have_step && link.sched_rates.empty()) {
+      link_err = "[[link]] step_ms requires schedule";
+      return false;
+    }
+    if (!link.sched_rates.empty()) {
+      link.rule.schedule.rates = std::move(link.sched_rates);
+      link.rule.schedule.step = link.step_ms / 1000.0;
+    }
+    cfg.links.push_back(std::move(link.rule));
+    link = LinkDraft{};
     return true;
   };
 
@@ -66,22 +94,20 @@ std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
     line = trim(line);
     if (line.empty()) continue;
 
-    if (line == "[cluster]") {
+    if (line == "[cluster]" || line == "[[node]]" || line == "[[link]]") {
       if (!finish_node()) {
         fail(err, line_no, "previous [[node]] is missing an id");
         return std::nullopt;
       }
-      have_current = false;
-      section = Section::Cluster;
-      continue;
-    }
-    if (line == "[[node]]") {
-      if (!finish_node()) {
-        fail(err, line_no, "previous [[node]] is missing an id");
+      if (!finish_link()) {
+        fail(err, line_no, link_err);
         return std::nullopt;
       }
-      section = Section::Node;
-      have_current = true;
+      have_current = line == "[[node]]";
+      have_link = line == "[[link]]";
+      section = line == "[cluster]" ? Section::Cluster
+                : line == "[[node]]" ? Section::Node
+                                     : Section::Link;
       continue;
     }
     if (line.front() == '[') {
@@ -123,6 +149,56 @@ std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
         fail(err, line_no, "bad [[node]] entry: " + std::string(line));
         return std::nullopt;
       }
+    } else if (section == Section::Link) {
+      // Exactly one way to give the rate: a constant, an inline schedule, or
+      // a trace file. A second spec would silently shadow the first (the
+      // "overlapping windows" class of typo), so it is a hard error.
+      auto count_rate_spec = [&]() -> bool {
+        if (++link.rate_specs > 1) {
+          fail(err, line_no,
+               "conflicting rate specs: give exactly one of rate/schedule/trace");
+          return false;
+        }
+        return true;
+      };
+      const std::string_view str_body =
+          is_str ? value.substr(1, value.size() - 2) : std::string_view{};
+      if (key == "from" && is_num && num <= 1023) {
+        link.rule.from = static_cast<int>(num);
+      } else if (key == "to" && is_num && num <= 1023) {
+        link.rule.to = static_cast<int>(num);
+      } else if (key == "rate" && is_num && num >= 1) {
+        if (!count_rate_spec()) return std::nullopt;
+        link.sched_rates = {static_cast<double>(num)};
+      } else if (key == "schedule" && is_str) {
+        if (!count_rate_spec()) return std::nullopt;
+        std::string rerr;
+        auto rates = parse_rate_list(str_body, &rerr);
+        if (!rates) {
+          fail(err, line_no, "bad [[link]] schedule: " + rerr);
+          return std::nullopt;
+        }
+        link.sched_rates = std::move(*rates);
+      } else if (key == "trace" && is_str && !str_body.empty()) {
+        if (!count_rate_spec()) return std::nullopt;
+        link.rule.trace_path = std::string(str_body);
+      } else if (key == "step_ms" && is_num && num >= 1 && num <= 3'600'000) {
+        link.step_ms = static_cast<double>(num);
+        link.have_step = true;
+      } else if (key == "delay_ms" && is_num && num <= 60'000) {
+        link.rule.delay_ms = static_cast<double>(num);
+      } else if (key == "jitter_ms" && is_num && num <= 60'000) {
+        link.rule.jitter_ms = static_cast<double>(num);
+      } else if (key == "loss_ppm" && is_num && num <= 999'999) {
+        link.rule.loss_ppm = static_cast<std::uint32_t>(num);
+      } else if (key == "burst" && is_num) {
+        link.rule.burst_bytes = static_cast<std::size_t>(num);
+      } else if (key == "seed" && is_num) {
+        link.rule.seed = static_cast<std::uint64_t>(num);
+      } else {
+        fail(err, line_no, "bad [[link]] entry: " + std::string(line));
+        return std::nullopt;
+      }
     } else {
       fail(err, line_no, "entry outside any table");
       return std::nullopt;
@@ -130,6 +206,10 @@ std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
   }
   if (!finish_node()) {
     fail(err, line_no, "last [[node]] is missing an id");
+    return std::nullopt;
+  }
+  if (!finish_link()) {
+    fail(err, line_no, link_err);
     return std::nullopt;
   }
 
@@ -161,7 +241,52 @@ std::optional<ClusterConfig> ClusterConfig::parse(std::string_view text,
       return std::nullopt;
     }
   }
+  for (std::size_t i = 0; i < cfg.links.size(); ++i) {
+    const LinkShapeRule& r = cfg.links[i];
+    const std::string where = "[[link]] #" + std::to_string(i + 1);
+    if (r.from >= cfg.n || r.to >= cfg.n) {
+      if (err != nullptr) *err = where + ": from/to must name a node id < n";
+      return std::nullopt;
+    }
+    if (r.from >= 0 && r.from == r.to) {
+      if (err != nullptr) *err = where + ": self links cannot be shaped";
+      return std::nullopt;
+    }
+    if (r.schedule.unlimited() && r.trace_path.empty() && r.delay_ms == 0 &&
+        r.jitter_ms == 0 && r.loss_ppm == 0) {
+      if (err != nullptr) *err = where + ": rule shapes nothing";
+      return std::nullopt;
+    }
+  }
   return cfg;
+}
+
+bool ClusterConfig::resolve_traces(const std::string& base_dir,
+                                   std::string* err) {
+  for (LinkShapeRule& r : links) {
+    if (r.trace_path.empty()) continue;
+    std::string path = r.trace_path;
+    if (path.front() != '/' && !base_dir.empty()) path = base_dir + "/" + path;
+    auto sched = load_rate_trace(path, err);
+    if (!sched) return false;
+    r.schedule = std::move(*sched);
+  }
+  return true;
+}
+
+const LinkShapeRule* ClusterConfig::match_link(int from, int to) const {
+  const LinkShapeRule* best = nullptr;
+  int best_score = -1;
+  for (const LinkShapeRule& r : links) {
+    if (r.from >= 0 && r.from != from) continue;
+    if (r.to >= 0 && r.to != to) continue;
+    const int score = (r.from >= 0 ? 2 : 0) + (r.to >= 0 ? 1 : 0);
+    if (score >= best_score) {  // >= so the later of equal rules wins
+      best = &r;
+      best_score = score;
+    }
+  }
+  return best;
 }
 
 std::optional<ClusterConfig> ClusterConfig::load(const std::string& path,
@@ -173,7 +298,13 @@ std::optional<ClusterConfig> ClusterConfig::load(const std::string& path,
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse(ss.str(), err);
+  auto cfg = parse(ss.str(), err);
+  if (!cfg) return std::nullopt;
+  const std::size_t slash = path.rfind('/');
+  const std::string base_dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash);
+  if (!cfg->resolve_traces(base_dir, err)) return std::nullopt;
+  return cfg;
 }
 
 }  // namespace dl::net

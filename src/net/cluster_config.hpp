@@ -13,7 +13,20 @@
 //   port = 9000
 //   client_port = 9100   # optional; 0/absent = no client ingress plane
 //
-// Supported: the two tables above, integer values, double-quoted strings,
+//   [[link]]             # optional WAN shaping (see docs/DEPLOY.md)
+//   from = 0             # egress node id; absent = every node
+//   to = 1               # destination id; absent = shared egress bucket
+//   schedule = "400000,100000"   # bytes/sec, one entry per step
+//   step_ms = 5000
+//   delay_ms = 20
+//   jitter_ms = 5
+//   loss_ppm = 1000      # per-frame drop probability, parts per million
+//
+// A [[link]] may instead give `rate = N` (constant bytes/sec) or
+// `trace = "file"` (same format sim benches consume; resolved relative to
+// the config file by load()). Exactly one of rate/schedule/trace.
+//
+// Supported: the tables above, integer values, double-quoted strings,
 // '#' comments, blank lines. Anything else is a parse error with a line
 // number — a config typo should never silently start a misconfigured
 // replica.
@@ -24,6 +37,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "net/shaper.hpp"
 
 namespace dl::net {
 
@@ -36,17 +51,44 @@ struct NodeAddr {
   std::uint16_t client_port = 0;
 };
 
+// One [[link]] section: shaping applied to frames node `from` sends toward
+// node `to`. Either id may be absent (-1), meaning "any". A rule without
+// `to` models the node's aggregate egress pipe — all peers of that node
+// share one token bucket, exactly like the simulator's per-node FluidLink.
+struct LinkShapeRule {
+  int from = -1;  // egress node id; -1 = every node
+  int to = -1;    // destination node id; -1 = every peer (shared bucket)
+  RateSchedule schedule;   // empty = unlimited rate (delay/loss still apply)
+  std::string trace_path;  // set when `trace = "..."`; load() resolves it
+  double delay_ms = 0;
+  double jitter_ms = 0;
+  std::uint32_t loss_ppm = 0;  // drop probability in parts per million
+  std::size_t burst_bytes = 0;  // 0 = auto
+  std::uint64_t seed = 1;
+};
+
 struct ClusterConfig {
   int n = 0;
   int f = 0;
   std::vector<NodeAddr> nodes;  // sorted by id, exactly one entry per id
+  std::vector<LinkShapeRule> links;  // in file order; empty = no shaping
 
   // Parse from text / load from a file. On failure returns nullopt and, if
-  // `err` is non-null, a human-readable reason.
+  // `err` is non-null, a human-readable reason. load() also resolves
+  // `trace = "..."` references relative to the config file's directory.
   static std::optional<ClusterConfig> parse(std::string_view text,
                                             std::string* err);
   static std::optional<ClusterConfig> load(const std::string& path,
                                            std::string* err);
+
+  // Loads trace files referenced by [[link]] rules, relative to `base_dir`
+  // unless the path is absolute. Returns false and sets *err on failure.
+  bool resolve_traces(const std::string& base_dir, std::string* err);
+
+  // Most-specific rule shaping the (from -> to) direction, or nullptr.
+  // Exact ids beat wildcards (`from` match outranks `to`); among equally
+  // specific rules the last one in the file wins.
+  const LinkShapeRule* match_link(int from, int to) const;
 };
 
 }  // namespace dl::net

@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
+#include "common/rng.hpp"
 #include "net/socket_util.hpp"
 
 namespace dl::net {
@@ -49,6 +51,7 @@ TcpEnv::TcpEnv(EventLoop& loop, ClusterConfig cfg, int self, Options opt)
     p.dialer = i < self_;
     p.reader = FrameReader(opt_.max_frame_bytes);
   }
+  setup_shapers();
 
   // Bind the listen socket now so a port of 0 resolves before start().
   const NodeAddr& me = cfg_.nodes[static_cast<std::size_t>(self_)];
@@ -97,6 +100,7 @@ TcpEnv::~TcpEnv() {
       p.fd = -1;
     }
     if (p.redial_timer != 0) loop_.cancel_timer(p.redial_timer);
+    if (p.shape_timer != 0) loop_.cancel_timer(p.shape_timer);
   }
   for (auto& [fd, pa] : pending_) {
     if (pa.timer != 0) loop_.cancel_timer(pa.timer);
@@ -111,6 +115,58 @@ TcpEnv::~TcpEnv() {
 
 void TcpEnv::set_peer_port(int id, std::uint16_t port) {
   peer(id).addr.port = port;
+}
+
+void TcpEnv::setup_shapers() {
+  // The schedule origin is "process time now": a trace's first rate window
+  // starts when the replica starts, on every node, matching the simulator
+  // where traces start at sim time 0.
+  const double t0 = loop_.now();
+  if (opt_.adversary == WireAdversary::SlowDrip) {
+    // Every peer gets its own crawl bucket: the drip rate is per connection,
+    // so the adversary trickles to all peers simultaneously.
+    for (Peer& p : peers_) {
+      if (p.id == self_) continue;
+      LinkShaper::Config c;
+      c.schedule.rates = {opt_.slow_drip_bytes_per_sec};
+      c.burst_bytes = LinkShaper::kDefaultQuantum;  // tight pacing, no burst
+      c.seed = opt_.shaper_seed;
+      p.shaper = std::make_shared<LinkShaper>(c, t0);
+    }
+    return;
+  }
+  // [[link]] rules without a `to` model the node's aggregate egress pipe:
+  // every peer matched by such a rule shares ONE bucket, like FluidLink.
+  std::map<const LinkShapeRule*, std::shared_ptr<LinkShaper>> shared;
+  for (Peer& p : peers_) {
+    if (p.id == self_) continue;
+    const LinkShapeRule* r = cfg_.match_link(self_, p.id);
+    if (r == nullptr) continue;
+    if (!r->trace_path.empty() && r->schedule.unlimited()) {
+      throw std::invalid_argument(
+          "TcpEnv: [[link]] trace \"" + r->trace_path +
+          "\" was never resolved (use ClusterConfig::load/resolve_traces)");
+    }
+    LinkShaper::Config c;
+    c.schedule = r->schedule;
+    c.delay = r->delay_ms / 1000.0;
+    c.jitter = r->jitter_ms / 1000.0;
+    c.loss = static_cast<double>(r->loss_ppm) / 1e6;
+    c.burst_bytes = r->burst_bytes;
+    // Distinct but reproducible RNG streams per directed pair (per node for
+    // a shared bucket — splitmix64 of the composed identifiers).
+    std::uint64_t s = r->seed ^ (opt_.shaper_seed << 32) ^
+                      (static_cast<std::uint64_t>(self_) << 16) ^
+                      static_cast<std::uint64_t>(r->to >= 0 ? p.id + 1 : 0);
+    c.seed = splitmix64(s);
+    if (r->to >= 0) {
+      p.shaper = std::make_shared<LinkShaper>(c, t0);
+    } else {
+      auto& slot = shared[r];
+      if (!slot) slot = std::make_shared<LinkShaper>(c, t0);
+      p.shaper = slot;
+    }
+  }
 }
 
 void TcpEnv::start(runtime::Receiver& r) {
@@ -282,6 +338,23 @@ void TcpEnv::deliver_local(std::shared_ptr<const Bytes> env_bytes) {
 
 void TcpEnv::enqueue(Peer& p, OutFrame frame, const runtime::SendOpts& opts) {
   const std::size_t size = frame.size();
+  if (opt_.adversary == WireAdversary::Mute) {
+    // Mute-but-connected: the connection and Hello stay perfectly healthy
+    // (the Hello never passes through enqueue), every Data frame dies here.
+    p.stats.shaped_drops.fetch_add(1, relaxed);
+    p.stats.shaped_drop_bytes.fetch_add(size, relaxed);
+    return;
+  }
+  if (p.shaper) {
+    if (p.shaper->lose_frame(size)) {
+      p.stats.shaped_drops.fetch_add(1, relaxed);
+      p.stats.shaped_drop_bytes.fetch_add(size, relaxed);
+      return;
+    }
+    if (p.shaper->has_delay()) {
+      frame.ready_at = owner_loop(p.id).now() + p.shaper->delay_draw();
+    }
+  }
   if (size > opt_.max_frame_bytes + kFrameHeaderBytes) {
     // Never emit a frame every receiver is obliged to reject — that would
     // tear the connection down on each retry and livelock the pair.
@@ -313,8 +386,12 @@ void TcpEnv::enqueue_and_flush(Peer& p, OutFrame frame,
 
 void TcpEnv::update_interest(Peer& p) {
   if (p.fd < 0) return;
-  const bool want = p.connecting || p.has_inflight || !p.high.empty() ||
-                    !p.low.empty();
+  // While the drain is paused on the shaper (token deficit or link delay),
+  // EPOLLOUT must be off — the socket is writable the whole time and would
+  // otherwise spin the loop; the shape timer reopens the gate.
+  const bool backlog =
+      p.has_inflight || !p.high.empty() || !p.low.empty();
+  const bool want = p.connecting || (backlog && !p.shaper_blocked);
   const std::uint32_t events =
       EPOLLIN | (want ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
   if (want == p.want_write) return;
@@ -341,6 +418,7 @@ void TcpEnv::add_iov(const OutFrame& f, std::size_t off, iovec* iov,
 }
 
 void TcpEnv::flush_writes(Peer& p) {
+  p.shaper_blocked = false;  // re-evaluate the gate from scratch
   while (p.fd >= 0) {
     if (!p.has_inflight) {
       if (!p.high.empty()) {
@@ -355,19 +433,65 @@ void TcpEnv::flush_writes(Peer& p) {
       p.has_inflight = true;
       p.inflight_off = 0;
     }
-    // Gather the inflight remainder plus as many queued frames as fit in
-    // one sendmsg — consume_written pops them in exactly this order.
+    // WAN emulation gates, enforced at the drain so the data stays where it
+    // already is (zero-copy): (1) the head frame's release time — a frame
+    // whose first byte is out keeps going, pacing handles the rest; (2) the
+    // token bucket, which caps how many bytes this round may gather.
+    const double now = p.shaper ? owner_loop(p.id).now() : 0.0;
+    if (p.inflight_off == 0 && p.inflight.ready_at > now) {
+      p.shaper_blocked = true;
+      schedule_shape_wake(p, p.inflight.ready_at);
+      break;
+    }
+    std::size_t budget = std::numeric_limits<std::size_t>::max();
+    const bool paced = p.shaper && !p.shaper->unlimited_rate();
+    if (paced) {
+      budget = p.shaper->take(now, p.stats.queued_bytes.load(relaxed));
+      if (budget == 0) {
+        p.shaper_blocked = true;
+        p.stats.shaper_waits.fetch_add(1, relaxed);
+        schedule_shape_wake(p, p.shaper->next_release(now));
+        break;
+      }
+    }
+    // Gather the inflight remainder plus as many released queued frames as
+    // fit in one sendmsg — consume_written pops them in exactly this order.
     iovec iov[kMaxIov];
     std::size_t niov = 0;
+    std::size_t gathered = p.inflight.size() - p.inflight_off;
     add_iov(p.inflight, p.inflight_off, iov, niov);
+    // consume_written pops High before Low, so the moment a gated High frame
+    // stops this loop nothing after it may be gathered — not even released
+    // Low frames — or the write accounting would pop the wrong frames.
+    bool high_gated = false;
     for (const OutFrame& f : p.high) {
-      if (niov + 2 > kMaxIov) break;
+      if (niov + 2 > kMaxIov || gathered >= budget) break;
+      if (f.ready_at > now) {  // FIFO: later frames wait behind it
+        high_gated = true;
+        break;
+      }
       add_iov(f, 0, iov, niov);
+      gathered += f.size();
     }
-    if (niov + 2 <= kMaxIov) {
+    if (!high_gated && niov + 2 <= kMaxIov && gathered < budget) {
       for (const auto& [key, f] : p.low) {
-        if (niov + 2 > kMaxIov) break;
+        if (niov + 2 > kMaxIov || gathered >= budget) break;
+        if (f.ready_at > now) break;
         add_iov(f, 0, iov, niov);
+        gathered += f.size();
+      }
+    }
+    // Pacing trims the gather to the granted bytes in place — the frames
+    // themselves are untouched, the last iovec just gets shorter.
+    if (gathered > budget) {
+      std::size_t acc = 0;
+      for (std::size_t i = 0; i < niov; ++i) {
+        if (acc + iov[i].iov_len > budget) {
+          iov[i].iov_len = budget - acc;
+          niov = i + (iov[i].iov_len > 0 ? 1u : 0u);
+          break;
+        }
+        acc += iov[i].iov_len;
       }
     }
     msghdr mh{};
@@ -377,15 +501,29 @@ void TcpEnv::flush_writes(Peer& p) {
     // as a process-killing SIGPIPE.
     const ssize_t n = ::sendmsg(p.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
+      if (paced) p.shaper->refund(budget - static_cast<std::size_t>(n));
       consume_written(p, static_cast<std::size_t>(n));
       continue;
     }
+    if (paced) p.shaper->refund(budget);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     disconnect(p, "write error");
     return;
   }
   update_interest(p);
+}
+
+void TcpEnv::schedule_shape_wake(Peer& p, double when) {
+  EventLoop& owner = owner_loop(p.id);
+  if (p.shape_timer != 0) owner.cancel_timer(p.shape_timer);
+  const int id = p.id;
+  p.shape_timer = owner.at(when, [this, id] {
+    Peer& q = peer(id);
+    q.shape_timer = 0;
+    q.shaper_blocked = false;
+    if (q.fd >= 0 && !q.connecting) flush_writes(q);
+  });
 }
 
 void TcpEnv::consume_written(Peer& p, std::size_t n) {
@@ -552,6 +690,11 @@ void TcpEnv::disconnect(Peer& p, const char* /*why*/) {
   p.fd = -1;
   p.connecting = false;
   p.want_write = false;
+  if (p.shape_timer != 0) {
+    owner.cancel_timer(p.shape_timer);
+    p.shape_timer = 0;
+  }
+  p.shaper_blocked = false;
   p.stats.connected.store(false, relaxed);
   // The reader is NOT reset here: disconnect() can fire from inside this
   // peer's own drain_frames (a receiver callback sends, the send hits a
@@ -763,6 +906,9 @@ TcpEnv::PeerStats TcpEnv::peer_stats(int id) const {
   s.dropped_frames = c.dropped_frames.load(relaxed);
   s.dropped_bytes = c.dropped_bytes.load(relaxed);
   s.reconnects = c.reconnects.load(relaxed);
+  s.shaped_drops = c.shaped_drops.load(relaxed);
+  s.shaped_drop_bytes = c.shaped_drop_bytes.load(relaxed);
+  s.shaper_waits = c.shaper_waits.load(relaxed);
   return s;
 }
 

@@ -55,10 +55,20 @@
 #include "net/cluster_config.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
+#include "net/shaper.hpp"
 #include "runtime/env.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace dl::net {
+
+// Wire-level deviations a real process can exhibit (dlnoded --adversary).
+// Both keep the connection and Hello handshake fully honest — the failure is
+// in the Data-frame stream, which is the hard case for the protocol layer.
+enum class WireAdversary : std::uint8_t {
+  None,
+  Mute,      // "mute-but-connected": every outbound Data frame silently dies
+  SlowDrip,  // all egress forced through a constant-rate crawl shaper
+};
 
 class TcpEnv final : public runtime::Env {
  public:
@@ -74,6 +84,13 @@ class TcpEnv final : public runtime::Env {
     // Transport loops. <= 1: all socket I/O inline on the home loop.
     // >= 2: that many private loop threads, peer -> loop (id % net_loops).
     int net_loops = 1;
+    // Wire-level misbehavior injection (tests / dlnoded --adversary). An
+    // adversary overrides any [[link]] shaping from the cluster config.
+    WireAdversary adversary = WireAdversary::None;
+    double slow_drip_bytes_per_sec = 4096;  // SlowDrip crawl rate
+    // Mixed into per-link loss/jitter RNG streams so two runs (or two nodes)
+    // draw independent but reproducible sequences.
+    std::uint64_t shaper_seed = 1;
   };
 
   // Binds the listen socket immediately (so `port` may be 0 and the actual
@@ -132,6 +149,9 @@ class TcpEnv final : public runtime::Env {
     std::uint64_t dropped_frames = 0;  // rejected by the queue cap
     std::uint64_t dropped_bytes = 0;
     std::uint64_t reconnects = 0;
+    std::uint64_t shaped_drops = 0;   // frames killed by loss/mute injection
+    std::uint64_t shaped_drop_bytes = 0;
+    std::uint64_t shaper_waits = 0;   // drain pauses waiting on the bucket
   };
   // Both are thread-safe snapshots (relaxed counters — may trail the owner
   // loop by a few frames, never torn).
@@ -153,6 +173,9 @@ class TcpEnv final : public runtime::Env {
     std::uint8_t header_len = 0;
     std::shared_ptr<const Bytes> body;
     std::uint64_t tag = 0;
+    // Earliest time the first byte may hit the wire (link delay + jitter);
+    // 0 = immediately. Stamped at enqueue, enforced at the drain.
+    double ready_at = 0;
 
     std::size_t size() const {
       return header_len + (body ? body->size() : 0);
@@ -171,6 +194,9 @@ class TcpEnv final : public runtime::Env {
     std::atomic<std::uint64_t> dropped_frames{0};
     std::atomic<std::uint64_t> dropped_bytes{0};
     std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> shaped_drops{0};
+    std::atomic<std::uint64_t> shaped_drop_bytes{0};
+    std::atomic<std::uint64_t> shaper_waits{0};
   };
 
   // All mutable fields owner-loop-affine (loop id % net_loops; the home
@@ -192,6 +218,12 @@ class TcpEnv final : public runtime::Env {
     double backoff = 0;         // current redial delay
     double established_at = 0;  // when the dialed connection came up
     std::uint64_t redial_timer = 0;
+    // WAN emulation (null = unshaped, the fast path). Per-peer when the
+    // matching [[link]] rule names a destination; shared across this node's
+    // peers (one aggregate egress bucket, like FluidLink) when it does not.
+    std::shared_ptr<LinkShaper> shaper;
+    std::uint64_t shape_timer = 0;  // pending drain wake, owner-loop timer
+    bool shaper_blocked = false;    // drain paused: gate EPOLLOUT off
     PeerCounters stats;
   };
 
@@ -230,6 +262,8 @@ class TcpEnv final : public runtime::Env {
   static void add_iov(const OutFrame& f, std::size_t off, iovec* iov,
                       std::size_t& n);
 
+  void setup_shapers();
+  void schedule_shape_wake(Peer& p, double when);
   void enqueue(Peer& p, OutFrame frame, const runtime::SendOpts& opts);
   void enqueue_and_flush(Peer& p, OutFrame frame, const runtime::SendOpts& opts);
   void deliver_local(std::shared_ptr<const Bytes> env_bytes);

@@ -17,6 +17,7 @@
 #include "dl/block.hpp"
 #include "dl/catchup.hpp"
 #include "merkle/merkle_tree.hpp"
+#include "net/cluster_config.hpp"
 #include "net/frame.hpp"
 #include "storage/ledger_store.hpp"
 #include "vid/avid_fp.hpp"
@@ -317,6 +318,118 @@ TEST(FuzzDecode, LedgerStoreOpenSurvivesMutatedSegments) {
     EXPECT_EQ(store->delivered_frontier(), rec.at_epoch + 1);
   }
   fs::remove_all(root);
+}
+
+// [[link]] sections are operator-written WAN shaping rules: parsing must be
+// total (mutated or truncated configs either parse or fail with a
+// diagnostic, never crash), and the documented rejection classes —
+// malformed schedules, non-positive rates, conflicting rate specs,
+// out-of-range ids — must all produce errors, not misconfigured shapers.
+TEST(FuzzDecode, ClusterConfigLinkSectionsMutatedAndTruncated) {
+  const std::string valid =
+      "[cluster]\n"
+      "n = 4\n"
+      "f = 1\n"
+      "[[node]]\nid = 0\nhost = \"127.0.0.1\"\nport = 9000\n"
+      "[[node]]\nid = 1\nhost = \"127.0.0.1\"\nport = 9001\n"
+      "[[node]]\nid = 2\nhost = \"127.0.0.1\"\nport = 9002\n"
+      "[[node]]\nid = 3\nhost = \"127.0.0.1\"\nport = 9003\n"
+      "[[link]]\n"
+      "from = 0\n"
+      "to = 1\n"
+      "schedule = \"250000, 125000, 62500\"\n"
+      "step_ms = 500\n"
+      "delay_ms = 20\n"
+      "jitter_ms = 5\n"
+      "loss_ppm = 1000\n"
+      "[[link]]\n"
+      "rate = 1000000\n"
+      "burst = 65536\n"
+      "seed = 7\n";
+  {
+    std::string err;
+    auto cfg = net::ClusterConfig::parse(valid, &err);
+    ASSERT_TRUE(cfg.has_value()) << err;
+    ASSERT_EQ(cfg->links.size(), 2u);
+    EXPECT_EQ(cfg->links[0].schedule.rates.size(), 3u);
+    EXPECT_EQ(cfg->match_link(0, 1), &cfg->links[0]);
+    EXPECT_EQ(cfg->match_link(2, 3), &cfg->links[1]);
+  }
+
+  // Random edits: parse() either succeeds or reports a reason.
+  Rng rng(0x11BB);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string text = valid;
+    const int edits = 1 + static_cast<int>(rng.next_below(8));
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t pos = rng.next_below(text.size());
+      switch (rng.next_below(3)) {
+        case 0:  // overwrite with an arbitrary byte
+          text[pos] = static_cast<char>(rng.next_below(256));
+          break;
+        case 1:  // insert a printable-ish byte
+          text.insert(pos, 1, static_cast<char>(32 + rng.next_below(96)));
+          break;
+        default:
+          text.erase(pos, 1);
+          break;
+      }
+    }
+    std::string err;
+    auto cfg = net::ClusterConfig::parse(text, &err);
+    if (!cfg) {
+      EXPECT_FALSE(err.empty());
+    }
+  }
+
+  // Every truncation point.
+  for (std::size_t len = 0; len <= valid.size(); ++len) {
+    std::string err;
+    auto cfg = net::ClusterConfig::parse(valid.substr(0, len), &err);
+    (void)cfg;
+  }
+
+  // Targeted rejection classes: each body yields a parse error.
+  const std::string preamble = valid.substr(0, valid.find("[[link]]"));
+  const char* bad_links[] = {
+      "schedule = \"-5\"",               // negative rate entry
+      "schedule = \"0\"",                // zero rate entry
+      "schedule = \"250000,,62500\"",    // empty entry
+      "schedule = \"nan\"",              // non-finite
+      "schedule = \"1e99\"",             // beyond the rate ceiling
+      "schedule = \"\"",                 // empty list
+      "rate = 0",                        // constant rate must be positive
+      "rate = -1",                       // negative integer
+      "from = 9\nrate = 1000",           // id out of range
+      "to = 9\nrate = 1000",             // id out of range
+      "from = 2\nto = 2\nrate = 1000",   // self link
+      "rate = 5\nschedule = \"5\"",      // conflicting rate specs
+      "rate = 5\ntrace = \"x.trace\"",   // conflicting rate specs
+      "step_ms = 100",                   // step without a schedule
+      "step_ms = 0\nschedule = \"5\"",   // step out of range
+      "delay_ms = 999999\nrate = 5",     // delay out of range
+      "loss_ppm = 1000000\nrate = 5",    // loss must stay below 100%
+      "",                                // rule shapes nothing
+      "rate = 5\nrate = 5",              // duplicate key
+  };
+  for (const char* body : bad_links) {
+    const std::string text = preamble + "[[link]]\n" + body + "\n";
+    std::string err;
+    auto cfg = net::ClusterConfig::parse(text, &err);
+    EXPECT_FALSE(cfg.has_value()) << "accepted: " << body;
+    EXPECT_FALSE(err.empty()) << body;
+  }
+
+  // Unresolvable trace references fail at load()/resolve time, with the
+  // offending path named.
+  {
+    std::string err;
+    auto cfg = net::ClusterConfig::parse(
+        preamble + "[[link]]\ntrace = \"no_such_file.trace\"\n", &err);
+    ASSERT_TRUE(cfg.has_value()) << err;
+    EXPECT_FALSE(cfg->resolve_traces("/nonexistent_dir", &err));
+    EXPECT_NE(err.find("no_such_file.trace"), std::string::npos) << err;
+  }
 }
 
 }  // namespace

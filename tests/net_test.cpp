@@ -348,6 +348,113 @@ void run_four_node_cluster(int net_loops) {
 
 TEST(TcpCluster, FourNodeLedgerPrefixAgreement) { run_four_node_cluster(1); }
 
+// Wire-level adversary e2e, mirroring the sim adversary tests on real
+// sockets: node 3 is mute-but-connected (dials, Hellos, then every Data
+// frame dies at its wire) and node 2 is a slow-drip sender (all egress
+// paced through a crawl bucket). f=1 tolerates the mute node; the drip
+// node is honest-but-slow and must still commit. All live replicas agree
+// on the closed prefix.
+TEST(TcpCluster, MuteAndSlowDripNodesToleratedWithIdenticalPrefixes) {
+  constexpr int kN = 4;
+  constexpr int kMute = 3;
+  constexpr int kDrip = 2;
+  constexpr std::uint64_t kTargetEpochs = 8;
+
+  EventLoop loop;
+  const ClusterConfig cfg = loopback_cluster(kN);
+  std::vector<std::unique_ptr<TcpEnv>> envs;
+  for (int i = 0; i < kN; ++i) {
+    TcpEnv::Options opt;
+    if (i == kMute) {
+      opt.adversary = WireAdversary::Mute;
+    } else if (i == kDrip) {
+      opt.adversary = WireAdversary::SlowDrip;
+      opt.slow_drip_bytes_per_sec = 32'768;
+    }
+    envs.push_back(std::make_unique<TcpEnv>(loop, cfg, i, opt));
+  }
+  for (auto& env : envs) {
+    for (int j = 0; j < kN; ++j) {
+      env->set_peer_port(j, envs[static_cast<std::size_t>(j)]->listen_port());
+    }
+  }
+
+  struct Delivery {
+    std::uint64_t at_epoch;
+    std::uint64_t epoch;
+    int proposer;
+    std::uint64_t payload;
+    bool operator==(const Delivery&) const = default;
+  };
+  std::vector<std::unique_ptr<core::DlNode>> nodes;
+  std::vector<std::vector<Delivery>> logs(kN);
+  for (int i = 0; i < kN; ++i) {
+    core::NodeConfig nc = core::NodeConfig::dispersed_ledger(kN, 1, i);
+    nc.propose_delay = 0.003;
+    nc.backlog_tx_bytes = 64;
+    nc.max_block_bytes = 4096;
+    nodes.push_back(std::make_unique<core::DlNode>(nc, *envs[i]));
+    auto* log = &logs[static_cast<std::size_t>(i)];
+    nodes.back()->set_delivery_callback(
+        [log](std::uint64_t at, core::BlockKey key, const core::Block& b,
+              double) {
+          log->push_back({at, key.epoch, key.proposer, b.payload_bytes()});
+        });
+    envs[i]->start(*nodes.back());
+  }
+
+  bool timed_out = false;
+  std::function<void()> poll = [&] {
+    bool all_done = true;
+    for (int i = 0; i < kN; ++i) {
+      if (i == kMute) continue;  // may trail; the cluster closes without it
+      if (nodes[static_cast<std::size_t>(i)]->stats().delivered_epochs <
+          kTargetEpochs) {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      loop.stop();
+      return;
+    }
+    loop.after(0.01, poll);
+  };
+  loop.after(0.01, poll);
+  loop.after(30.0, [&] {
+    timed_out = true;
+    loop.stop();
+  });
+  loop.run();
+
+  ASSERT_FALSE(timed_out) << "cluster did not close " << kTargetEpochs
+                          << " epochs with mute+drip nodes";
+  auto prefix = [&](int i) {
+    std::vector<Delivery> out;
+    for (const Delivery& d : logs[static_cast<std::size_t>(i)]) {
+      if (d.at_epoch < kTargetEpochs) out.push_back(d);
+    }
+    return out;
+  };
+  const auto p0 = prefix(0);
+  EXPECT_GE(p0.size(), kTargetEpochs);
+  for (int i = 1; i < kN; ++i) {
+    if (i == kMute) continue;
+    EXPECT_EQ(prefix(i), p0) << "replica " << i << " diverged";
+  }
+  // "Mute-but-connected": everyone still sees node 3's live connection...
+  EXPECT_TRUE(envs[0]->peer_stats(kMute).connected);
+  // ...while node 3's wire killed every outbound Data frame,
+  EXPECT_GT(envs[kMute]->peer_stats(0).shaped_drops, 0u);
+  EXPECT_EQ(envs[kMute]->peer_stats(0).sent_frames, 1u);  // the Hello only
+  // and the drip node really was throttled by its bucket.
+  std::uint64_t drip_waits = 0;
+  for (int j = 0; j < kN; ++j) {
+    if (j == kDrip) continue;
+    drip_waits += envs[kDrip]->peer_stats(j).shaper_waits;
+  }
+  EXPECT_GT(drip_waits, 0u);
+}
+
 // Same cluster, but every replica splits its peer connections across two
 // transport loops (peer id % 2). Exercises cross-loop send/broadcast
 // batching, socket adoption onto owner loops, and receive-side batch
