@@ -45,6 +45,13 @@
 #                 (bench/traces format); installs a wildcard [[link]] rule
 #                 in the generated config, so one trace drives the whole
 #                 cluster exactly like the simulator benches consume it.
+#   -M            admin-scrape leg: every replica gets --admin-port (base +
+#                 2N + id), --stats-interval and --flight-recorder; the
+#                 script scrapes /metrics + /healthz mid-run, asserts the
+#                 exposition parses and the key series (epoch frontier,
+#                 peer bytes, shaper grants, mempool drops in -L mode) are
+#                 present and advancing, and saves each replica's /statusz
+#                 next to the logs (metrics_N.prom / statusz_N.json).
 #   -k            keep the work directory on success
 #
 # Port collisions: replicas exit 3 when they cannot bind; the script then
@@ -75,7 +82,8 @@ CRASH=0
 KEEP=0
 ADVERSARY=""
 TRACE=""
-while getopts "n:e:b:p:t:Lc:r:o:l:w:N:SF:KkA:B:" opt; do
+ADMIN=0
+while getopts "n:e:b:p:t:Lc:r:o:l:w:N:SF:KkA:B:M" opt; do
   case "$opt" in
     n) N="$OPTARG" ;;
     e) EPOCHS="$OPTARG" ;;
@@ -95,6 +103,7 @@ while getopts "n:e:b:p:t:Lc:r:o:l:w:N:SF:KkA:B:" opt; do
     k) KEEP=1 ;;
     A) ADVERSARY="$OPTARG" ;;
     B) TRACE="$OPTARG" ;;
+    M) ADMIN=1 ;;
     *) exit 2 ;;
   esac
 done
@@ -179,6 +188,10 @@ launch_replica() {
   if [ "$STORE" -eq 1 ]; then
     extra+=(--store "$WORK/store_$i" --fsync "$FSYNC" --catchup-ms 100)
   fi
+  if [ "$ADMIN" -eq 1 ]; then
+    extra+=(--admin-port $((admin_base + i)) --stats-interval 2 \
+            --flight-recorder "$WORK/flight_$i.json")
+  fi
   "$DLNODED" --config "$WORK/cluster.toml" --id "$i" \
     --ledger "$WORK/ledger_$i.log" --max-seconds "$WATCHDOG" \
     "${extra[@]}" >> "$WORK/node_$i.out" 2>&1 &
@@ -216,6 +229,7 @@ for attempt in 1 2 3 4 5; do
   fi
   base=$BASE_PORT
   [ "$base" -eq 0 ] && base=$((20000 + RANDOM % 20000))
+  admin_base=$((base + 2 * N))
   echo "run_local_cluster: n=$N mode=$([ "$LOADGEN" -eq 1 ] && echo loadgen || echo selfdrive)$([ "$CRASH" -eq 1 ] && echo +crash)$([ "$STORE" -eq 1 ] && echo " fsync=$FSYNC") base_port=$base attempt=$attempt work=$WORK"
   write_config "$base"
   rm -rf "$WORK"/store_*  # a collision retry must not look like a restart
@@ -230,6 +244,80 @@ if [ "$booted" -ne 1 ]; then
 fi
 
 fail=0
+
+# --- Admin-scrape leg (-M) ---------------------------------------------------
+# Fetches PATH from replica-local admin port $1 into $3; curl when present,
+# bash /dev/tcp otherwise (headers stripped).
+fetch_admin() {
+  local port="$1" path="$2" out="$3"
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf --max-time 5 "http://127.0.0.1:$port$path" > "$out"
+  else
+    exec 9<>"/dev/tcp/127.0.0.1/$port" || return 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&9
+    sed '1,/^\r\{0,1\}$/d' <&9 > "$out"
+    exec 9<&- 9>&-
+    [ -s "$out" ]
+  fi
+}
+
+# Every non-comment exposition line must be `name[{labels}] value`.
+check_exposition() {
+  awk '/^#/ {next}
+       !/^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9]/ {bad = 1; print; exit}
+       END {exit bad}' "$1"
+}
+
+frontier_of() {
+  awk '$1 == "dl_node_epoch_frontier" {print $2; found = 1} END {if (!found) print -1}' "$1"
+}
+
+# Scrapes replica $1 and checks liveness + key series presence.
+scrape_replica() {
+  local i="$1" port=$((admin_base + $1))
+  if ! fetch_admin "$port" /metrics "$WORK/metrics_$i.prom"; then
+    echo "run_local_cluster: cannot scrape replica $i on port $port" >&2
+    return 1
+  fi
+  fetch_admin "$port" /statusz "$WORK/statusz_$i.json" || return 1
+  fetch_admin "$port" /healthz "$WORK/healthz_$i.txt" || return 1
+  grep -q '^ok' "$WORK/healthz_$i.txt" || {
+    echo "run_local_cluster: replica $i /healthz not ok" >&2; return 1; }
+  check_exposition "$WORK/metrics_$i.prom" || {
+    echo "run_local_cluster: replica $i /metrics does not parse" >&2; return 1; }
+  local series
+  for series in dl_node_epoch_frontier 'dl_peer_sent_bytes_total{peer="' \
+                dl_shaper_granted_bytes_total dl_loop_polls_total; do
+    grep -qF "$series" "$WORK/metrics_$i.prom" || {
+      echo "run_local_cluster: replica $i missing series $series" >&2
+      return 1; }
+  done
+  if [ "$LOADGEN" -eq 1 ]; then
+    grep -qF 'dl_mempool_dropped_total{cause="' "$WORK/metrics_$i.prom" || {
+      echo "run_local_cluster: replica $i missing mempool drop series" >&2
+      return 1; }
+  fi
+}
+
+if [ "$ADMIN" -eq 1 ] && [ "$LOADGEN" -eq 0 ]; then
+  # Mid-run scrape: sample replica 0 twice and require the epoch frontier
+  # to advance between the samples, then scrape every honest replica once.
+  # No extra settling sleep — short selfdrive runs finish within seconds
+  # and the scrape must land while the replicas are still up.
+  fetch_admin "$admin_base" /metrics "$WORK/metrics_early.prom" || fail=1
+  early=$(frontier_of "$WORK/metrics_early.prom" 2>/dev/null || echo -1)
+  sleep 0.5
+  for ((i = 0; i < HONEST; i++)); do
+    scrape_replica "$i" || fail=1
+  done
+  late=$(frontier_of "$WORK/metrics_0.prom" 2>/dev/null || echo -1)
+  if [ "$fail" -eq 0 ] && { [ "$early" -lt 0 ] || [ "$late" -le "$early" ]; }; then
+    echo "run_local_cluster: epoch frontier not advancing ($early -> $late)" >&2
+    fail=1
+  fi
+  [ "$fail" -eq 0 ] && echo "run_local_cluster: admin scrape ok" \
+    "(frontier $early -> $late across $HONEST replicas)"
+fi
 
 if [ "$CRASH" -eq 1 ]; then
   # SIGKILL one replica mid-run, restart it against the same store, and let
@@ -280,13 +368,29 @@ if [ "$LOADGEN" -eq 1 ]; then
   lg_rc=0
   "$DLLOADGEN" --config "$WORK/cluster.toml" --connections $((2 * N)) \
     --count "$TXCOUNT" --rate-bytes "$RATE" --tx-bytes 200 \
-    --out "$WORK" --max-seconds "$WATCHDOG" \
+    --out "$WORK" --max-seconds "$WATCHDOG" --progress 2 \
     > "$WORK/loadgen.out" 2>&1 || lg_rc=$?
   tail -3 "$WORK/loadgen.out"
   if [ "$lg_rc" -ne 0 ]; then
     echo "run_local_cluster: dl_loadgen FAILED (rc=$lg_rc):" >&2
     tail -10 "$WORK/loadgen.out" >&2
     fail=1
+  fi
+  # Post-load scrape, while the replicas are still up: everything committed
+  # by now, so the key series must be present and non-zero.
+  if [ "$ADMIN" -eq 1 ]; then
+    for ((i = 0; i < N; i++)); do
+      scrape_replica "$i" || fail=1
+    done
+    if [ "$fail" -eq 0 ]; then
+      front=$(frontier_of "$WORK/metrics_0.prom")
+      if [ "$front" -le 0 ]; then
+        echo "run_local_cluster: epoch frontier still $front after load" >&2
+        fail=1
+      else
+        echo "run_local_cluster: admin scrape ok (frontier $front after load)"
+      fi
+    fi
   fi
   # Graceful shutdown; replicas must exit 0 (flushing their ledgers).
   for p in "${pids[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
@@ -375,6 +479,17 @@ if [ "$CRASH" -eq 1 ] && [ "$fail" -eq 0 ]; then
     echo "run_local_cluster: crash recovery verified — replica $victim kept" \
          "$pre pre-crash lines and caught up to the cluster"
   fi
+fi
+
+# Admin leg: every honest replica must have dumped a chrome-trace flight
+# recorder file at exit.
+if [ "$ADMIN" -eq 1 ] && [ "$fail" -eq 0 ]; then
+  for ((i = 0; i < HONEST; i++)); do
+    if ! grep -q '"traceEvents"' "$WORK/flight_$i.json" 2>/dev/null; then
+      echo "run_local_cluster: replica $i flight recorder dump missing/invalid" >&2
+      fail=1
+    fi
+  done
 fi
 
 # Loadgen mode: the perf artifact must exist with non-empty percentiles.

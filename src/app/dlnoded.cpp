@@ -54,6 +54,10 @@
 #include "dl/block.hpp"
 #include "dl/node.hpp"
 #include "net/tcp_env.hpp"
+#include "obs/admin.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
 #include "runtime/worker_pool.hpp"
 #include "storage/ledger_store.hpp"
 
@@ -80,6 +84,9 @@ struct Flags {
   int workers = 0;    // coding worker pool threads (0: inline)
   int net_loops = 1;  // replica transport loops (>= 2: own threads)
   std::string adversary;  // deviation spec; empty = honest
+  int admin_port = -1;     // <0 = no admin endpoint; 0 = ephemeral port
+  double stats_interval = 0;  // seconds; 0 = no periodic delta line
+  std::string flight_path;    // chrome-trace dump at exit; empty = off
 };
 
 void usage(const char* argv0) {
@@ -114,6 +121,11 @@ void usage(const char* argv0) {
       "                         mute (connected, all Data frames dropped),\n"
       "                         slowdrip[@RATE] (egress crawls at RATE B/s, default 4096),\n"
       "                         equivocate (inconsistent blocks), v-liar (inflated V)\n"
+      "  --admin-port P         serve GET /metrics /statusz /healthz /tracez on\n"
+      "                         127.0.0.1:P (0 = ephemeral, logged at startup)\n"
+      "  --stats-interval S     log a one-line activity delta every S seconds\n"
+      "  --flight-recorder FILE dump the protocol flight recorder as\n"
+      "                         chrome-trace JSON to FILE at exit\n"
       "  --linger-seconds S     keep serving after target before exit (default 3)\n"
       "  --max-seconds S        watchdog: exit 1 if not done by then (default 120)\n"
       "  --quiet                suppress progress output\n",
@@ -153,6 +165,12 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       f.net_loops = std::atoi(v);
     } else if (a == "--adversary" && (v = next())) {
       f.adversary = v;
+    } else if (a == "--admin-port" && (v = next())) {
+      f.admin_port = std::atoi(v);
+    } else if (a == "--stats-interval" && (v = next())) {
+      f.stats_interval = std::atof(v);
+    } else if (a == "--flight-recorder" && (v = next())) {
+      f.flight_path = v;
     } else if (a == "--ledger" && (v = next())) {
       f.ledger_path = v;
     } else if (a == "--store" && (v = next())) {
@@ -173,7 +191,7 @@ bool parse_flags(int argc, char** argv, Flags& f) {
     }
   }
   if (f.config.empty() || f.id < 0 || f.loops < 1 || f.workers < 0 ||
-      f.net_loops < 1 ||
+      f.net_loops < 1 || f.admin_port > 65535 || f.stats_interval < 0 ||
       !dl::storage::parse_fsync_policy(f.fsync).has_value()) {
     usage(argv[0]);
     return false;
@@ -265,14 +283,16 @@ int main(int argc, char** argv) {
 
   const net::NodeAddr& me = cluster->nodes[static_cast<std::size_t>(flags.id)];
 
-  // Block SIGINT/SIGTERM before ANY thread exists (worker pool, ingress
-  // shards): spawned threads inherit the mask, so a signal can only ever be
-  // consumed through the signalfd below — never delivered to a pool thread
-  // where the default disposition would kill the process mid-ledger-line.
+  // Block SIGINT/SIGTERM/SIGUSR1 before ANY thread exists (worker pool,
+  // ingress shards): spawned threads inherit the mask, so a signal can only
+  // ever be consumed through the signalfd below — never delivered to a pool
+  // thread where the default disposition would kill the process
+  // mid-ledger-line. SIGUSR1 asks for a metrics snapshot, not shutdown.
   sigset_t sigmask;
   sigemptyset(&sigmask);
   sigaddset(&sigmask, SIGINT);
   sigaddset(&sigmask, SIGTERM);
+  sigaddset(&sigmask, SIGUSR1);
   sigprocmask(SIG_BLOCK, &sigmask, nullptr);
 
   net::EventLoop loop;
@@ -286,6 +306,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<runtime::WorkerPool> pool;
   std::unique_ptr<client::Gateway> gateway;      // --loops 1
   std::unique_ptr<client::IngressShards> shards; // --loops >= 2
+  // Observability plane. The registry outlives the admin server and the
+  // exporter; the exporter's sample hook dereferences node/env/store, all of
+  // which are destroyed after these (declared above).
+  obs::Registry registry;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::NodeExporter> exporter;
+  std::unique_ptr<obs::AdminServer> admin;
   try {
     net::TcpEnv::Options eopt;
     eopt.net_loops = flags.net_loops;
@@ -333,6 +360,43 @@ int main(int argc, char** argv) {
       } else {
         gateway = std::make_unique<client::Gateway>(loop, *node, me.host,
                                                     me.client_port, gopt);
+      }
+    }
+
+    // Observability: the flight recorder is live whenever anyone could ask
+    // for it (/tracez or the exit dump); the exporter + histograms only when
+    // some consumer exists (metric mirroring and task timing are skipped
+    // entirely otherwise).
+    if (flags.admin_port >= 0 || !flags.flight_path.empty()) {
+      flight = std::make_unique<obs::FlightRecorder>();
+      node->set_flight_recorder(flight.get());
+    }
+    if (flags.admin_port >= 0 || flags.stats_interval > 0) {
+      obs::ExporterSources es;
+      es.node = node.get();
+      es.env = env.get();
+      es.home_loop = &loop;
+      es.shards = shards.get();
+      es.gateway = gateway.get();
+      es.store = store.get();
+      exporter = std::make_unique<obs::NodeExporter>(registry, es);
+      loop.set_task_histogram(registry.histogram(
+          "dl_loop_task_us", "task/timer run latency in microseconds",
+          "loop=\"home\""));
+      if (store != nullptr) {
+        store->set_drain_histogram(registry.histogram(
+            "dl_store_drain_us", "drain_io latency in microseconds"));
+      }
+    }
+    if (flags.admin_port >= 0) {
+      obs::AdminServer::Options aopt;
+      aopt.port = static_cast<std::uint16_t>(flags.admin_port);
+      aopt.pid = flags.id;
+      admin = std::make_unique<obs::AdminServer>(loop, registry, aopt);
+      if (flight != nullptr) admin->set_flight_recorder(flight.get());
+      if (!flags.quiet) {
+        std::fprintf(stderr, "dlnoded[%d]: admin endpoint on 127.0.0.1:%u\n",
+                     flags.id, admin->bound_port());
       }
     }
 
@@ -450,10 +514,19 @@ int main(int argc, char** argv) {
   }
   if (sfd >= 0) {
     loop.add_fd(sfd, EPOLLIN, [&](std::uint32_t) {
+      bool shutdown_sig = false;
       signalfd_siginfo si;
       while (read(sfd, &si, sizeof si) == sizeof si) {
+        if (si.ssi_signo == SIGUSR1) {
+          // Operator asked for a snapshot: dump the full exposition to
+          // stderr and keep running. We are on the home loop, so the
+          // registry sample hooks may read home-loop-affine state.
+          std::fprintf(stderr, "%s", registry.prometheus_text().c_str());
+        } else {
+          shutdown_sig = true;
+        }
       }
-      if (signalled) return;
+      if (!shutdown_sig || signalled) return;
       signalled = true;
       if (!flags.quiet) {
         std::fprintf(stderr, "dlnoded[%d]: signal: graceful shutdown\n",
@@ -464,6 +537,19 @@ int main(int argc, char** argv) {
       if (ledger != nullptr) std::fflush(ledger);
       loop.stop();
     });
+  }
+
+  // Periodic one-line activity delta (epochs, tx/s, submit/admit rates,
+  // wire byte rates, fsync rate) — cheap enough to leave on in production.
+  std::function<void()> stats_tick = [&] {
+    std::fprintf(stderr, "dlnoded[%d]: %s\n", flags.id,
+                 exporter->delta_line(env->now()).c_str());
+    env->after(flags.stats_interval, stats_tick);
+  };
+  if (flags.stats_interval > 0 && exporter != nullptr) {
+    // Seed the delta base now so the first printed line covers one interval.
+    exporter->delta_line(env->now());
+    env->after(flags.stats_interval, stats_tick);
   }
 
   // Watchdog.
@@ -499,6 +585,18 @@ int main(int argc, char** argv) {
   // then the stats below have already been printed).
   if (store != nullptr) store->sync();
   if (ledger != nullptr) std::fclose(ledger);
+  if (flight != nullptr && !flags.flight_path.empty()) {
+    if (!flight->dump_to_file(flags.flight_path, flags.id)) {
+      std::fprintf(stderr, "dlnoded[%d]: cannot write flight recorder to %s\n",
+                   flags.id, flags.flight_path.c_str());
+    } else if (!flags.quiet) {
+      std::fprintf(stderr,
+                   "dlnoded[%d]: flight recorder: %" PRIu64 " events (%" PRIu64
+                   " dropped) -> %s\n",
+                   flags.id, flight->total_recorded(), flight->dropped(),
+                   flags.flight_path.c_str());
+    }
+  }
   const auto& st = node->stats();
   if (!flags.quiet) {
     std::fprintf(stderr,

@@ -39,6 +39,7 @@
 #include "metrics/metrics.hpp"
 #include "net/cluster_config.hpp"
 #include "net/event_loop.hpp"
+#include "obs/statline.hpp"
 #include "runner/report.hpp"
 #include "workload/txgen.hpp"
 
@@ -55,6 +56,7 @@ struct Flags {
   std::string out_dir;              // default: $DL_BENCH_OUT or "."
   std::string name = "loadgen";
   double max_seconds = 120;
+  double progress = 0;  // seconds; 0 = no periodic progress line
   bool quiet = false;
 };
 
@@ -72,6 +74,7 @@ void usage(const char* argv0) {
       "  --name NAME          bench name for BENCH_<NAME>.json/csv (default loadgen)\n"
       "  --out DIR            where result files land (default $DL_BENCH_OUT or .)\n"
       "  --max-seconds S      watchdog: exit 1 if not drained by then (default 120)\n"
+      "  --progress S         log in-flight/committed/latency every S seconds\n"
       "  --quiet              suppress progress output\n",
       argv0);
 }
@@ -103,6 +106,8 @@ bool parse_flags(int argc, char** argv, Flags& f) {
       f.out_dir = v;
     } else if (a == "--max-seconds" && (v = next())) {
       f.max_seconds = std::atof(v);
+    } else if (a == "--progress" && (v = next())) {
+      f.progress = std::atof(v);
     } else if (a == "--quiet") {
       f.quiet = true;
     } else {
@@ -278,6 +283,29 @@ int main(int argc, char** argv) {
     loop.after(0.02, poll);
   };
   loop.after(0.02, poll);
+
+  // Periodic progress line (same k=v delta format as dlnoded
+  // --stats-interval, see obs/statline.hpp).
+  std::uint64_t prog_submitted = 0, prog_committed = 0;
+  double prog_at = loop.now();
+  std::function<void()> progress = [&] {
+    const double now = loop.now();
+    const double dt = now - prog_at;
+    obs::StatLine line;
+    line.f("t", now - t0)
+        .kv("inflight", submit_times.size())
+        .kv("committed", total_committed)
+        .rate("submit", total_submitted - prog_submitted, dt)
+        .rate("commit", total_committed - prog_committed, dt);
+    if (!latency.empty()) line.ms("ack_p50", latency.quantile(0.5) * 1e3);
+    std::fprintf(stderr, "dl_loadgen: %s\n", line.str().c_str());
+    prog_submitted = total_submitted;
+    prog_committed = total_committed;
+    prog_at = now;
+    loop.after(flags.progress, progress);
+  };
+  if (flags.progress > 0) loop.after(flags.progress, progress);
+
   bool timed_out = false;
   loop.after(flags.max_seconds, [&] {
     timed_out = true;

@@ -111,10 +111,8 @@ void IngressShards::seed_committed(const Hash& h, std::uint64_t epoch,
 }
 
 Gateway::Stats IngressShards::aggregate_stats() const {
-  // The per-shard counters are plain fields owned by the shard threads;
-  // reading them while those threads run is a C++ data race, not a benign
-  // stale read. Only legal before start() or after shutdown() has joined.
-  assert(!started_ || shut_down_);
+  // Per-shard counters are relaxed atomics: this is a live per-field
+  // snapshot, callable from any thread while the shards run.
   Gateway::Stats total;
   for (const Shard& s : shards_) {
     const Gateway::Stats& st = s.gateway->stats();
@@ -130,7 +128,6 @@ Gateway::Stats IngressShards::aggregate_stats() const {
 }
 
 MempoolStats IngressShards::aggregate_mempool_stats() const {
-  assert(!started_ || shut_down_);  // see aggregate_stats()
   MempoolStats total;
   for (const Shard& s : shards_) {
     const MempoolStats& st = s.gateway->mempool().stats();

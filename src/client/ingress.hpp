@@ -27,12 +27,12 @@
 // unknown seqs. Single-shard deployments keep ledger-level dedup exactly
 // as before.
 //
-// Thread affinity: construct, start(), on_block_delivered(), shutdown() and
-// the aggregate accessors all belong to the node loop's thread. The
-// aggregate accessors are additionally restricted (asserted) to before
-// start() or after shutdown(): the underlying counters are plain fields
-// mutated on the shard threads, so reading them mid-run would be a data
-// race, not merely a stale read. After shutdown() they are exact.
+// Thread affinity: construct, start(), on_block_delivered() and shutdown()
+// belong to the node loop's thread. The aggregate accessors are callable
+// from any thread at any time: the underlying counters are relaxed atomics
+// (obs::RelaxedU64), so a mid-run read is merely a point-in-time snapshot —
+// the admin /metrics endpoint scrapes them live. After shutdown() they are
+// exact.
 #pragma once
 
 #include <cstdint>
@@ -84,10 +84,14 @@ class IngressShards {
   void seed_committed(const Hash& h, std::uint64_t epoch,
                       std::uint32_t proposer);
 
-  // Exact totals across shards. Only callable before start() or after
-  // shutdown() (shard threads joined) — asserted, see the header comment.
+  // Totals across shards. Thread-safe and live: per-field relaxed snapshots
+  // while the shard threads run, exact once shutdown() has joined them.
   Gateway::Stats aggregate_stats() const;
   MempoolStats aggregate_mempool_stats() const;
+
+  // Shard loop, for live EventLoop::stats() scraping (the stats cells are
+  // thread-safe; the loop set is fixed at construction).
+  const net::EventLoop& shard_loop(int i) const { return *shards_[i].loop; }
 
  private:
   struct Shard {

@@ -43,6 +43,8 @@ AdmitResult Mempool::admit(Bytes payload, double now,
   e.payload = std::move(payload);
   fifo_.push_back(h);
   tracked_.emplace(h, std::move(e));
+  ++pending_txs_;
+  ++tracked_txs_;
   return AdmitResult::Admitted;
 }
 
@@ -50,6 +52,7 @@ std::optional<Bytes> Mempool::pop() {
   if (fifo_.empty()) return std::nullopt;
   const Hash h = fifo_.front();
   fifo_.pop_front();
+  --pending_txs_;
   Entry& e = tracked_.at(h);
   e.popped = true;
   pending_bytes_ -= e.payload.size();
@@ -72,6 +75,7 @@ std::optional<CommitRecord> Mempool::match_commit(const Hash& h,
     for (auto f = fifo_.begin(); f != fifo_.end(); ++f) {
       if (*f == h) {
         fifo_.erase(f);
+        --pending_txs_;
         break;
       }
     }
@@ -85,6 +89,7 @@ std::optional<CommitRecord> Mempool::match_commit(const Hash& h,
   const double lat = now - it->second.submit_time;
   rec.latency_us = lat > 0 ? static_cast<std::uint64_t>(lat * 1e6) : 0;
   tracked_.erase(it);
+  --tracked_txs_;
   ++stats_.committed;
   remember_committed(h, rec);
   return rec;

@@ -21,6 +21,9 @@
 //                    instead of being committed twice.
 //
 // Single-threaded like everything else on the node's EventLoop; no locks.
+// The stats and depth counters are relaxed atomics (obs::RelaxedU64) so the
+// admin/metrics plane can read them live from another thread; all mutation
+// still happens on the owning loop.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,7 @@
 
 #include "common/bytes.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/relaxed.hpp"
 
 namespace dl::client {
 
@@ -52,16 +56,18 @@ struct MempoolOptions {
   std::size_t committed_ring = 1u << 16;
 };
 
+// Relaxed-atomic cells: written on the owning loop, readable live from the
+// metrics plane (a copied struct is a per-field snapshot — see relaxed.hpp).
 struct MempoolStats {
-  std::uint64_t admitted = 0;
-  std::uint64_t admitted_bytes = 0;
-  std::uint64_t dropped_duplicate = 0;
-  std::uint64_t dropped_full = 0;
-  std::uint64_t dropped_full_bytes = 0;
-  std::uint64_t dropped_oversize = 0;
-  std::uint64_t committed = 0;  // matched to a delivered block
-  std::uint64_t committed_replays = 0;
-  std::uint64_t seeded = 0;  // ring entries restored from the ledger store
+  obs::RelaxedU64 admitted;
+  obs::RelaxedU64 admitted_bytes;
+  obs::RelaxedU64 dropped_duplicate;
+  obs::RelaxedU64 dropped_full;
+  obs::RelaxedU64 dropped_full_bytes;
+  obs::RelaxedU64 dropped_oversize;
+  obs::RelaxedU64 committed;  // matched to a delivered block
+  obs::RelaxedU64 committed_replays;
+  obs::RelaxedU64 seeded;  // ring entries restored from the ledger store
 };
 
 // Everything the gateway needs to notify the submitting client of a
@@ -113,9 +119,11 @@ class Mempool {
   void seed_committed(const Hash& h, std::uint64_t epoch,
                       std::uint32_t proposer);
 
-  std::size_t pending_txs() const { return fifo_.size(); }
-  std::size_t pending_bytes() const { return pending_bytes_; }
-  std::size_t tracked_txs() const { return tracked_.size(); }
+  // Depth gauges mirror fifo_/tracked_ through relaxed atomics so they are
+  // readable from off-loop scrapers while the shard keeps running.
+  std::size_t pending_txs() const { return pending_txs_.load(); }
+  std::size_t pending_bytes() const { return pending_bytes_.load(); }
+  std::size_t tracked_txs() const { return tracked_txs_.load(); }
   const MempoolStats& stats() const { return stats_; }
   const MempoolOptions& options() const { return opt_; }
 
@@ -133,7 +141,9 @@ class Mempool {
   MempoolOptions opt_;
   std::deque<Hash> fifo_;  // pending order (hashes into tracked_)
   std::unordered_map<Hash, Entry, HashHasher> tracked_;
-  std::size_t pending_bytes_ = 0;
+  obs::RelaxedU64 pending_txs_;   // == fifo_.size()
+  obs::RelaxedU64 pending_bytes_;
+  obs::RelaxedU64 tracked_txs_;   // == tracked_.size()
   // Bounded ring of recently committed hashes + their commit records.
   std::unordered_map<Hash, CommitRecord, HashHasher> committed_;
   std::vector<Hash> committed_order_;  // ring buffer of keys

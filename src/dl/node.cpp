@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/serial.hpp"
+#include "obs/flight_recorder.hpp"
 #include "storage/ledger_store.hpp"
 
 namespace dl::core {
@@ -135,6 +136,18 @@ void DlNode::flush(Outbox&& out, std::uint64_t epoch, std::uint32_t instance) {
   for (OutMsg& om : out) {
     om.env.epoch = epoch;
     om.env.instance = instance;
+    // Every outbound protocol message funnels through here; tally the wire
+    // counters centrally (one broadcast = one message per destination).
+    const std::uint64_t fanout =
+        om.to == OutMsg::kAll ? static_cast<std::uint64_t>(cfg_.n) : 1;
+    if (om.env.kind == MsgKind::VidChunk || om.env.kind == MsgKind::FpChunk) {
+      stats_.vid_chunks_sent += fanout;
+    } else if (om.env.kind == MsgKind::VidReturnChunk ||
+               om.env.kind == MsgKind::FpReturnChunk) {
+      stats_.return_chunks_sent += fanout;
+    } else if (is_ba_kind(om.env.kind)) {
+      stats_.ba_msgs_sent += fanout;
+    }
     if (om.to == OutMsg::kAll) {
       // Broadcast: one shared buffer to every node (including self). The
       // opts are computed before the move steals om.env's body.
@@ -257,6 +270,10 @@ void DlNode::propose_now() {
   }
   ++stats_.proposed_blocks;
   stats_.current_dispersal_epoch = propose_epoch_;
+  if (flight_ != nullptr) {
+    flight_->record(last_propose_time_, obs::FlightRecorder::Ev::kPropose, e,
+                    static_cast<std::uint32_t>(cfg_.self));
+  }
 
   if (cfg_.byz_inconsistent_blocks) {
     // Disperse chunks that are NOT a Reed-Solomon codeword (valid Merkle
@@ -318,6 +335,23 @@ void DlNode::on_receive(int from, ByteView bytes) {
   if (env.epoch > propose_epoch_ + kMaxEpochSkew &&
       env.epoch > deliver_next_ + kMaxEpochSkew) {
     return;  // absurd epoch (memory-exhaustion defense)
+  }
+
+  if (env.kind == MsgKind::VidChunk) {
+    ++stats_.vid_chunks_received;
+    if (flight_ != nullptr) {
+      flight_->record(env_.now(), obs::FlightRecorder::Ev::kVidChunkRx,
+                      env.epoch, env.instance,
+                      static_cast<std::uint64_t>(from));
+    }
+  } else if (env.kind == MsgKind::VidReturnChunk) {
+    ++stats_.return_chunks_received;
+  } else if (is_ba_kind(env.kind)) {
+    ++stats_.ba_msgs_received;
+  } else if (env.kind == MsgKind::CatchUpRequest ||
+             env.kind == MsgKind::CatchUpChunk ||
+             env.kind == MsgKind::CatchUpDone) {
+    ++stats_.catch_up_msgs_received;
   }
 
   if (env.kind == MsgKind::VidReturnChunk) {
@@ -404,6 +438,10 @@ void DlNode::after_vid_activity(std::uint64_t e, int instance) {
 }
 
 void DlNode::note_vid_complete(std::uint64_t e, int instance) {
+  if (flight_ != nullptr) {
+    flight_->record(env_.now(), obs::FlightRecorder::Ev::kVidComplete, e,
+                    static_cast<std::uint32_t>(instance));
+  }
   if (instance == cfg_.self) {
     auto it = own_stages_.find(e);
     if (it != own_stages_.end() && it->second.vid_done == 0) {
@@ -454,6 +492,7 @@ void DlNode::maybe_vote(std::uint64_t e, int instance) {
 
 void DlNode::after_ba_activity(std::uint64_t e) {
   DLEpoch& st = epoch_state(e);
+  const int decided_before = st.decided_count();
   if (!st.refresh_ba_outputs()) return;
 
   if (st.one_count() >= cfg_.n - cfg_.f && e >= vote_floor_) {
@@ -468,6 +507,21 @@ void DlNode::after_ba_activity(std::uint64_t e) {
       flush(std::move(out), e, static_cast<std::uint32_t>(i));
     }
     st.refresh_ba_outputs();
+  }
+
+  // decided_count_ is cached state bumped only by refresh_ba_outputs(), so
+  // the delta across this call is exactly the BA instances decided here.
+  const int newly_decided = st.decided_count() - decided_before;
+  if (newly_decided > 0) {
+    stats_.ba_decisions += static_cast<std::uint64_t>(newly_decided);
+    if (flight_ != nullptr) {
+      flight_->record(env_.now(), obs::FlightRecorder::Ev::kBaDecide, e, 0,
+                      static_cast<std::uint64_t>(st.decided_count()));
+    }
+  }
+  if (flight_ != nullptr && st.all_ba_output()) {
+    flight_->record(env_.now(), obs::FlightRecorder::Ev::kEpochClosed, e, 0,
+                    static_cast<std::uint64_t>(st.one_count()));
   }
 
   if (!st.all_ba_output()) return;
@@ -609,6 +663,10 @@ void DlNode::try_deliver() {
     st.linked_blocks.clear();
     st.delivered = true;
     ++stats_.delivered_epochs;
+    if (flight_ != nullptr) {
+      flight_->record(env_.now(), obs::FlightRecorder::Ev::kDeliver, e, 0,
+                      static_cast<std::uint64_t>(st.commit_set().size()));
+    }
     ++deliver_next_;
     if (store_ != nullptr) store_->append_epoch_done(e);
     delivered_any = true;
@@ -744,6 +802,10 @@ void DlNode::start_catch_up_round() {
   round_.active = true;
   round_.from = deliver_next_;
   ++stats_.catch_up_rounds;
+  if (flight_ != nullptr) {
+    flight_->record(env_.now(), obs::FlightRecorder::Ev::kCatchUpRound,
+                    round_.from);
+  }
 
   Envelope env;
   env.kind = MsgKind::CatchUpRequest;
@@ -998,6 +1060,10 @@ void DlNode::try_install_catch_up() {
 
 void DlNode::install_catch_up_block(std::uint64_t at_epoch, BlockKey key,
                                     const Bytes& content) {
+  if (flight_ != nullptr) {
+    flight_->record(env_.now(), obs::FlightRecorder::Ev::kCatchUpInstall,
+                    key.epoch, static_cast<std::uint32_t>(key.proposer));
+  }
   delivered_.insert(key);
   const bool bad = equal(content, bytes_of(vid::kBadUploader));
 

@@ -36,6 +36,10 @@ namespace dl::storage {
 class LedgerStore;
 }  // namespace dl::storage
 
+namespace dl::obs {
+class FlightRecorder;
+}  // namespace dl::obs
+
 namespace dl::core {
 
 struct NodeConfig {
@@ -104,6 +108,16 @@ struct NodeStats {
   std::uint64_t caught_up_epochs = 0;     // installed via coded catch-up
   std::uint64_t caught_up_blocks = 0;
   std::uint64_t catch_up_rounds = 0;
+  // Wire-level protocol counters (tallied centrally in flush()/on_receive();
+  // a broadcast counts once per destination node).
+  std::uint64_t vid_chunks_sent = 0;      // VidChunk / FpChunk out
+  std::uint64_t vid_chunks_received = 0;
+  std::uint64_t return_chunks_sent = 0;   // retrieval VidReturnChunk out
+  std::uint64_t return_chunks_received = 0;
+  std::uint64_t ba_msgs_sent = 0;
+  std::uint64_t ba_msgs_received = 0;
+  std::uint64_t ba_decisions = 0;         // BA instances decided locally
+  std::uint64_t catch_up_msgs_received = 0;
 };
 
 // Pipeline checkpoints of one own-proposal, in home-loop seconds (0 = not
@@ -141,6 +155,12 @@ class DlNode : public runtime::Receiver {
 
   const NodeStats& stats() const { return stats_; }
   const NodeConfig& config() const { return cfg_; }
+
+  // Optional protocol flight recorder: coarse milestones (propose, chunk
+  // rx, BA decide, deliver, catch-up) stamped with env_.now(), so the same
+  // hooks trace identically on the simulator (virtual time) and the real
+  // runtime. Null (the default) records nothing. Set during startup wiring.
+  void set_flight_recorder(obs::FlightRecorder* fr) { flight_ = fr; }
   // Live backlog of submitted-but-not-yet-proposed transactions (wire
   // bytes). The client gateway uses this as its pump watermark so the
   // mempool, not this unbounded queue, absorbs ingress bursts. Thread-safe
@@ -252,6 +272,7 @@ class DlNode : public runtime::Receiver {
 
   DeliveryFn on_deliver_;
   NodeStats stats_;
+  obs::FlightRecorder* flight_ = nullptr;
   Hash fingerprint_{};
 
   // --- durability + catch-up state --------------------------------------

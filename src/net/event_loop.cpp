@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace dl::net {
 
 namespace {
@@ -98,6 +100,7 @@ void EventLoop::wake() {
   // Best effort: EAGAIN means the counter is already nonzero (wakeup
   // pending), which is all we need.
   [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof one);
+  stats_.wakes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EventLoop::stop() {
@@ -145,7 +148,15 @@ void EventLoop::run_due_timers() {
     if (it == timers_.end()) continue;  // cancelled tombstone
     auto fn = std::move(it->second);
     timers_.erase(it);
-    fn();
+    stats_.timers.fetch_add(1, std::memory_order_relaxed);
+    if (task_hist_ != nullptr) {
+      const double start = monotonic_seconds();
+      fn();
+      task_hist_->observe(
+          static_cast<std::uint64_t>((monotonic_seconds() - start) * 1e6));
+    } else {
+      fn();
+    }
   }
 }
 
@@ -175,7 +186,18 @@ void EventLoop::drain_posted() {
   // iteration (bounded by a tail snapshot), so tasks posted by these tasks
   // run on the next spin and a self-posting task cannot starve the loop.
   wake_pending_.exchange(false, std::memory_order_seq_cst);
-  mailbox_.consume();
+  const bool timed = task_hist_ != nullptr;
+  const double start = timed ? monotonic_seconds() : 0.0;
+  const std::size_t ran = mailbox_.consume();
+  if (ran > 0) {
+    stats_.drains.fetch_add(1, std::memory_order_relaxed);
+    stats_.tasks.fetch_add(ran, std::memory_order_relaxed);
+    stats_.last_drain_tasks.store(ran, std::memory_order_relaxed);
+    if (timed) {
+      task_hist_->observe(
+          static_cast<std::uint64_t>((monotonic_seconds() - start) * 1e6));
+    }
+  }
 }
 
 void EventLoop::run() {
@@ -195,6 +217,7 @@ void EventLoop::run() {
     // timerfd, or the cross-thread eventfd fires.
     const int timeout = posted_empty() ? -1 : 0;
     const int nev = epoll_wait(ep_, evs, 64, timeout);
+    stats_.polls.fetch_add(1, std::memory_order_relaxed);
     if (nev < 0) {
       if (errno == EINTR) continue;
       loop_thread_.store(std::thread::id(), std::memory_order_release);
@@ -223,7 +246,14 @@ void EventLoop::run() {
       if (it == fds_.end() || it->second.gen != gen) continue;
       // Copy: the handler may del_fd itself (closing a connection).
       FdHandler h = it->second.handler;
-      h(evs[i].events);
+      if (task_hist_ != nullptr) {
+        const double start = monotonic_seconds();
+        h(evs[i].events);
+        task_hist_->observe(
+            static_cast<std::uint64_t>((monotonic_seconds() - start) * 1e6));
+      } else {
+        h(evs[i].events);
+      }
     }
   }
   // Consume the stop request: the loop is re-runnable once run() returns.

@@ -48,6 +48,10 @@
 
 #include "net/mpsc_queue.hpp"
 
+namespace dl::obs {
+class Histogram;
+}  // namespace dl::obs
+
 namespace dl::net {
 
 class EventLoop {
@@ -116,6 +120,27 @@ class EventLoop {
     return loop_thread_.load(std::memory_order_acquire) == std::this_thread::get_id();
   }
 
+  // Always-on loop health counters, readable live from any thread (relaxed
+  // atomics). Everything except `wakes` is written only by the loop thread;
+  // `wakes` counts eventfd kick syscalls from posting threads. None of this
+  // touches the post() fast path — the BENCH_micro_loop CI gate stands.
+  struct LoopStats {
+    std::atomic<std::uint64_t> polls{0};   // epoll_wait returns
+    std::atomic<std::uint64_t> wakes{0};   // eventfd write syscalls
+    std::atomic<std::uint64_t> drains{0};  // mailbox drain passes with work
+    std::atomic<std::uint64_t> tasks{0};   // posted tasks executed
+    std::atomic<std::uint64_t> timers{0};  // timer callbacks fired
+    // Tasks consumed by the most recent drain pass: a live proxy for
+    // mailbox depth (the MPSC queue itself is unbounded and uncounted).
+    std::atomic<std::uint64_t> last_drain_tasks{0};
+  };
+  const LoopStats& stats() const { return stats_; }
+
+  // Optional callback-latency histogram (microseconds per fd handler /
+  // timer callback / drain pass). Loop-affine: set before run() starts.
+  // Null (the default) keeps the timing clock reads off entirely.
+  void set_task_histogram(obs::Histogram* h) { task_hist_ = h; }
+
  private:
   void arm_timerfd();
   void run_due_timers();
@@ -158,6 +183,9 @@ class EventLoop {
   // vector, no per-task move.
   LoopMailbox mailbox_;
   std::atomic<bool> wake_pending_{false};
+
+  LoopStats stats_;
+  obs::Histogram* task_hist_ = nullptr;
 };
 
 }  // namespace dl::net

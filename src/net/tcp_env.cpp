@@ -117,6 +117,32 @@ void TcpEnv::set_peer_port(int id, std::uint16_t port) {
   peer(id).addr.port = port;
 }
 
+LinkShaper::Stats TcpEnv::shaper_totals() const {
+  LinkShaper::Stats total;
+  for (const auto& sh : shapers_) {
+    const LinkShaper::Stats s = sh->stats();
+    total.shaped_bytes += s.shaped_bytes;
+    total.lost_frames += s.lost_frames;
+    total.lost_bytes += s.lost_bytes;
+    total.throttle_waits += s.throttle_waits;
+  }
+  return total;
+}
+
+void TcpEnv::collect_shapers() {
+  for (const Peer& p : peers_) {
+    if (p.id == self_ || !p.shaper) continue;
+    bool seen = false;
+    for (const auto& sh : shapers_) {
+      if (sh == p.shaper) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) shapers_.push_back(p.shaper);
+  }
+}
+
 void TcpEnv::setup_shapers() {
   // The schedule origin is "process time now": a trace's first rate window
   // starts when the replica starts, on every node, matching the simulator
@@ -133,6 +159,7 @@ void TcpEnv::setup_shapers() {
       c.seed = opt_.shaper_seed;
       p.shaper = std::make_shared<LinkShaper>(c, t0);
     }
+    collect_shapers();
     return;
   }
   // [[link]] rules without a `to` model the node's aggregate egress pipe:
@@ -167,6 +194,7 @@ void TcpEnv::setup_shapers() {
       p.shaper = slot;
     }
   }
+  collect_shapers();
 }
 
 void TcpEnv::start(runtime::Receiver& r) {

@@ -158,6 +158,19 @@ class TcpEnv final : public runtime::Env {
   PeerStats peer_stats(int id) const;
   int connected_peers() const;
 
+  // Aggregate egress-shaper stats across every distinct bucket (peers
+  // sharing one [[link]] bucket are counted once). Thread-safe: the bucket
+  // set is fixed at construction and LinkShaper::stats() locks internally.
+  // All-zero when the node is unshaped.
+  LinkShaper::Stats shaper_totals() const;
+  int shaper_count() const { return static_cast<int>(shapers_.size()); }
+
+  // Transport loops (empty when net_loops <= 1). The loop set is fixed at
+  // construction; EventLoop::stats() cells are thread-safe, so the metrics
+  // plane may read them live.
+  int transport_loop_count() const { return static_cast<int>(tloops_.size()); }
+  const EventLoop& transport_loop(int i) const { return *tloops_[i]; }
+
   // Test hook: tears down the connection to `id` (if any) as if the network
   // broke it; the dialing side's backoff machinery must then restore it.
   // Multi-loop mode: asynchronous (posted to the owner loop).
@@ -263,6 +276,7 @@ class TcpEnv final : public runtime::Env {
                       std::size_t& n);
 
   void setup_shapers();
+  void collect_shapers();  // dedups peer buckets into shapers_
   void schedule_shape_wake(Peer& p, double when);
   void enqueue(Peer& p, OutFrame frame, const runtime::SendOpts& opts);
   void enqueue_and_flush(Peer& p, OutFrame frame, const runtime::SendOpts& opts);
@@ -298,6 +312,9 @@ class TcpEnv final : public runtime::Env {
   std::uint64_t next_pending_id_ = 1;
   // deque: Peer holds atomics (immovable) and must stay address-stable.
   std::deque<Peer> peers_;  // indexed by id; entry self_ unused
+  // Distinct shaper buckets, deduped at setup_shapers() time; immutable
+  // afterwards (read by shaper_totals() from any thread).
+  std::vector<std::shared_ptr<LinkShaper>> shapers_;
   std::map<int, PendingAccept> pending_;  // fd -> state
   // Transport tier (empty when net_loops <= 1). Loops are constructed in
   // the ctor (owner_loop must resolve before start), threads in start().

@@ -1,0 +1,226 @@
+#include "obs/admin.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+
+namespace dl::obs {
+
+namespace {
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+}  // namespace
+
+AdminServer::AdminServer(net::EventLoop& loop, Registry& registry, Options opt)
+    : loop_(loop), registry_(registry), opt_(std::move(opt)) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("AdminServer: socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("AdminServer: bad host " + opt_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("AdminServer: cannot listen on " + opt_.host +
+                             ":" + std::to_string(opt_.port));
+  }
+  socklen_t alen = sizeof addr;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  bound_port_ = ntohs(addr.sin_port);
+  loop_.add_fd(listen_fd_, EPOLLIN,
+               [this](std::uint32_t ev) { on_accept(ev); });
+}
+
+AdminServer::~AdminServer() {
+  for (auto& [fd, c] : conns_) {
+    loop_.del_fd(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void AdminServer::on_accept(std::uint32_t) {
+  for (;;) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* c = conn.get();
+    conns_[fd] = std::move(conn);
+    loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) {
+      on_conn_event(fd, ev);
+    });
+    (void)c;
+  }
+}
+
+void AdminServer::on_conn_event(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_conn(fd);
+    return;
+  }
+  if (!c.responding && (events & EPOLLIN) != 0) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n > 0) {
+        c.request.append(buf, static_cast<std::size_t>(n));
+        if (c.request.size() > kMaxRequestBytes) {
+          close_conn(fd);
+          return;
+        }
+        if (c.request.find("\r\n") != std::string::npos ||
+            c.request.find('\n') != std::string::npos) {
+          handle_request(c);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // peer closed before a full request line
+        close_conn(fd);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+  }
+  if (c.responding && (events & EPOLLOUT) != 0) flush(c);
+}
+
+void AdminServer::handle_request(Conn& c) {
+  // "GET /path HTTP/1.0" — method and path only; everything else ignored.
+  const std::size_t eol = c.request.find_first_of("\r\n");
+  const std::string line = c.request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method = sp1 == std::string::npos ? line
+                                                      : line.substr(0, sp1);
+  std::string path = sp1 == std::string::npos
+                         ? ""
+                         : line.substr(sp1 + 1, sp2 == std::string::npos
+                                                    ? std::string::npos
+                                                    : sp2 - sp1 - 1);
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  ++requests_;
+
+  net::ByteRope body;
+  if (method != "GET") {
+    RopeWriter(body).text("method not allowed\n");
+    respond(c, 405, "text/plain", std::move(body));
+    return;
+  }
+  if (path == "/metrics") {
+    registry_.render_prometheus(body);
+    respond(c, 200, "text/plain; version=0.0.4", std::move(body));
+  } else if (path == "/statusz") {
+    registry_.render_statusz(body, loop_.now());
+    respond(c, 200, "application/json", std::move(body));
+  } else if (path == "/healthz") {
+    RopeWriter(body).text("ok\n");
+    respond(c, 200, "text/plain", std::move(body));
+  } else if (path == "/tracez") {
+    if (flight_ == nullptr) {
+      RopeWriter(body).text("flight recorder not enabled\n");
+      respond(c, 404, "text/plain", std::move(body));
+    } else {
+      flight_->render_chrome_trace(body, opt_.pid);
+      respond(c, 200, "application/json", std::move(body));
+    }
+  } else {
+    RopeWriter(body).text("not found\n");
+    respond(c, 404, "text/plain", std::move(body));
+  }
+}
+
+void AdminServer::respond(Conn& c, int status, const char* content_type,
+                          net::ByteRope&& body) {
+  RopeWriter h(c.out);
+  h.fmt("HTTP/1.0 %d %s\r\n", status, status_text(status));
+  h.fmt("Content-Type: %s\r\n", content_type);
+  h.fmt("Content-Length: %zu\r\n", body.size());
+  h.text("Connection: close\r\n\r\n");
+  // Splice the body chunks behind the header. ByteRope has no O(1) splice;
+  // copying via iovecs stays within pooled chunks either way and admin
+  // responses are a few KB.
+  iovec iov[64];
+  while (!body.empty()) {
+    const std::size_t n = body.fill_iovecs(iov, 64);
+    std::size_t took = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      c.out.append(ByteView(static_cast<const std::uint8_t*>(iov[i].iov_base),
+                            iov[i].iov_len));
+      took += iov[i].iov_len;
+    }
+    body.consume(took);
+  }
+  c.responding = true;
+  loop_.mod_fd(c.fd, EPOLLIN | EPOLLOUT);
+  flush(c);
+}
+
+void AdminServer::flush(Conn& c) {
+  iovec iov[64];
+  while (!c.out.empty()) {
+    const std::size_t n = c.out.fill_iovecs(iov, 64);
+    const ssize_t wrote = ::writev(c.fd, iov, static_cast<int>(n));
+    if (wrote > 0) {
+      c.out.consume(static_cast<std::size_t>(wrote));
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (wrote < 0 && errno == EINTR) continue;
+    break;  // write error: drop the connection
+  }
+  close_conn(c.fd);  // HTTP/1.0: close after the response drains
+}
+
+void AdminServer::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_.del_fd(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+}  // namespace dl::obs

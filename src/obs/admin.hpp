@@ -1,0 +1,87 @@
+// Minimal HTTP/1.0 admin responder multiplexed on an existing EventLoop.
+//
+// `dlnoded --admin-port P` serves:
+//
+//   GET /metrics  — Prometheus text exposition from the registry
+//   GET /statusz  — JSON snapshot (same instruments + histogram summaries)
+//   GET /healthz  — "ok\n" liveness probe
+//   GET /tracez   — chrome-trace JSON from the flight recorder (if attached)
+//
+// Deliberately not a web server: HTTP/1.0 close-after-response, GET only,
+// request line parsed up to the first CRLF, headers ignored. That is enough
+// for curl, Prometheus scrapers and load balancer health checks, and keeps
+// the whole thing a few hundred lines on the loop the node already runs.
+//
+// Responses are rendered into a pooled ByteRope and drained with writev —
+// a scrape does not malloc per request on the serving loop beyond the
+// (small, short-lived) per-connection bookkeeping.
+//
+// Threading: everything runs on the owning loop (accept, read, render,
+// write). Registry sample hooks therefore run on that loop — in dlnoded the
+// node home loop — which is what makes mirroring home-loop-affine stats
+// safe (see registry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/buffer_pool.hpp"
+#include "net/event_loop.hpp"
+
+namespace dl::obs {
+
+class FlightRecorder;
+class Registry;
+
+class AdminServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral (tests); bound_port() tells
+    int pid = 0;             // node id stamped into /tracez events
+  };
+
+  // Starts listening immediately. Must be constructed (and destroyed) on
+  // `loop`'s thread, or before the loop starts running. Throws
+  // std::runtime_error if the socket can't be bound.
+  AdminServer(net::EventLoop& loop, Registry& registry, Options opt);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  void set_flight_recorder(const FlightRecorder* fr) { flight_ = fr; }
+
+  std::uint16_t bound_port() const { return bound_port_; }
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string request;   // bytes until first CRLF
+    net::ByteRope out;     // response being drained
+    bool responding = false;
+  };
+
+  void on_accept(std::uint32_t events);
+  void on_conn_event(int fd, std::uint32_t events);
+  void handle_request(Conn& c);
+  void respond(Conn& c, int status, const char* content_type,
+               net::ByteRope&& body);
+  void flush(Conn& c);
+  void close_conn(int fd);
+
+  net::EventLoop& loop_;
+  Registry& registry_;
+  const FlightRecorder* flight_ = nullptr;
+  Options opt_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::uint64_t requests_ = 0;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace dl::obs

@@ -1,0 +1,362 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace dl::obs {
+
+// --- Histogram ---------------------------------------------------------------
+
+int Histogram::bucket_index(std::uint64_t v) {
+  if (v < kUnitBuckets) return static_cast<int>(v);
+  const int octave = std::bit_width(v) - 1;  // >= kFirstOctave
+  if (octave > kLastOctave) return kBuckets - 1;
+  const int sub = static_cast<int>((v >> (octave - 2)) & (kSubBuckets - 1));
+  return kUnitBuckets + (octave - kFirstOctave) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::upper_bound(int idx) {
+  if (idx < kUnitBuckets) return static_cast<std::uint64_t>(idx);
+  if (idx >= kBuckets - 1) return UINT64_MAX;
+  const int rel = idx - kUnitBuckets;
+  const int octave = kFirstOctave + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  // Bucket [8 + 4*(o-3) + s] holds values whose top bits are 1(s in binary):
+  // width 2^(o-2), starting at (4 + s) << (o - 2).
+  return (static_cast<std::uint64_t>(kSubBuckets + sub + 1) << (octave - 2)) -
+         1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= rank) {
+      const std::uint64_t hi = upper_bound(i);
+      if (hi == UINT64_MAX) return static_cast<double>(upper_bound(i - 1));
+      const std::uint64_t lo = i == 0 ? 0 : upper_bound(i - 1) + 1;
+      const double within =
+          buckets[i] == 0
+              ? 0.0
+              : (rank - static_cast<double>(prev)) /
+                    static_cast<double>(buckets[i]);
+      return static_cast<double>(lo) +
+             within * static_cast<double>(hi - lo);
+    }
+  }
+  return static_cast<double>(upper_bound(kBuckets - 2));
+}
+
+// --- RopeWriter --------------------------------------------------------------
+
+void RopeWriter::text(std::string_view s) {
+  rope_.append(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size()));
+}
+
+void RopeWriter::fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  const int n = std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  if (n <= 0) return;
+  const std::size_t len =
+      n >= static_cast<int>(sizeof(buf)) ? sizeof(buf) - 1 : n;
+  std::uint8_t* dst = rope_.reserve(len);
+  std::memcpy(dst, buf, len);
+  rope_.commit(len);
+}
+
+void RopeWriter::json_str(std::string_view s) {
+  text("\"");
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"' || s[i] == '\\') {
+      if (i > run) text(s.substr(run, i - run));
+      const char esc[3] = {'\\', s[i], 0};
+      text(esc);
+      run = i + 1;
+    }
+  }
+  if (s.size() > run) text(s.substr(run));
+  text("\"");
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry::Family& Registry::family_locked(const std::string& name,
+                                          const std::string& help,
+                                          Kind kind) {
+  for (Family& f : families_) {
+    if (f.name == name) return f;  // help/kind kept from first registration
+  }
+  families_.push_back(Family{name, help, kind, {}});
+  return families_.back();
+}
+
+Registry::Series& Registry::series_locked(Family& fam,
+                                          const std::string& labels) {
+  for (Series& s : fam.series) {
+    if (s.labels == labels) return s;
+  }
+  fam.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  return fam.series.back();
+}
+
+Counter* Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Series& s = series_locked(family_locked(name, help, Kind::kCounter), labels);
+  if (s.counter == nullptr) {
+    counters_.emplace_back();
+    s.counter = &counters_.back();
+  }
+  return s.counter;
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Series& s = series_locked(family_locked(name, help, Kind::kGauge), labels);
+  if (s.gauge == nullptr) {
+    gauges_.emplace_back();
+    s.gauge = &gauges_.back();
+  }
+  return s.gauge;
+}
+
+Histogram* Registry::histogram(const std::string& name, const std::string& help,
+                               const std::string& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Series& s =
+      series_locked(family_locked(name, help, Kind::kHistogram), labels);
+  if (s.histogram == nullptr) {
+    histograms_.emplace_back();
+    s.histogram = &histograms_.back();
+  }
+  return s.histogram;
+}
+
+void Registry::add_sample_hook(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hooks_.push_back(std::move(fn));
+}
+
+void Registry::run_hooks() {
+  // Hooks are only appended during startup wiring; copy the list so a hook
+  // can itself touch the registry without deadlocking.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    hooks = hooks_;
+  }
+  for (auto& h : hooks) h();
+}
+
+namespace {
+
+const char* kind_name(Registry::Kind k) {
+  switch (k) {
+    case Registry::Kind::kCounter:
+      return "counter";
+    case Registry::Kind::kGauge:
+      return "gauge";
+    case Registry::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void write_series_name(RopeWriter& w, const std::string& name,
+                       const std::string& labels,
+                       const char* suffix = "") {
+  w.text(name);
+  w.text(suffix);
+  if (!labels.empty()) {
+    w.text("{");
+    w.text(labels);
+    w.text("}");
+  }
+}
+
+// `name_bucket{labels,le="N"}` — merges the per-series labels with `le`.
+void write_bucket_name(RopeWriter& w, const std::string& name,
+                       const std::string& labels, const char* le) {
+  w.text(name);
+  w.text("_bucket{");
+  if (!labels.empty()) {
+    w.text(labels);
+    w.text(",");
+  }
+  w.fmt("le=\"%s\"} ", le);
+}
+
+}  // namespace
+
+void Registry::render_prometheus(net::ByteRope& out) {
+  run_hooks();
+  std::lock_guard<std::mutex> lk(mu_);
+  RopeWriter w(out);
+  for (const Family& fam : families_) {
+    w.text("# HELP ");
+    w.text(fam.name);
+    w.text(" ");
+    w.text(fam.help);
+    w.text("\n# TYPE ");
+    w.text(fam.name);
+    w.text(" ");
+    w.text(kind_name(fam.kind));
+    w.text("\n");
+    for (const Series& s : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          write_series_name(w, fam.name, s.labels);
+          w.text(" ");
+          w.u64(s.counter->value());
+          w.text("\n");
+          break;
+        case Kind::kGauge:
+          write_series_name(w, fam.name, s.labels);
+          w.text(" ");
+          w.i64(s.gauge->value());
+          w.text("\n");
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = s.histogram->snapshot();
+          std::uint64_t cum = 0;
+          for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+            if (snap.buckets[i] == 0) continue;
+            cum += snap.buckets[i];
+            char le[32];
+            std::snprintf(le, sizeof(le), "%" PRIu64,
+                          Histogram::upper_bound(i));
+            write_bucket_name(w, fam.name, s.labels, le);
+            w.u64(cum);
+            w.text("\n");
+          }
+          // The overflow bucket only ever shows up in +Inf. `cum` (not the
+          // count_ cell) keeps _count consistent with the bucket lines even
+          // if observes race with the snapshot.
+          cum += snap.buckets[Histogram::kBuckets - 1];
+          write_bucket_name(w, fam.name, s.labels, "+Inf");
+          w.u64(cum);
+          w.text("\n");
+          write_series_name(w, fam.name, s.labels, "_sum");
+          w.text(" ");
+          w.u64(snap.sum);
+          w.text("\n");
+          write_series_name(w, fam.name, s.labels, "_count");
+          w.text(" ");
+          w.u64(cum);
+          w.text("\n");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Registry::render_statusz(net::ByteRope& out, double now_seconds) {
+  run_hooks();
+  std::lock_guard<std::mutex> lk(mu_);
+  RopeWriter w(out);
+  w.text("{\n  \"now\": ");
+  w.f64(now_seconds);
+  w.text(",\n  \"metrics\": {");
+  bool first = true;
+  for (const Family& fam : families_) {
+    if (fam.kind == Kind::kHistogram) continue;
+    for (const Series& s : fam.series) {
+      w.text(first ? "\n    " : ",\n    ");
+      first = false;
+      std::string key = fam.name;
+      if (!s.labels.empty()) key += "{" + s.labels + "}";
+      w.json_str(key);
+      w.text(": ");
+      if (fam.kind == Kind::kCounter) {
+        w.u64(s.counter->value());
+      } else {
+        w.i64(s.gauge->value());
+      }
+    }
+  }
+  w.text("\n  },\n  \"histograms\": {");
+  first = true;
+  for (const Family& fam : families_) {
+    if (fam.kind != Kind::kHistogram) continue;
+    for (const Series& s : fam.series) {
+      w.text(first ? "\n    " : ",\n    ");
+      first = false;
+      std::string key = fam.name;
+      if (!s.labels.empty()) key += "{" + s.labels + "}";
+      w.json_str(key);
+      const Histogram::Snapshot snap = s.histogram->snapshot();
+      w.text(": {\"count\": ");
+      w.u64(snap.count);
+      w.text(", \"sum\": ");
+      w.u64(snap.sum);
+      w.text(", \"mean\": ");
+      w.f64(snap.mean());
+      w.text(", \"p50\": ");
+      w.f64(snap.quantile(0.50));
+      w.text(", \"p90\": ");
+      w.f64(snap.quantile(0.90));
+      w.text(", \"p99\": ");
+      w.f64(snap.quantile(0.99));
+      w.text("}");
+    }
+  }
+  w.text("\n  }\n}\n");
+}
+
+std::string rope_to_string(net::ByteRope& rope) {
+  std::string out(rope.size(), '\0');
+  iovec iov[128];
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const std::size_t n = rope.fill_iovecs(iov, 128);
+    if (n == 0) break;
+    std::size_t took = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(out.data() + off, iov[i].iov_base, iov[i].iov_len);
+      off += iov[i].iov_len;
+      took += iov[i].iov_len;
+    }
+    rope.consume(took);
+  }
+  out.resize(off);
+  return out;
+}
+
+std::string Registry::prometheus_text() {
+  net::ByteRope rope;
+  render_prometheus(rope);
+  return rope_to_string(rope);
+}
+
+std::string Registry::statusz_json(double now_seconds) {
+  net::ByteRope rope;
+  render_statusz(rope, now_seconds);
+  return rope_to_string(rope);
+}
+
+}  // namespace dl::obs

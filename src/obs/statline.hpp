@@ -1,0 +1,71 @@
+// One-line `k=v` summary builder shared by `dlnoded --stats-interval` and
+// `dl_loadgen --progress`: both emit periodic delta lines and should look
+// the same in logs. Values are formatted into a pooled ByteRope (no per-line
+// malloc churn on the emitting loop); str() materializes the line once for
+// the actual fprintf.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace dl::obs {
+
+class StatLine {
+ public:
+  StatLine() : w_(rope_) {}
+
+  StatLine& kv(const char* key, std::uint64_t v) {
+    sep();
+    w_.text(key);
+    w_.text("=");
+    w_.u64(v);
+    return *this;
+  }
+  StatLine& kvi(const char* key, std::int64_t v) {
+    sep();
+    w_.text(key);
+    w_.text("=");
+    w_.i64(v);
+    return *this;
+  }
+  // delta/dt rendered as "key=123.4/s"; dt <= 0 renders "key=-/s".
+  StatLine& rate(const char* key, std::uint64_t delta, double dt) {
+    sep();
+    w_.text(key);
+    if (dt <= 0.0) {
+      w_.text("=-/s");
+    } else {
+      w_.fmt("=%.1f/s", static_cast<double>(delta) / dt);
+    }
+    return *this;
+  }
+  StatLine& ms(const char* key, double v) {
+    sep();
+    w_.text(key);
+    w_.fmt("=%.1fms", v);
+    return *this;
+  }
+  StatLine& f(const char* key, double v) {
+    sep();
+    w_.text(key);
+    w_.text("=");
+    w_.f64(v);
+    return *this;
+  }
+
+  std::string str() { return rope_to_string(rope_); }
+
+ private:
+  void sep() {
+    if (any_) w_.text(" ");
+    any_ = true;
+  }
+
+  net::ByteRope rope_;
+  RopeWriter w_;
+  bool any_ = false;
+};
+
+}  // namespace dl::obs

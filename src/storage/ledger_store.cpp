@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/serial.hpp"
+#include "obs/registry.hpp"
 #include "storage/crc32c.hpp"
 
 namespace dl::storage {
@@ -483,6 +484,17 @@ int LedgerStore::segment_fd_io(std::uint64_t seq) {
 }
 
 void LedgerStore::drain_io(bool force_fsync) {
+  if (drain_hist_ == nullptr) {
+    drain_io_inner(force_fsync);
+    return;
+  }
+  const double t_start = now_seconds();
+  drain_io_inner(force_fsync);
+  drain_hist_->observe(
+      static_cast<std::uint64_t>((now_seconds() - t_start) * 1e6));
+}
+
+void LedgerStore::drain_io_inner(bool force_fsync) {
   std::vector<StagedRange> work;
   std::vector<std::uint64_t> dirty;
   {

@@ -59,6 +59,10 @@
 
 #include "common/bytes.hpp"
 
+namespace dl::obs {
+class Histogram;
+}  // namespace dl::obs
+
 namespace dl::storage {
 
 enum class FsyncPolicy : std::uint8_t { kNever = 0, kBatch = 1, kAlways = 2 };
@@ -128,6 +132,11 @@ class LedgerStore {
   std::size_t segment_count() const;
   Stats stats() const;
 
+  // Optional drain-latency histogram (microseconds per drain_io pass,
+  // write+fsync included). Set during startup wiring, before drains run;
+  // null keeps the extra clock reads off.
+  void set_drain_histogram(obs::Histogram* h) { drain_hist_ = h; }
+
   // --- append path (any thread; encode + stage only, no I/O) ---------------
   void append_block(const BlockRecord& rec);
   // Closes delivery of `epoch`; must be the current frontier (a mismatch is
@@ -185,6 +194,7 @@ class LedgerStore {
   std::pair<std::uint64_t, std::uint64_t> stage_locked(ByteView payload);
   int segment_fd_io(std::uint64_t seq);       // requires io_mu_
   void drain_io(bool force_fsync);            // requires io_mu_
+  void drain_io_inner(bool force_fsync);      // drain_io minus the timing
   bool read_block_io(const IndexedBlock& ib, BlockRecord& out);
   std::string segment_path(std::uint64_t seq) const;
 
@@ -195,6 +205,8 @@ class LedgerStore {
   // Lock order: io_mu_ before mu_, never the reverse. Appenders take only
   // mu_ (cheap); drains/readers take io_mu_ for file work and dip into mu_
   // to swap out the staged queue or snapshot the index.
+  obs::Histogram* drain_hist_ = nullptr;
+
   mutable std::mutex mu_;
   // Committed index: blocks in delivery order + per-epoch prefix offsets
   // (epoch e occupies records_[epoch_starts_[e] .. epoch_starts_[e+1])).
